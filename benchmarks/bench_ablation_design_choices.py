@@ -1,0 +1,135 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the knobs of the reproduction so
+a reader can see how much each one matters:
+
+* interference model on/off for the uncoordinated baseline;
+* burst-buffer capacity sweep for the Intrepid baseline;
+* the MinMax-γ threshold sweep (the administrator's trade-off dial);
+* the periodic period-search ``epsilon`` (solution quality vs search cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core import Application, Scenario, generic, intrepid
+from repro.core.platform import BurstBufferSpec
+from repro.experiments import SchedulerCase, format_table, run_grid
+from repro.online import FairShare, make_scheduler
+from repro.periodic import InsertInScheduleThrou, search_period
+from repro.simulator import NO_INTERFERENCE, SimulatorConfig, simulate
+from repro.workload import intrepid_congested_moments
+
+
+def _moments(n, seed):
+    return intrepid_congested_moments(n, rng=seed)
+
+
+def test_ablation_interference_model(benchmark, scale):
+    """How much of the baseline's degradation comes from interference?"""
+    moments = _moments(3 * scale, 100)
+
+    def experiment():
+        rows = []
+        for label, scheduler in (
+            ("FairShare (interfering)", FairShare()),
+            ("FairShare (ideal)", FairShare(interference=NO_INTERFERENCE)),
+        ):
+            effs, dils = [], []
+            for moment in moments:
+                summary = simulate(moment, scheduler).summary()
+                effs.append(summary.system_efficiency)
+                dils.append(summary.dilation)
+            rows.append([label, float(np.mean(effs)), float(np.mean(dils))])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(["Baseline", "SysEff (%)", "Dilation"], rows,
+                       title="Ablation — interference model"))
+    assert rows[0][1] < rows[1][1]  # interference hurts
+
+
+def test_ablation_burst_buffer_capacity(benchmark, scale):
+    """Sweep the staging capacity of the Intrepid burst buffer."""
+    moments = _moments(2 * scale, 101)
+    capacities = [0.5e12, 2e12, 4e12, 16e12]
+
+    def experiment():
+        rows = []
+        for capacity in capacities:
+            platform = intrepid().with_burst_buffer(
+                BurstBufferSpec(capacity=capacity, ingest_bandwidth=512e9,
+                                drain_bandwidth=0.6 * 88e9)
+            )
+            effs = []
+            for moment in moments:
+                result = simulate(
+                    moment.with_platform(platform),
+                    FairShare(name="Intrepid"),
+                    SimulatorConfig(use_burst_buffer=True),
+                )
+                effs.append(result.summary().system_efficiency)
+            rows.append([f"{capacity / 1e12:.1f} TB", float(np.mean(effs))])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(["BB capacity", "Baseline SysEff (%)"], rows,
+                       title="Ablation — burst-buffer capacity"))
+    # More staging capacity never hurts the baseline.
+    values = [r[1] for r in rows]
+    assert values[-1] >= values[0] - 2.0
+
+
+def test_ablation_minmax_gamma_sweep(benchmark, scale):
+    """The γ dial trades Dilation for SysEfficiency monotonically (on average)."""
+    moments = _moments(3 * scale, 102)
+    gammas = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def experiment():
+        cases = [SchedulerCase(f"MinMax-{g}") if g not in (0.0, 1.0)
+                 else SchedulerCase("MaxSysEff" if g == 0.0 else "MinDilation",
+                                    label=f"MinMax-{g}")
+                 for g in gammas]
+        grid = run_grid(moments, cases)
+        return [[label, grid.mean(label, "system_efficiency"), grid.mean(label, "dilation")]
+                for label in grid.schedulers()]
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(["gamma", "SysEff (%)", "Dilation"], rows,
+                       title="Ablation — MinMax-γ sweep (γ=0 is MaxSysEff, γ=1 is MinDilation)"))
+    dilations = [r[2] for r in rows]
+    assert dilations[-1] <= dilations[0]  # larger γ => better (lower) dilation
+
+
+def test_ablation_period_search_epsilon(benchmark, scale):
+    """Finer period sweeps cannot produce worse schedules (only slower searches)."""
+    platform = generic(total_processors=400, node_bandwidth=1e6,
+                       system_bandwidth=4e7, name="ablation")
+    apps = [
+        Application.periodic(f"a{i}", 80, work=120.0 + 40 * i, io_volume=2e9,
+                             n_instances=3)
+        for i in range(4)
+    ]
+
+    def experiment():
+        rows = []
+        for epsilon in (0.5, 0.2, 0.05):
+            result = search_period(
+                InsertInScheduleThrou(), platform, apps,
+                objective="system_efficiency", epsilon=epsilon,
+                max_period_factor=6.0,
+            )
+            rows.append([f"eps={epsilon}", len(result.sweep),
+                         result.best_schedule.summary().system_efficiency])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(format_table(["epsilon", "periods tried", "best SysEff (%)"], rows,
+                       title="Ablation — period-search granularity"))
+    assert rows[-1][2] >= rows[0][2] - 1e-6

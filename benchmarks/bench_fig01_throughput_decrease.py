@@ -1,0 +1,36 @@
+"""Figure 1 — per-application I/O throughput decrease under congestion.
+
+Paper: over 400 Intrepid applications, uncoordinated congestion reduces the
+I/O throughput an application observes by up to ~70%.
+
+The benchmark replays staggered application batches under the interfering
+fair-share baseline and prints the histogram, the mean and the maximum
+decrease.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import throughput_decrease_study
+
+
+def test_figure1_throughput_decrease(benchmark, scale):
+    n_applications = 60 * scale
+
+    def experiment():
+        return throughput_decrease_study(n_applications=n_applications, rng=1)
+
+    study = run_once(benchmark, experiment)
+
+    print()
+    print(f"Figure 1 — I/O throughput decrease over {study.n_applications} applications")
+    print(f"  mean decrease      : {study.mean_decrease:5.1f} %")
+    print(f"  maximum decrease   : {study.max_decrease:5.1f} %   (paper: up to ~70%)")
+    print(f"  share above 50%    : {100 * study.fraction_above(50):5.1f} %")
+    print("  histogram (10% bins):")
+    for lo, hi, count in zip(study.bin_edges[:-1], study.bin_edges[1:], study.histogram):
+        print(f"    {lo:3.0f}-{hi:3.0f}%  {count}")
+
+    assert study.max_decrease > 40.0
+    assert study.fraction_above(30.0) > 0.1

@@ -1,0 +1,41 @@
+"""Figure 5 — characteristics of the applications that ran on Intrepid in 2013.
+
+(a) system usage per day for each application category;
+(b) percentage of time spent doing I/O per application category.
+
+The benchmark generates a synthetic year of Darshan-like records with the
+paper's category mix and prints both summaries.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import characterize
+from repro.core import intrepid
+from repro.workload import generate_records, replicate_uncovered
+from repro.workload.categories import Category
+
+
+def test_figure5_workload_characteristics(benchmark, scale):
+    n_jobs = 1500 * scale
+
+    def experiment():
+        records = generate_records(n_jobs, intrepid(), rng=2013, duration_days=365.0)
+        return characterize(replicate_uncovered(records, rng=7))
+
+    usage = run_once(benchmark, experiment)
+
+    print()
+    print("Figure 5a — average node-hours per day by category")
+    for category in Category:
+        print(f"  {category.value:11s} {usage.daily_node_hours[category]:12.0f}")
+    print("Figure 5b — percentage of time spent in I/O by category")
+    for category in Category:
+        print(f"  {category.value:11s} {usage.io_time_percent[category]:6.1f} %")
+    print("Job counts:", {c.value: usage.job_counts[c] for c in Category})
+
+    # Shape assertions: small jobs dominate the count, very large jobs exist,
+    # small jobs spend proportionally more time in I/O than very large ones.
+    assert usage.job_counts[Category.SMALL] > usage.job_counts[Category.VERY_LARGE]
+    assert usage.io_time_percent[Category.SMALL] >= usage.io_time_percent[Category.VERY_LARGE]

@@ -1,0 +1,50 @@
+"""Figure 6 — objectives of the eight heuristics on the three application mixes.
+
+(a) 10 large applications, I/O-to-compute ratio 20%;
+(b) 50 small and 5 large applications, ratio 20%;
+(c) 50 small and 5 large applications, ratio 35%.
+
+The paper averages 200 random mixes per panel; the benchmark uses a reduced
+repetition count by default (``REPRO_BENCH_SCALE`` raises it) and prints the
+per-heuristic SysEfficiency / Dilation averages.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import FIGURE6_SCHEDULERS, figure6_experiment
+
+
+@pytest.mark.parametrize(
+    "scenario", ["10large-20", "50small5large-20", "50small5large-35"]
+)
+def test_figure6_panel(benchmark, scale, scenario):
+    n_repetitions = 5 * scale
+
+    def experiment():
+        return figure6_experiment(
+            scenario, n_repetitions=n_repetitions, schedulers=FIGURE6_SCHEDULERS, rng=6
+        )
+
+    result = run_once(benchmark, experiment)
+
+    print()
+    print(f"Figure 6 ({scenario}) — averages over {n_repetitions} mixes")
+    print(f"  {'scheduler':24s} {'SysEff(%)':>10s} {'Dilation':>10s}")
+    for averages in result.ranked_by_system_efficiency():
+        print(
+            f"  {averages.scheduler:24s} {averages.system_efficiency:10.2f} "
+            f"{averages.dilation:10.2f}"
+        )
+
+    # Paper shape: MaxSysEff wins SysEfficiency, MinDilation wins Dilation,
+    # and the MinMax trade-off sits between the two on Dilation (with a small
+    # tolerance: in heavily congested mixes MinMax-0.5 and MinDilation become
+    # nearly indistinguishable and their averages can cross by a hair).
+    avg = result.averages
+    assert avg["MaxSysEff"].system_efficiency >= avg["MinDilation"].system_efficiency
+    assert avg["MinDilation"].dilation <= avg["MaxSysEff"].dilation
+    assert avg["MinDilation"].dilation <= avg["MinMax-0.5"].dilation * 1.05
+    assert avg["MinMax-0.5"].dilation <= avg["MaxSysEff"].dilation * 1.05

@@ -1,0 +1,38 @@
+"""Figure 7 — impact of the sensibility of computations on both objectives.
+
+Paper claim (Section 4.3): perturbing the per-instance compute times by up
+to 30% has almost no impact on the results of the online heuristics, so the
+periodicity assumption used to rebuild congested moments is not binding.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis import FIGURE7_SCHEDULERS, sensitivity_study
+
+
+def test_figure7_sensibility_sweep(benchmark, scale):
+    sensibilities = (0, 5, 10, 15, 20, 25, 30)
+    n_repetitions = 2 * scale
+
+    def experiment():
+        return sensitivity_study(
+            sensibilities, schedulers=FIGURE7_SCHEDULERS,
+            n_repetitions=n_repetitions, rng=7,
+        )
+
+    study = run_once(benchmark, experiment)
+
+    print()
+    print("Figure 7 — sensibility sweep (x axis: %, values: SysEff% / Dilation)")
+    print("  sensibility:", list(study.sensibilities()))
+    for scheduler in study.schedulers:
+        eff = ", ".join(f"{v:.1f}" for v in study.series(scheduler, "system_efficiency"))
+        dil = ", ".join(f"{v:.2f}" for v in study.series(scheduler, "dilation"))
+        print(f"  {scheduler:12s} SysEff [{eff}]")
+        print(f"  {scheduler:12s} Dil    [{dil}]")
+
+    # Paper shape: the curves are essentially flat.
+    for scheduler in study.schedulers:
+        assert study.max_relative_variation(scheduler, "system_efficiency") < 0.25

@@ -1,0 +1,52 @@
+"""Figures 8-10 — per-moment comparison on the Intrepid congested moments.
+
+Figure 8: Priority-MaxSysEff / Priority-MinDilation vs the Intrepid scheduler
+(with burst buffers) and the upper limit, per congested moment.
+Figure 9: the Priority MinMax-γ sweep.
+Figure 10: the non-Priority variants.
+
+The benchmark runs a reduced number of moments by default and prints the
+per-moment Dilation and SysEfficiency series (the curves of the figures).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import congested_moments_experiment, format_series
+
+
+def test_figures_8_to_10_intrepid_moments(benchmark, scale):
+    n_moments = 6 * scale
+    schedulers = (
+        "Priority-MaxSysEff",
+        "Priority-MinMax-0.25",
+        "Priority-MinMax-0.5",
+        "Priority-MinMax-0.75",
+        "Priority-MinDilation",
+        "MaxSysEff",
+        "MinDilation",
+    )
+
+    def experiment():
+        return congested_moments_experiment(
+            "intrepid", n_moments=n_moments, schedulers=schedulers, rng=810
+        )
+
+    result = run_once(benchmark, experiment)
+
+    print()
+    print(f"Figures 8-10 — {n_moments} Intrepid congested moments")
+    print("SysEfficiency per moment:")
+    for scheduler in list(schedulers) + ["Intrepid"]:
+        print("  " + format_series(scheduler, result.series(scheduler, "system_efficiency")))
+    print("  " + format_series("Upper limit", result.upper_limit_series()))
+    print("Dilation per moment:")
+    for scheduler in list(schedulers) + ["Intrepid"]:
+        print("  " + format_series(scheduler, result.series(scheduler, "dilation")))
+
+    table = result.table()
+    # The heuristics beat the native scheduler (with burst buffers) on their
+    # respective objectives, as in the paper.
+    assert table["MaxSysEff"].system_efficiency >= 0.9 * table["Intrepid"].system_efficiency
+    assert table["Priority-MinDilation"].dilation <= table["Intrepid"].dilation

@@ -1,0 +1,42 @@
+"""Figures 11-13 — per-moment comparison on the Mira congested moments.
+
+Same structure as Figures 8-10, on the 11 Mira congested moments.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import congested_moments_experiment, format_series
+
+
+def test_figures_11_to_13_mira_moments(benchmark, scale):
+    n_moments = min(11, 4 * scale)
+    schedulers = (
+        "Priority-MaxSysEff",
+        "Priority-MinMax-0.5",
+        "Priority-MinDilation",
+        "MaxSysEff",
+        "MinDilation",
+    )
+
+    def experiment():
+        return congested_moments_experiment(
+            "mira", n_moments=n_moments, schedulers=schedulers, rng=1113
+        )
+
+    result = run_once(benchmark, experiment)
+
+    print()
+    print(f"Figures 11-13 — {n_moments} Mira congested moments")
+    print("SysEfficiency per moment:")
+    for scheduler in list(schedulers) + ["Mira"]:
+        print("  " + format_series(scheduler, result.series(scheduler, "system_efficiency")))
+    print("  " + format_series("Upper limit", result.upper_limit_series()))
+    print("Dilation per moment:")
+    for scheduler in list(schedulers) + ["Mira"]:
+        print("  " + format_series(scheduler, result.series(scheduler, "dilation")))
+
+    table = result.table()
+    assert table["MaxSysEff"].system_efficiency >= 0.9 * table["Mira"].system_efficiency
+    assert table["Priority-MinDilation"].dilation <= table["Mira"].dilation

@@ -1,0 +1,31 @@
+"""Figure 14 — execution-time overhead of the modified IOR benchmark.
+
+Paper: routing every write request through the scheduler thread costs 1% to
+5.3% of the execution time when no congestion occurs, staying under ~3% for
+the larger application counts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure14_overheads, format_mapping
+from repro.workload import VESTA_SCENARIOS
+
+
+def test_figure14_scheduler_overhead(benchmark, scale):
+    def experiment():
+        return figure14_overheads(VESTA_SCENARIOS)
+
+    overheads = run_once(benchmark, experiment)
+
+    print()
+    print("Figure 14 — scheduler-request overhead per Vesta node mix (%):")
+    print(format_mapping(overheads))
+
+    values = list(overheads.values())
+    assert 0.5 <= min(values)
+    assert max(values) <= 6.0
+    # The single 512-node group pays the most; the four-application mixes pay less.
+    assert overheads["512"] >= overheads["512/512/512/512"]
+    assert overheads["512"] >= overheads["512/256/256/32"]

@@ -1,0 +1,52 @@
+"""Figure 15 — SysEfficiency and Dilation on the Vesta node mixes.
+
+Paper grid: {IOR, MaxSysEff, MinDilation} × {no burst buffers, burst buffers}
+over eleven node mixes between 256 and 4x512 nodes.  The headline: with
+three or more applications, the heuristics *without* burst buffers perform
+similarly to (or better than) the native scheduler *with* burst buffers.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import VESTA_CONFIGURATIONS, format_table, vesta_experiment
+from repro.workload import VESTA_SCENARIOS
+
+
+def test_figure15_vesta_grid(benchmark, scale):
+    scenarios = VESTA_SCENARIOS if scale > 1 else VESTA_SCENARIOS[:8]
+
+    def experiment():
+        return vesta_experiment(scenarios=scenarios)
+
+    result = run_once(benchmark, experiment)
+
+    print()
+    for metric, title in (
+        ("system_efficiency", "Figure 15 (top) — SysEfficiency (%)"),
+        ("dilation", "Figure 15 (bottom) — Dilation"),
+    ):
+        rows = []
+        for mix in scenarios:
+            rows.append(
+                [mix]
+                + [
+                    getattr(result.cell(mix, cfg).summary, metric)
+                    for cfg in VESTA_CONFIGURATIONS
+                ]
+            )
+        print(format_table(["Mix"] + list(VESTA_CONFIGURATIONS), rows, title=title))
+
+    # Shape assertions on the congested multi-application mixes.
+    for mix in scenarios:
+        if mix.count("/") < 2:
+            continue  # fewer than 3 applications
+        ior = result.cell(mix, "IOR").summary
+        bb_ior = result.cell(mix, "BBIOR").summary
+        maxsyseff = result.cell(mix, "MaxSysEff").summary
+        mindil = result.cell(mix, "MinDilation").summary
+        assert maxsyseff.system_efficiency > ior.system_efficiency
+        assert mindil.dilation < ior.dilation
+        # No burst buffers needed to stay competitive with IOR + burst buffers.
+        assert maxsyseff.system_efficiency >= 0.85 * bb_ior.system_efficiency

@@ -1,0 +1,43 @@
+"""Figure 16 — per-application dilation in the 512/256/256/32 Vesta scenario.
+
+Paper: under MaxSysEff the small (32-node) application is slowed further
+(+36% dilation) while the big applications improve by ~48%, which is what
+buys the system-level efficiency; under MinDilation every application's
+dilation decreases roughly uniformly (-8.4% on average).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure16_per_application_dilation, format_table
+
+
+def test_figure16_per_application_dilation(benchmark, scale):
+    def experiment():
+        return figure16_per_application_dilation("512/256/256/32")
+
+    data = run_once(benchmark, experiment)
+
+    applications = sorted(next(iter(data.values())))
+    rows = [
+        [configuration] + [data[configuration][app] for app in applications]
+        for configuration in ("IOR", "MaxSysEff", "MinDilation")
+    ]
+    print()
+    print(
+        format_table(
+            ["Configuration"] + applications,
+            rows,
+            title="Figure 16 — per-application dilation, 512/256/256/32",
+        )
+    )
+
+    big, small = "ior-0-512n", "ior-3-32n"
+    # MaxSysEff favours the big application at the small one's expense.
+    assert data["MaxSysEff"][big] <= data["IOR"][big]
+    assert data["MaxSysEff"][big] <= data["MaxSysEff"][small]
+    # MinDilation keeps the spread tight and does not sacrifice anyone as much.
+    spread = lambda d: max(d.values()) - min(d.values())  # noqa: E731
+    assert spread(data["MinDilation"]) <= spread(data["MaxSysEff"])
+    assert max(data["MinDilation"].values()) <= max(data["MaxSysEff"].values()) + 1e-9

@@ -1,0 +1,46 @@
+"""Table 2 — averages over the 11 Mira congested moments.
+
+Same rows as Table 1, with the Mira scheduler (with burst buffers) as the
+baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import TABLE_SCHEDULERS, congested_moments_experiment, format_table
+
+
+def test_table2_mira_averages(benchmark, scale):
+    n_moments = min(11, 4 * scale)
+
+    def experiment():
+        return congested_moments_experiment(
+            "mira", n_moments=n_moments, schedulers=TABLE_SCHEDULERS, rng=2
+        )
+
+    result = run_once(benchmark, experiment)
+    table = result.table()
+
+    rows = []
+    for scheduler in list(TABLE_SCHEDULERS) + ["Mira"]:
+        entry = table[scheduler]
+        rows.append([scheduler, entry.dilation, entry.system_efficiency])
+    rows.append(["Upper-limit", float("nan"), result.mean_upper_limit()])
+    print()
+    print(
+        format_table(
+            ["Scheduler", "Dilation (min)", "SysEfficiency (max)"],
+            rows,
+            title=f"Table 2 — averages over {n_moments} Mira congested moments",
+        )
+    )
+
+    assert (
+        table["MinDilation"].dilation
+        <= table["MinMax-0.5"].dilation
+        <= table["MaxSysEff"].dilation
+    )
+    assert table["MaxSysEff"].system_efficiency >= 0.9 * table["Mira"].system_efficiency
+    assert table["MinDilation"].dilation <= table["Mira"].dilation
+    assert result.mean_upper_limit() >= table["MaxSysEff"].system_efficiency - 1e-9

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (the numbers land in the pytest-benchmark
+report *and* on stdout with ``-s``).  The ``REPRO_BENCH_SCALE`` environment
+variable scales the experiment sizes: ``1`` (default) is a laptop-friendly
+reduced setting; larger values approach the paper's full settings (e.g. 200
+repetitions for Figure 6, 56 congested moments for Table 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    """Experiment-size multiplier controlled by ``REPRO_BENCH_SCALE``."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture
+def scale() -> int:
+    """The benchmark scale factor as a fixture."""
+    return bench_scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The experiments are deterministic (fixed seeds), so a single round is a
+    faithful timing; re-running them dozens of times would only slow the
+    harness down.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

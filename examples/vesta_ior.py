@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Emulate the Vesta / modified-IOR experiments of Section 5 (Figures 14-16).
+
+Three artefacts are printed:
+
+1. Figure 14 — the execution-time overhead of routing every write request
+   through the scheduler thread, per node mix (1% to ~5%).
+2. Figure 15 — SysEfficiency and Dilation of stock IOR vs the MaxSysEff and
+   MinDilation heuristics, with and without burst buffers, for each node mix.
+3. Figure 16 — the per-application dilations of the 512/256/256/32 mix,
+   showing how MaxSysEff sacrifices the small application while MinDilation
+   spreads the slowdown.
+
+Run with::
+
+    python examples/vesta_ior.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    figure14_overheads,
+    figure16_per_application_dilation,
+    format_mapping,
+    format_table,
+    vesta_experiment,
+)
+from repro.workload import VESTA_SCENARIOS
+
+
+def main() -> None:
+    # Keep the example fast: a subset of the node mixes; pass the full list
+    # (VESTA_SCENARIOS) to reproduce the whole figure.
+    mixes = ("256", "512", "32/512", "256/256", "512/256/32", "512/256/256/32",
+             "512/512/512/512")
+
+    print("Figure 14 — scheduler-request overhead (% of execution time):")
+    print(format_mapping(figure14_overheads(mixes)))
+
+    result = vesta_experiment(scenarios=mixes)
+    rows = []
+    for mix in mixes:
+        row = [mix]
+        for configuration in ("IOR", "MaxSysEff", "MinDilation",
+                              "BBIOR", "BBMaxSysEff", "BBMinDilation"):
+            cell = result.cell(mix, configuration)
+            row.append(cell.summary.system_efficiency)
+        rows.append(row)
+    print(
+        format_table(
+            ["Mix", "IOR", "MaxSysEff", "MinDil", "BBIOR", "BBMaxSysEff", "BBMinDil"],
+            rows,
+            title="Figure 15 (top) — SysEfficiency (%) per node mix",
+        )
+    )
+    rows = []
+    for mix in mixes:
+        row = [mix]
+        for configuration in ("IOR", "MaxSysEff", "MinDilation",
+                              "BBIOR", "BBMaxSysEff", "BBMinDilation"):
+            row.append(result.cell(mix, configuration).summary.dilation)
+        rows.append(row)
+    print(
+        format_table(
+            ["Mix", "IOR", "MaxSysEff", "MinDil", "BBIOR", "BBMaxSysEff", "BBMinDil"],
+            rows,
+            title="Figure 15 (bottom) — Dilation per node mix",
+        )
+    )
+
+    print("Figure 16 — per-application dilation, 512/256/256/32 mix:")
+    data = figure16_per_application_dilation("512/256/256/32")
+    apps = sorted(next(iter(data.values())))
+    rows = [[cfg] + [data[cfg][a] for a in apps] for cfg in ("IOR", "MaxSysEff", "MinDilation")]
+    print(format_table(["Configuration"] + apps, rows))
+
+
+if __name__ == "__main__":
+    main()

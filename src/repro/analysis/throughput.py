@@ -1,0 +1,141 @@
+"""Per-application I/O throughput decrease under congestion (Figure 1).
+
+Figure 1 of the paper histograms, over ~400 Intrepid applications, the
+percentage decrease of the I/O throughput each application observed
+compared to what it would have obtained with the I/O system to itself; the
+worst cases lose about 70%.
+
+The reproduction replays synthetic Intrepid applications through the
+simulator under the uncoordinated (interfering fair-share) baseline and
+measures exactly the same quantity from the
+:class:`~repro.simulator.metrics.ApplicationRecord` timings.  The result is
+returned both as raw per-application values and as a binned distribution
+ready to print or plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.platform import Platform, intrepid
+from repro.online.baselines import FairShare
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.interference import InterferenceModel
+from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.validation import ValidationError
+from repro.workload.generator import MixSpec, generate_mix
+
+__all__ = ["ThroughputDecreaseStudy", "throughput_decrease_study"]
+
+
+@dataclass(frozen=True)
+class ThroughputDecreaseStudy:
+    """Outcome of the Figure 1 replay.
+
+    Attributes
+    ----------
+    decreases:
+        Per-application throughput decrease, in percent (0 = no loss).
+    bin_edges, histogram:
+        Binned distribution (10%-wide bins by default).
+    """
+
+    decreases: tuple[float, ...]
+    bin_edges: tuple[float, ...]
+    histogram: tuple[int, ...]
+
+    @property
+    def n_applications(self) -> int:
+        """Number of applications measured."""
+        return len(self.decreases)
+
+    @property
+    def max_decrease(self) -> float:
+        """Worst observed decrease (percent) — the paper's ~70% headline."""
+        return max(self.decreases) if self.decreases else 0.0
+
+    @property
+    def mean_decrease(self) -> float:
+        """Average decrease (percent)."""
+        return float(np.mean(self.decreases)) if self.decreases else 0.0
+
+    def fraction_above(self, threshold_percent: float) -> float:
+        """Fraction of applications losing more than ``threshold_percent``."""
+        if not self.decreases:
+            return 0.0
+        return float(
+            np.mean([d > threshold_percent for d in self.decreases])
+        )
+
+
+def throughput_decrease_study(
+    n_applications: int = 400,
+    *,
+    platform: Optional[Platform] = None,
+    applications_per_batch: int = 6,
+    io_ratio: float = 0.15,
+    release_spread: float = 2.0,
+    interference: Optional[InterferenceModel] = None,
+    rng: RngLike = None,
+    bin_width: float = 10.0,
+) -> ThroughputDecreaseStudy:
+    """Replay ~``n_applications`` applications under congestion (Figure 1).
+
+    Applications are simulated in batches (each batch is one concurrent mix
+    on the full machine, like a slice of the production schedule); their
+    release times are staggered over ``release_spread`` times the typical
+    application duration — on the real machine jobs start at different
+    times, so I/O phases only sometimes collide — and the throughput
+    decrease of every application is measured against its dedicated-mode
+    bandwidth ``min(beta b, B)``.
+    """
+    if n_applications <= 0:
+        raise ValidationError("n_applications must be positive")
+    if applications_per_batch <= 1:
+        raise ValidationError("applications_per_batch must be at least 2")
+    if release_spread < 0:
+        raise ValidationError("release_spread must be >= 0")
+    platform = platform or intrepid()
+    n_batches = max(1, int(round(n_applications / applications_per_batch)))
+    rngs = spawn_rngs(rng, n_batches)
+    decreases: list[float] = []
+    for index, batch_rng in enumerate(rngs):
+        n_small = max(2, int(round(applications_per_batch * 0.8)))
+        n_large = max(1, applications_per_batch - n_small)
+        scenario = generate_mix(
+            MixSpec(n_small=n_small, n_large=n_large),
+            platform,
+            io_ratio,
+            batch_rng,
+            label=f"figure1-batch-{index:03d}",
+        )
+        if release_spread > 0:
+            typical_duration = float(
+                np.mean([app.total_work for app in scenario.applications])
+            )
+            window = release_spread * typical_duration
+            staggered = tuple(
+                app.with_release_time(float(batch_rng.uniform(0.0, window)))
+                for app in scenario.applications
+            )
+            scenario = scenario.with_applications(staggered)
+        scheduler = (
+            FairShare(interference=interference)
+            if interference is not None
+            else FairShare()
+        )
+        result = simulate(scenario, scheduler, SimulatorConfig())
+        decreases.extend(
+            100.0 * d for d in result.throughput_decreases().values()
+        )
+    values = np.asarray(decreases, dtype=float)
+    edges = np.arange(0.0, 100.0 + bin_width, bin_width)
+    histogram, _ = np.histogram(values, bins=edges)
+    return ThroughputDecreaseStudy(
+        decreases=tuple(values.tolist()),
+        bin_edges=tuple(edges.tolist()),
+        histogram=tuple(int(h) for h in histogram),
+    )

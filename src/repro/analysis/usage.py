@@ -1,0 +1,87 @@
+"""Workload characterization of the Intrepid year (Figure 5).
+
+Figure 5 summarizes the Darshan traces collected on Intrepid between
+December 2012 and December 2013: (a) how much of the system each
+application category used per day, and (b) what percentage of its time each
+category spent doing I/O.  The reproduction computes the same two summaries
+from the synthetic Darshan-like records of
+:mod:`repro.workload.darshan`, so the numbers that seed the simulation
+scenarios are documented the same way the paper documents its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.platform import Platform, intrepid
+from repro.utils.validation import ValidationError
+from repro.workload.categories import Category
+from repro.workload.darshan import DarshanRecord
+
+__all__ = ["UsageByCategory", "daily_usage", "io_time_percentage", "characterize"]
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class UsageByCategory:
+    """Figure 5 data: per-category usage and I/O-time percentages."""
+
+    #: Mean node-hours per day consumed by each category.
+    daily_node_hours: dict[Category, float]
+    #: Mean percentage of runtime spent in I/O per category.
+    io_time_percent: dict[Category, float]
+    #: Number of jobs per category.
+    job_counts: dict[Category, int]
+
+    def dominant_category(self) -> Category:
+        """Category consuming the most node-hours (the capability jobs)."""
+        return max(self.daily_node_hours, key=lambda c: self.daily_node_hours[c])
+
+
+def daily_usage(
+    records: Sequence[DarshanRecord], duration_days: Optional[float] = None
+) -> dict[Category, float]:
+    """Average node-hours per day consumed by each category (Figure 5a)."""
+    if not records:
+        raise ValidationError("daily_usage needs at least one record")
+    if duration_days is None:
+        duration_days = max(r.end_time for r in records) / _SECONDS_PER_DAY
+    duration_days = max(duration_days, 1e-9)
+    totals = {c: 0.0 for c in Category}
+    for record in records:
+        node_hours = record.nodes * record.runtime / 3600.0
+        totals[record.category] += node_hours
+    return {c: totals[c] / duration_days for c in Category}
+
+
+def io_time_percentage(records: Sequence[DarshanRecord]) -> dict[Category, float]:
+    """Average percentage of runtime spent doing I/O per category (Figure 5b)."""
+    if not records:
+        raise ValidationError("io_time_percentage needs at least one record")
+    fractions: dict[Category, list[float]] = {c: [] for c in Category}
+    for record in records:
+        fractions[record.category].append(100.0 * record.io_fraction)
+    return {
+        c: float(np.mean(v)) if v else 0.0
+        for c, v in fractions.items()
+    }
+
+
+def characterize(
+    records: Sequence[DarshanRecord],
+    *,
+    duration_days: Optional[float] = None,
+) -> UsageByCategory:
+    """Full Figure 5 characterization of a record set."""
+    counts = {c: 0 for c in Category}
+    for record in records:
+        counts[record.category] += 1
+    return UsageByCategory(
+        daily_node_hours=daily_usage(records, duration_days),
+        io_time_percent=io_time_percentage(records),
+        job_counts=counts,
+    )

@@ -1,0 +1,137 @@
+"""Bandwidth allocations: the decision object every scheduler produces.
+
+At each event the scheduler returns a :class:`BandwidthAllocation` — a map
+from application name to *per-processor* bandwidth ``gamma^{(k)}`` valid
+until the next event.  The model constraints from Section 2.1 are:
+
+* ``0 <= gamma^{(k)} <= b`` — never exceed a node's I/O card; and
+* ``sum_k beta^{(k)} gamma^{(k)} <= B`` — never exceed the shared back-end.
+
+:meth:`BandwidthAllocation.validate` enforces both (with a small relative
+tolerance for floating-point accumulation); the simulator validates every
+allocation it applies, so a buggy heuristic fails loudly instead of silently
+transferring more bytes than the platform can move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.application import Application
+from repro.core.platform import Platform
+from repro.utils.validation import ValidationError
+
+__all__ = ["BandwidthAllocation", "RELATIVE_TOLERANCE"]
+
+#: Relative tolerance applied when checking the capacity constraints.
+RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BandwidthAllocation:
+    """Per-application, per-processor bandwidth assignment for one interval.
+
+    Attributes
+    ----------
+    per_processor_bandwidth:
+        Mapping ``app name -> gamma`` in bytes/s.  Applications absent from
+        the mapping receive no bandwidth (they are stalled or computing).
+    """
+
+    per_processor_bandwidth: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cleaned: dict[str, float] = {}
+        for name, gamma in dict(self.per_processor_bandwidth).items():
+            gamma = float(gamma)
+            if gamma < 0:
+                raise ValidationError(
+                    f"negative bandwidth {gamma} assigned to application {name!r}"
+                )
+            if gamma > 0:
+                cleaned[str(name)] = gamma
+        object.__setattr__(self, "per_processor_bandwidth", cleaned)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls) -> "BandwidthAllocation":
+        """Allocation giving bandwidth to nobody."""
+        return cls({})
+
+    def gamma(self, app_name: str) -> float:
+        """Per-processor bandwidth of ``app_name`` (0.0 if not allocated)."""
+        return self.per_processor_bandwidth.get(app_name, 0.0)
+
+    def application_rate(self, app: Application) -> float:
+        """Aggregate transfer rate ``beta^{(k)} * gamma^{(k)}`` of one application."""
+        return app.processors * self.gamma(app.name)
+
+    def total_rate(self, applications: Iterable[Application]) -> float:
+        """Aggregate rate over the given applications."""
+        return float(sum(self.application_rate(app) for app in applications))
+
+    def active_applications(self) -> frozenset[str]:
+        """Names of applications receiving strictly positive bandwidth."""
+        return frozenset(self.per_processor_bandwidth)
+
+    # ------------------------------------------------------------------ #
+    def validate(
+        self,
+        platform: Platform,
+        applications: Mapping[str, Application],
+        *,
+        capacity: float | None = None,
+    ) -> None:
+        """Check the Section 2.1 feasibility constraints.
+
+        Parameters
+        ----------
+        platform:
+            Supplies ``b`` and (by default) ``B``.
+        applications:
+            Map from name to :class:`Application`; every allocated
+            application must be present (β is needed for the total).
+        capacity:
+            Override for the total-capacity constraint.  The burst-buffer
+            path uses this to validate against the ingest bandwidth instead
+            of ``B``.
+
+        Raises
+        ------
+        ValidationError
+            If an unknown application is allocated, a node bandwidth exceeds
+            ``b``, or the aggregate exceeds the capacity.
+        """
+        cap = platform.system_bandwidth if capacity is None else float(capacity)
+        b = platform.node_bandwidth
+        total = 0.0
+        for name, gamma in self.per_processor_bandwidth.items():
+            if name not in applications:
+                raise ValidationError(
+                    f"allocation references unknown application {name!r}"
+                )
+            if gamma > b * (1.0 + RELATIVE_TOLERANCE):
+                raise ValidationError(
+                    f"application {name!r} allocated {gamma:.6g} B/s per processor, "
+                    f"exceeding the node bandwidth b = {b:.6g} B/s"
+                )
+            total += applications[name].processors * gamma
+        if total > cap * (1.0 + RELATIVE_TOLERANCE):
+            raise ValidationError(
+                f"total allocated bandwidth {total:.6g} B/s exceeds the "
+                f"capacity {cap:.6g} B/s"
+            )
+
+    def restricted_to(self, names: Iterable[str]) -> "BandwidthAllocation":
+        """New allocation keeping only the named applications."""
+        keep = set(names)
+        return BandwidthAllocation(
+            {n: g for n, g in self.per_processor_bandwidth.items() if n in keep}
+        )
+
+    def __len__(self) -> int:
+        return len(self.per_processor_bandwidth)
+
+    def __contains__(self, app_name: str) -> bool:
+        return app_name in self.per_processor_bandwidth

@@ -1,0 +1,248 @@
+"""Application model of Section 2.1.
+
+An application ``App(k)`` is released at time ``r_k``, runs on ``beta_k``
+dedicated processors, and consists of ``n_tot`` *instances*.  Instance ``i``
+performs ``w[i]`` seconds of computation (at unit speed, undisturbed because
+the processors are dedicated) followed by the transfer of ``vol_io[i]`` bytes
+through the shared I/O system.
+
+The paper pays special attention to *periodic* applications, for which every
+instance has the same compute time ``w`` and I/O volume ``vol_io`` — the
+common pattern of simulation codes that checkpoint or dump analysis output at
+a fixed cadence (S3D, HOMME, GTC, Enzo, HACC, CM1 are cited).  The
+:func:`Application.periodic` constructor covers that case; the general
+constructor accepts per-instance sequences and is what the sensibility study
+(Figure 7) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import (
+    ValidationError,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = ["Instance", "Application", "total_processors"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A single compute + I/O instance of an application.
+
+    Attributes
+    ----------
+    work:
+        Compute time in seconds (``w^{(k,i)}`` in the paper).  May be zero
+        for pure-I/O instances.
+    io_volume:
+        Bytes transferred after the compute phase (``vol_io^{(k,i)}``).
+        May be zero for instances that do not perform I/O.
+    """
+
+    work: float
+    io_volume: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("work", self.work)
+        check_non_negative("io_volume", self.io_volume)
+        if self.work == 0 and self.io_volume == 0:
+            raise ValidationError("an instance must have non-zero work or I/O volume")
+
+
+@dataclass(frozen=True)
+class Application:
+    """A parallel application competing for the shared I/O system.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, unique within a scenario.
+    processors:
+        Number of dedicated processors ``beta^{(k)}``.
+    instances:
+        The ordered sequence of instances executed by the application.
+    release_time:
+        Time ``r_k`` at which the application enters the system.
+    category:
+        Optional workload-category label (``"small"``, ``"large"``,
+        ``"very_large"``) used by the workload generator and the Figure 5
+        analysis; purely informational for the schedulers.
+    """
+
+    name: str
+    processors: int
+    instances: tuple[Instance, ...]
+    release_time: float = 0.0
+    category: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("application name must be a non-empty string")
+        if int(self.processors) != self.processors or self.processors <= 0:
+            raise ValidationError(
+                f"processors must be a positive integer, got {self.processors!r}"
+            )
+        object.__setattr__(self, "processors", int(self.processors))
+        check_non_negative("release_time", self.release_time)
+        insts = tuple(self.instances)
+        if not insts:
+            raise ValidationError(f"application {self.name!r} has no instances")
+        for inst in insts:
+            if not isinstance(inst, Instance):
+                raise ValidationError(
+                    f"instances must be Instance objects, got {type(inst).__name__}"
+                )
+        object.__setattr__(self, "instances", insts)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def periodic(
+        cls,
+        name: str,
+        processors: int,
+        work: float,
+        io_volume: float,
+        n_instances: int,
+        release_time: float = 0.0,
+        category: Optional[str] = None,
+    ) -> "Application":
+        """Build a periodic application: ``n_instances`` identical instances."""
+        if int(n_instances) != n_instances or n_instances <= 0:
+            raise ValidationError(
+                f"n_instances must be a positive integer, got {n_instances!r}"
+            )
+        inst = Instance(work=work, io_volume=io_volume)
+        return cls(
+            name=name,
+            processors=processors,
+            instances=tuple([inst] * int(n_instances)),
+            release_time=release_time,
+            category=category,
+        )
+
+    @classmethod
+    def from_sequences(
+        cls,
+        name: str,
+        processors: int,
+        works: Sequence[float],
+        io_volumes: Sequence[float],
+        release_time: float = 0.0,
+        category: Optional[str] = None,
+    ) -> "Application":
+        """Build an application from parallel per-instance sequences."""
+        if len(works) != len(io_volumes):
+            raise ValidationError(
+                f"works and io_volumes must have equal length "
+                f"({len(works)} != {len(io_volumes)})"
+            )
+        insts = tuple(Instance(float(w), float(v)) for w, v in zip(works, io_volumes))
+        return cls(
+            name=name,
+            processors=processors,
+            instances=insts,
+            release_time=release_time,
+            category=category,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def n_instances(self) -> int:
+        """Number of instances ``n_tot^{(k)}``."""
+        return len(self.instances)
+
+    @property
+    def total_work(self) -> float:
+        """Total compute seconds over all instances."""
+        return float(sum(inst.work for inst in self.instances))
+
+    @property
+    def total_io_volume(self) -> float:
+        """Total bytes of I/O over all instances."""
+        return float(sum(inst.io_volume for inst in self.instances))
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when every instance has identical work and I/O volume."""
+        first = self.instances[0]
+        return all(
+            inst.work == first.work and inst.io_volume == first.io_volume
+            for inst in self.instances
+        )
+
+    def io_time_dedicated(self, node_bandwidth: float, system_bandwidth: float) -> float:
+        """Total I/O time if the application had the I/O system to itself.
+
+        This is ``sum_i vol_io^{(k,i)} / min(beta^{(k)} * b, B)`` — the
+        denominator of the optimal efficiency ``rho`` in Section 2.2.
+        """
+        check_positive("node_bandwidth", node_bandwidth)
+        check_positive("system_bandwidth", system_bandwidth)
+        peak = min(self.processors * node_bandwidth, system_bandwidth)
+        return self.total_io_volume / peak
+
+    def instance_io_time_dedicated(
+        self, index: int, node_bandwidth: float, system_bandwidth: float
+    ) -> float:
+        """Dedicated-mode I/O time of one instance (``time_io^{(k,i)}``)."""
+        peak = min(self.processors * node_bandwidth, system_bandwidth)
+        return self.instances[index].io_volume / peak
+
+    def optimal_efficiency(
+        self, node_bandwidth: float, system_bandwidth: float
+    ) -> float:
+        """Congestion-free efficiency ``rho^{(k)}`` over the whole application.
+
+        ``rho = sum w / (sum w + sum time_io)`` with dedicated-mode I/O times.
+        Returns 1.0 for an application that performs no I/O at all.
+        """
+        w = self.total_work
+        tio = self.io_time_dedicated(node_bandwidth, system_bandwidth)
+        if w == 0 and tio == 0:
+            return 1.0
+        if w + tio == 0:
+            return 1.0
+        return w / (w + tio)
+
+    def work_array(self) -> np.ndarray:
+        """Per-instance compute times as a float array."""
+        return np.asarray([inst.work for inst in self.instances], dtype=float)
+
+    def io_volume_array(self) -> np.ndarray:
+        """Per-instance I/O volumes as a float array."""
+        return np.asarray([inst.io_volume for inst in self.instances], dtype=float)
+
+    def with_release_time(self, release_time: float) -> "Application":
+        """Copy of this application released at a different time."""
+        return Application(
+            name=self.name,
+            processors=self.processors,
+            instances=self.instances,
+            release_time=release_time,
+            category=self.category,
+        )
+
+    def with_name(self, name: str) -> "Application":
+        """Copy of this application under a different name."""
+        return Application(
+            name=name,
+            processors=self.processors,
+            instances=self.instances,
+            release_time=self.release_time,
+            category=self.category,
+        )
+
+
+def total_processors(applications: Iterable[Application]) -> int:
+    """Total processor count ``N = sum_k beta^{(k)}`` of a scenario."""
+    return int(sum(app.processors for app in applications))

@@ -1,0 +1,103 @@
+"""Event vocabulary of the discrete-event simulation.
+
+The online scheduler of Section 3.1 is consulted at every *event*, defined by
+the paper as the start or the end of an I/O transfer.  The simulator extends
+the vocabulary slightly (application release and completion, burst-buffer
+transitions) because those moments also change the set of applications that
+may compete for bandwidth; the scheduler interface remains exactly "look at
+the system state, pick who transfers".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["EventType", "Event", "EventLog"]
+
+
+class EventType(enum.Enum):
+    """Kinds of simulation events at which bandwidth is (re)allocated."""
+
+    #: An application enters the system at its release time ``r_k``.
+    APP_RELEASE = "app_release"
+    #: A compute phase finished; the application now requests I/O.
+    IO_REQUEST = "io_request"
+    #: An application's pending I/O transfer has completed in full.
+    IO_COMPLETE = "io_complete"
+    #: An application executed its last instance and leaves the system.
+    APP_COMPLETE = "app_complete"
+    #: The burst buffer filled up or fully drained (changes routing of writes).
+    BURST_BUFFER_TRANSITION = "burst_buffer_transition"
+    #: A scheduler-initiated re-evaluation (e.g. periodic timetable boundary).
+    SCHEDULER_TICK = "scheduler_tick"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the event occurs.
+    event_type:
+        What happened.
+    app_name:
+        Application concerned, if any (``None`` for global events such as
+        burst-buffer transitions or scheduler ticks).
+    instance_index:
+        Index of the application instance concerned, if any.
+    detail:
+        Free-form human-readable annotation used by the event log.
+    """
+
+    time: float
+    event_type: EventType
+    app_name: Optional[str] = None
+    instance_index: Optional[int] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if not isinstance(self.event_type, EventType):
+            raise TypeError(
+                f"event_type must be an EventType, got {type(self.event_type).__name__}"
+            )
+
+
+@dataclass
+class EventLog:
+    """Chronological record of the events seen during one simulation run.
+
+    The log is optional (the simulator only fills it when asked) but the
+    integration tests and a couple of examples use it to explain *why* a
+    heuristic behaved the way it did.
+    """
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Record an event; events must be appended in non-decreasing time."""
+        if self.events and event.time < self.events[-1].time - 1e-9:
+            raise ValueError(
+                "events must be appended in chronological order "
+                f"({event.time} < {self.events[-1].time})"
+            )
+        self.events.append(event)
+
+    def of_type(self, event_type: EventType) -> list[Event]:
+        """All events of a given type, in order."""
+        return [e for e in self.events if e.event_type == event_type]
+
+    def for_app(self, app_name: str) -> list[Event]:
+        """All events concerning a given application, in order."""
+        return [e for e in self.events if e.app_name == app_name]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,236 @@
+"""Platform model of Section 2.1 and the concrete machines of the evaluation.
+
+A platform is ``N`` identical unit-speed processors, each with an I/O card of
+bandwidth ``b`` bytes/s towards the I/O servers, and a centralized I/O system
+of aggregate bandwidth ``B`` bytes/s from the I/O servers to the disks.  The
+I/O network is assumed separate from the message network (true on Intrepid,
+Mira and Vesta, which is why the paper uses them).
+
+Optionally a platform carries a :class:`BurstBufferSpec` describing the
+intermediate staging layer that the *baseline* Intrepid/Mira schedulers use.
+The paper's own heuristics are evaluated **without** burst buffers; the
+striking result is that they remain competitive with the baselines that have
+them.
+
+The numbers below are derived from the architecture descriptions in the paper
+(Figure 2 instantiates the model on Intrepid with b = 0.1 GB/s per node) and
+public ALCF specifications for the aggregate file-system bandwidths.  Absolute
+values only set the scale of the simulation; every reproduced result is a
+*relative* comparison on the same platform object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.utils.units import GB
+from repro.utils.validation import ValidationError, check_non_negative, check_positive
+
+__all__ = [
+    "BurstBufferSpec",
+    "Platform",
+    "intrepid",
+    "mira",
+    "vesta",
+    "generic",
+]
+
+
+@dataclass(frozen=True)
+class BurstBufferSpec:
+    """Description of an intermediate burst-buffer staging layer.
+
+    Attributes
+    ----------
+    capacity:
+        Total staging capacity in bytes shared by all applications.
+    ingest_bandwidth:
+        Aggregate bandwidth at which compute nodes can write into the buffer
+        (bytes/s).  On real systems this is the compute fabric bandwidth and
+        is much larger than the file-system bandwidth ``B``.
+    drain_bandwidth:
+        Bandwidth at which the buffer destages to the parallel file system
+        (bytes/s).  Bounded by ``B`` when the buffer shares the PFS back-end.
+    """
+
+    capacity: float
+    ingest_bandwidth: float
+    drain_bandwidth: float
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        check_positive("ingest_bandwidth", self.ingest_bandwidth)
+        check_positive("drain_bandwidth", self.drain_bandwidth)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """The compute + I/O platform shared by all applications of a scenario.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"intrepid"``, ``"mira"``, ``"vesta"``, or custom).
+    total_processors:
+        ``N``, the number of unit-speed processors.
+    node_bandwidth:
+        ``b``, the I/O card bandwidth of each processor (bytes/s).
+    system_bandwidth:
+        ``B``, the aggregate bandwidth of the centralized I/O system
+        (bytes/s).
+    burst_buffer:
+        Optional burst-buffer layer available to baseline schedulers.
+    """
+
+    name: str
+    total_processors: int
+    node_bandwidth: float
+    system_bandwidth: float
+    burst_buffer: Optional[BurstBufferSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("platform name must be non-empty")
+        if int(self.total_processors) != self.total_processors or self.total_processors <= 0:
+            raise ValidationError(
+                f"total_processors must be a positive integer, got {self.total_processors!r}"
+            )
+        object.__setattr__(self, "total_processors", int(self.total_processors))
+        check_positive("node_bandwidth", self.node_bandwidth)
+        check_positive("system_bandwidth", self.system_bandwidth)
+        if self.burst_buffer is not None and not isinstance(self.burst_buffer, BurstBufferSpec):
+            raise ValidationError("burst_buffer must be a BurstBufferSpec or None")
+
+    # ------------------------------------------------------------------ #
+    def peak_application_bandwidth(self, processors: int) -> float:
+        """Best-case I/O bandwidth of an application on ``processors`` nodes.
+
+        ``min(beta * b, B)`` — either the application saturates its own I/O
+        cards or it saturates the shared back-end.
+        """
+        check_non_negative("processors", processors)
+        return min(processors * self.node_bandwidth, self.system_bandwidth)
+
+    def congestion_point(self) -> float:
+        """Number of processors beyond which a single application saturates B."""
+        return self.system_bandwidth / self.node_bandwidth
+
+    def with_burst_buffer(self, spec: Optional[BurstBufferSpec]) -> "Platform":
+        """Copy of the platform with a different burst-buffer configuration."""
+        return replace(self, burst_buffer=spec)
+
+    def without_burst_buffer(self) -> "Platform":
+        """Copy of the platform with the burst-buffer layer removed."""
+        return replace(self, burst_buffer=None)
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "Platform":
+        """Platform scaled uniformly (processors and system bandwidth).
+
+        Useful to build reduced-size scenarios that keep the compute-to-I/O
+        balance of the original machine (the simulations in Section 4 do the
+        same when replaying congested moments at reduced node counts).
+        """
+        check_positive("factor", factor)
+        return Platform(
+            name=name or f"{self.name}-x{factor:g}",
+            total_processors=max(1, int(round(self.total_processors * factor))),
+            node_bandwidth=self.node_bandwidth,
+            system_bandwidth=self.system_bandwidth * factor,
+            burst_buffer=self.burst_buffer,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Concrete machines used in the paper's evaluation
+# ---------------------------------------------------------------------- #
+def intrepid(with_burst_buffer: bool = False) -> Platform:
+    """Argonne Intrepid (BlueGene/P): 40,960 nodes, b = 0.1 GB/s, B ~ 88 GB/s.
+
+    Figure 2 of the paper instantiates the model on Intrepid with
+    0.1 GB/s/node towards 128 file servers.  The aggregate PFS bandwidth of
+    Intrepid's storage system was on the order of 88 GB/s.
+    """
+    bb = (
+        BurstBufferSpec(
+            # A couple of minutes of full-rate bursts: enough to absorb the
+            # typical checkpoint spike, not enough to hide sustained
+            # congestion ("burst buffers cannot prevent congestion at all
+            # times" — Section 1).
+            capacity=4.0e12,
+            ingest_bandwidth=512 * GB,
+            # Destaging is less efficient than a dedicated streaming write.
+            drain_bandwidth=0.6 * 88 * GB,
+        )
+        if with_burst_buffer
+        else None
+    )
+    return Platform(
+        name="intrepid",
+        total_processors=40_960,
+        node_bandwidth=0.1 * GB,
+        system_bandwidth=88 * GB,
+        burst_buffer=bb,
+    )
+
+
+def mira(with_burst_buffer: bool = False) -> Platform:
+    """Argonne Mira (BlueGene/Q): 49,152 nodes, b = 0.25 GB/s, B ~ 240 GB/s."""
+    bb = (
+        BurstBufferSpec(
+            capacity=16.0e12,
+            ingest_bandwidth=2048 * GB,
+            drain_bandwidth=0.6 * 240 * GB,
+        )
+        if with_burst_buffer
+        else None
+    )
+    return Platform(
+        name="mira",
+        total_processors=49_152,
+        node_bandwidth=0.25 * GB,
+        system_bandwidth=240 * GB,
+        burst_buffer=bb,
+    )
+
+
+def vesta(with_burst_buffer: bool = False) -> Platform:
+    """Argonne Vesta: Mira's development rack pair — 2,048 nodes, B ~ 16 GB/s.
+
+    Vesta has the same per-node characteristics as Mira but only two racks,
+    and a proportionally smaller file-system back-end.  Section 5 runs the
+    modified IOR benchmark on node counts between 32 and 2,048.
+    """
+    bb = (
+        BurstBufferSpec(
+            capacity=0.75e12,
+            ingest_bandwidth=128 * GB,
+            drain_bandwidth=0.6 * 16 * GB,
+        )
+        if with_burst_buffer
+        else None
+    )
+    return Platform(
+        name="vesta",
+        total_processors=2_048,
+        node_bandwidth=0.25 * GB,
+        system_bandwidth=16 * GB,
+        burst_buffer=bb,
+    )
+
+
+def generic(
+    total_processors: int,
+    node_bandwidth: float,
+    system_bandwidth: float,
+    name: str = "generic",
+    burst_buffer: Optional[BurstBufferSpec] = None,
+) -> Platform:
+    """Arbitrary platform, for tests and synthetic studies."""
+    return Platform(
+        name=name,
+        total_processors=total_processors,
+        node_bandwidth=node_bandwidth,
+        system_bandwidth=system_bandwidth,
+        burst_buffer=burst_buffer,
+    )

@@ -1,0 +1,114 @@
+"""A scenario bundles a platform with the applications that will run on it.
+
+Scenarios are what the simulator, the experiment runner and the benchmark
+harness exchange.  They also carry a label (e.g. ``"intrepid-moment-17"`` or
+``"512/256/256/32"``) so that reports can be indexed the same way as the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.core.application import Application, total_processors
+from repro.core.platform import Platform
+from repro.utils.validation import ValidationError
+
+__all__ = ["Scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A set of applications to run concurrently on a platform.
+
+    Attributes
+    ----------
+    platform:
+        The shared compute + I/O platform.
+    applications:
+        The applications competing for I/O.  Names must be unique.
+    label:
+        Human-readable identifier used in reports.
+    metadata:
+        Free-form annotations (e.g. the I/O-to-compute ratio used by the
+        generator, or the congested-moment index).  Not interpreted by the
+        scheduler or the simulator.
+    """
+
+    platform: Platform
+    applications: tuple[Application, ...]
+    label: str = "scenario"
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        apps = tuple(self.applications)
+        if not apps:
+            raise ValidationError("a scenario needs at least one application")
+        names = [app.name for app in apps]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValidationError(f"duplicate application names in scenario: {dupes}")
+        used = total_processors(apps)
+        if used > self.platform.total_processors:
+            raise ValidationError(
+                f"applications use {used} processors but the platform "
+                f"{self.platform.name!r} only has {self.platform.total_processors}"
+            )
+        object.__setattr__(self, "applications", apps)
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_applications(self) -> int:
+        """Number of applications in the scenario."""
+        return len(self.applications)
+
+    @property
+    def used_processors(self) -> int:
+        """Processors actually occupied by the applications."""
+        return total_processors(self.applications)
+
+    @property
+    def application_names(self) -> tuple[str, ...]:
+        """Names in declaration order."""
+        return tuple(app.name for app in self.applications)
+
+    def application(self, name: str) -> Application:
+        """Look an application up by name."""
+        for app in self.applications:
+            if app.name == name:
+                return app
+        raise KeyError(f"no application named {name!r} in scenario {self.label!r}")
+
+    def application_map(self) -> dict[str, Application]:
+        """Name -> application mapping (fresh dict)."""
+        return {app.name: app for app in self.applications}
+
+    def __iter__(self) -> Iterator[Application]:
+        return iter(self.applications)
+
+    def __len__(self) -> int:
+        return len(self.applications)
+
+    # ------------------------------------------------------------------ #
+    def with_platform(self, platform: Platform) -> "Scenario":
+        """Same applications on a different platform (e.g. adding burst buffers)."""
+        return replace(self, platform=platform)
+
+    def with_label(self, label: str) -> "Scenario":
+        """Relabelled copy."""
+        return replace(self, label=label)
+
+    def with_applications(self, applications: Sequence[Application]) -> "Scenario":
+        """Copy with a different application set."""
+        return replace(self, applications=tuple(applications))
+
+    def subset(self, names: Iterable[str]) -> "Scenario":
+        """Scenario restricted to the named applications (order preserved)."""
+        keep = set(names)
+        missing = keep - set(self.application_names)
+        if missing:
+            raise KeyError(f"applications not in scenario: {sorted(missing)}")
+        apps = tuple(app for app in self.applications if app.name in keep)
+        return replace(self, applications=apps)

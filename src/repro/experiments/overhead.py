@@ -1,0 +1,138 @@
+"""Scheduler-request overhead model (Figure 14).
+
+In the Vesta implementation, every application process sends a request to
+the scheduler thread before each write and a confirmation after it; the
+request round-trips plus the scheduler's bookkeeping add latency to every
+instance even when no congestion occurs.  Figure 14 measures that overhead
+by comparing the modified IOR benchmark (scheduler always answering "go
+ahead") against stock IOR: it ranges from about 1% to 5.3% of the execution
+time, and "in general, for a larger number of applications, the execution
+time overhead remains under 3%".
+
+We model the overhead mechanistically so it produces the same range and the
+same trend:
+
+* every instance pays a fixed request/confirmation round-trip latency;
+* on top of that, the scheduler thread serializes the per-process requests
+  of the group, so the cost grows with the application's node count — but
+  when several applications share the system their requests coalesce at the
+  same events and the per-application share of the serialization shrinks.
+
+With the default calibration a lone 512-node group pays ~5%, a lone 32-node
+group ~1%, and the four-application mixes stay below ~3% — the Figure 14
+envelope.
+
+The Vesta emulation charges this overhead to the heuristics only (the
+baseline runs unmodified IOR and pays nothing), and scores the runs against
+the *original* application parameters so the overhead shows up as lost
+efficiency rather than as extra "useful" work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.application import Application
+from repro.core.scenario import Scenario
+from repro.utils.validation import check_non_negative
+
+__all__ = ["OverheadModel", "DEFAULT_OVERHEAD"]
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Per-instance overhead of the scheduler thread.
+
+    Attributes
+    ----------
+    request_latency:
+        Fixed round-trip latency of one request/confirmation pair (seconds).
+    per_node_cost:
+        Serialized handling time per compute node of the requesting
+        application (seconds); shared across the applications present.
+    """
+
+    request_latency: float = 0.75
+    per_node_cost: float = 0.025
+
+    def __post_init__(self) -> None:
+        check_non_negative("request_latency", self.request_latency)
+        check_non_negative("per_node_cost", self.per_node_cost)
+
+    # ------------------------------------------------------------------ #
+    def per_instance_overhead(self, processors: int, n_applications: int) -> float:
+        """Extra seconds added to one compute+I/O instance.
+
+        ``processors`` is the requesting application's node count and
+        ``n_applications`` the number of applications the scheduler is
+        tracking (their requests coalesce at shared events, so the
+        serialization cost is amortized across them).
+        """
+        if processors < 1:
+            raise ValueError("processors must be >= 1")
+        if n_applications < 1:
+            raise ValueError("n_applications must be >= 1")
+        return self.request_latency + self.per_node_cost * processors / n_applications
+
+    def application_overhead_fraction(
+        self, application: Application, n_applications: int, peak_bandwidth: float
+    ) -> float:
+        """Relative execution-time overhead of one application, no congestion.
+
+        The congestion-free duration of an instance is ``w + vol / peak``;
+        the overhead adds a constant per instance, so the fraction is
+        ``overhead / (base + overhead)``.
+        """
+        per_instance = self.per_instance_overhead(application.processors, n_applications)
+        inst = application.instances[0]
+        base = inst.work + (inst.io_volume / peak_bandwidth if peak_bandwidth > 0 else 0.0)
+        if base <= 0:
+            return 1.0
+        return per_instance / (base + per_instance)
+
+    def scenario_overhead_fraction(self, scenario: Scenario) -> float:
+        """Mean relative execution-time overhead across a scenario (Figure 14)."""
+        n_apps = scenario.n_applications
+        fractions = []
+        for app in scenario.applications:
+            peak = scenario.platform.peak_application_bandwidth(app.processors)
+            fractions.append(
+                self.application_overhead_fraction(app, n_apps, peak)
+            )
+        return float(sum(fractions) / len(fractions))
+
+    def apply_to_application(
+        self, application: Application, n_applications: int
+    ) -> Application:
+        """Application with the per-instance overhead folded into each instance.
+
+        The extra time is modelled as a longer serial section before the
+        I/O; callers must score the resulting run against the *original*
+        application (see :func:`repro.experiments.vesta.score_with_overhead`)
+        so the overhead counts as lost time, not as useful work.
+        """
+        per_instance = self.per_instance_overhead(application.processors, n_applications)
+        works = [inst.work + per_instance for inst in application.instances]
+        volumes = [inst.io_volume for inst in application.instances]
+        return Application.from_sequences(
+            name=application.name,
+            processors=application.processors,
+            works=works,
+            io_volumes=volumes,
+            release_time=application.release_time,
+            category=application.category,
+        )
+
+    def apply_to_scenario(self, scenario: Scenario) -> Scenario:
+        """Scenario with every application charged the request overhead."""
+        n_apps = scenario.n_applications
+        apps = tuple(
+            self.apply_to_application(app, n_apps) for app in scenario.applications
+        )
+        return scenario.with_applications(apps)
+
+
+#: Calibration that lands in the 1–5.3% range of Figure 14 for the Vesta
+#: node mixes (a lone 512-node group pays the most, multi-application mixes
+#: stay under ~3%).
+DEFAULT_OVERHEAD = OverheadModel()

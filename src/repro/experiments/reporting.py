@@ -1,0 +1,82 @@
+"""Plain-text and structured reporting of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place so every benchmark and example
+produces consistent, diff-able output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_mapping", "percent", "ratio"]
+
+
+def percent(value: float) -> str:
+    """Format a 0–100 efficiency value the way the paper's tables do."""
+    return f"{value:.2f}"
+
+
+def ratio(value: float) -> str:
+    """Format a dilation value."""
+    if value != value:  # NaN
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.2f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    ``rows`` may contain strings or numbers; numbers are formatted with two
+    decimals.  The result always ends with a newline so benchmarks can print
+    it directly.
+    """
+    if not headers:
+        raise ValueError("format_table needs at least one header")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append(
+            [c if isinstance(c, str) else f"{float(c):.2f}" for c in row]
+        )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    name: str, values: Iterable[float], *, precision: int = 2
+) -> str:
+    """Render one named series (a figure curve) on a single line."""
+    body = ", ".join(f"{v:.{precision}f}" for v in values)
+    return f"{name}: [{body}]"
+
+
+def format_mapping(
+    mapping: Mapping[str, float], *, precision: int = 2, sort: bool = False
+) -> str:
+    """Render a name->value mapping, one entry per line."""
+    items = sorted(mapping.items()) if sort else list(mapping.items())
+    width = max((len(k) for k, _ in items), default=0)
+    return "\n".join(f"{k.ljust(width)}  {v:.{precision}f}" for k, v in items) + "\n"

@@ -1,0 +1,202 @@
+"""Experiment runner: execute (scenario × scheduler) grids and collect objectives.
+
+Every figure and table of the paper boils down to the same operation: run a
+set of scenarios under a set of schedulers (some with burst buffers, some
+without) and tabulate SysEfficiency, Dilation and the upper limit.  The
+runner centralizes that loop so the figure-specific modules only describe
+*what* to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objectives import ObjectiveSummary
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.online.registry import make_scheduler
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.interface import SchedulerProtocol
+from repro.simulator.metrics import SimulationResult
+from repro.utils.validation import ValidationError
+
+__all__ = ["SchedulerCase", "CaseResult", "ExperimentGrid", "run_case", "run_grid"]
+
+
+@dataclass(frozen=True)
+class SchedulerCase:
+    """One scheduler column of an experiment.
+
+    Attributes
+    ----------
+    name:
+        Scheduler name understood by
+        :func:`repro.online.registry.make_scheduler` (also the display name).
+    use_burst_buffer:
+        Run the scenario on its platform's burst-buffer configuration.  The
+        scenario's platform must carry a burst-buffer spec (the runner swaps
+        in ``burst_buffer_platform`` when provided).
+    burst_buffer_platform:
+        Optional platform override supplying the burst-buffer spec (e.g.
+        ``core.intrepid(with_burst_buffer=True)``).
+    label:
+        Display label; defaults to ``name`` plus a ``+BB`` suffix when the
+        burst buffer is enabled.
+    """
+
+    name: str
+    use_burst_buffer: bool = False
+    burst_buffer_platform: Optional[Platform] = None
+    label: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        """Label shown in tables."""
+        if self.label is not None:
+            return self.label
+        return f"{self.name}+BB" if self.use_burst_buffer else self.name
+
+    def build_scheduler(self) -> SchedulerProtocol:
+        """Fresh scheduler instance for one run."""
+        return make_scheduler(self.name)
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Objectives of one (scenario, scheduler) cell."""
+
+    scenario_label: str
+    scheduler_label: str
+    summary: ObjectiveSummary
+    makespan: float
+    n_events: int
+
+    @property
+    def system_efficiency(self) -> float:
+        return self.summary.system_efficiency
+
+    @property
+    def dilation(self) -> float:
+        return self.summary.dilation
+
+    @property
+    def upper_limit(self) -> float:
+        return self.summary.upper_limit
+
+
+@dataclass
+class ExperimentGrid:
+    """All cells of a (scenarios × schedulers) experiment."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+
+    def add(self, result: CaseResult) -> None:
+        self.cases.append(result)
+
+    # ------------------------------------------------------------------ #
+    def schedulers(self) -> list[str]:
+        """Scheduler labels in first-appearance order."""
+        seen: list[str] = []
+        for case in self.cases:
+            if case.scheduler_label not in seen:
+                seen.append(case.scheduler_label)
+        return seen
+
+    def scenarios(self) -> list[str]:
+        """Scenario labels in first-appearance order."""
+        seen: list[str] = []
+        for case in self.cases:
+            if case.scenario_label not in seen:
+                seen.append(case.scenario_label)
+        return seen
+
+    def cell(self, scenario_label: str, scheduler_label: str) -> CaseResult:
+        """The cell for one scenario and scheduler."""
+        for case in self.cases:
+            if (
+                case.scenario_label == scenario_label
+                and case.scheduler_label == scheduler_label
+            ):
+                return case
+        raise KeyError(f"no cell for ({scenario_label!r}, {scheduler_label!r})")
+
+    def series(self, scheduler_label: str, metric: str) -> list[float]:
+        """Per-scenario series of one metric for one scheduler.
+
+        ``metric`` is ``"system_efficiency"``, ``"dilation"`` or
+        ``"upper_limit"``.
+        """
+        order = self.scenarios()
+        values = {c.scenario_label: getattr(c, metric) for c in self.cases
+                  if c.scheduler_label == scheduler_label}
+        missing = [s for s in order if s not in values]
+        if missing:
+            raise KeyError(f"scheduler {scheduler_label!r} missing scenarios {missing}")
+        return [values[s] for s in order]
+
+    def mean(self, scheduler_label: str, metric: str) -> float:
+        """Average of one metric over all scenarios for one scheduler."""
+        return float(np.mean(self.series(scheduler_label, metric)))
+
+    def averages(self) -> dict[str, dict[str, float]]:
+        """``{scheduler: {metric: mean}}`` over all scenarios."""
+        out: dict[str, dict[str, float]] = {}
+        for scheduler in self.schedulers():
+            out[scheduler] = {
+                metric: self.mean(scheduler, metric)
+                for metric in ("system_efficiency", "dilation", "upper_limit")
+            }
+        return out
+
+
+# ---------------------------------------------------------------------- #
+def run_case(
+    scenario: Scenario,
+    case: SchedulerCase,
+    *,
+    max_time: float = float("inf"),
+    return_result: bool = False,
+) -> CaseResult | tuple[CaseResult, SimulationResult]:
+    """Run one scenario under one scheduler case."""
+    run_scenario = scenario
+    if case.use_burst_buffer:
+        platform = case.burst_buffer_platform or scenario.platform
+        if platform.burst_buffer is None:
+            raise ValidationError(
+                f"case {case.display!r} requires a burst buffer but platform "
+                f"{platform.name!r} does not define one"
+            )
+        run_scenario = scenario.with_platform(platform)
+    config = SimulatorConfig(use_burst_buffer=case.use_burst_buffer, max_time=max_time)
+    result = simulate(run_scenario, case.build_scheduler(), config)
+    case_result = CaseResult(
+        scenario_label=scenario.label,
+        scheduler_label=case.display,
+        summary=result.summary(),
+        makespan=result.makespan,
+        n_events=result.n_events,
+    )
+    if return_result:
+        return case_result, result
+    return case_result
+
+
+def run_grid(
+    scenarios: Sequence[Scenario],
+    cases: Sequence[SchedulerCase],
+    *,
+    max_time: float = float("inf"),
+) -> ExperimentGrid:
+    """Run every scenario under every scheduler case."""
+    if not scenarios:
+        raise ValidationError("run_grid needs at least one scenario")
+    if not cases:
+        raise ValidationError("run_grid needs at least one scheduler case")
+    grid = ExperimentGrid()
+    for scenario in scenarios:
+        for case in cases:
+            grid.add(run_case(scenario, case, max_time=max_time))
+    return grid

@@ -1,0 +1,74 @@
+"""Base class for the online schedulers of Section 3.1.
+
+Every online heuristic in the paper reduces to the same mechanism: at each
+event, rank the applications that want to perform I/O, then *favour* them in
+that order — the first application receives ``min(beta*b, available)``, the
+next receives the same out of what is left, and so on until the back-end
+bandwidth is exhausted (the remaining applications are stalled until the
+next event).
+
+Concrete heuristics therefore only implement :meth:`order_candidates`; the
+shared :meth:`allocate` turns the ordering into a feasible
+:class:`~repro.core.allocation.BandwidthAllocation` through
+:func:`repro.simulator.bandwidth.favor_in_order`.  The ``Priority`` variants
+(:mod:`repro.online.priority`) re-order the output of an inner heuristic, so
+they compose with any of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.core.allocation import BandwidthAllocation
+from repro.simulator.bandwidth import favor_in_order
+from repro.simulator.interface import ApplicationView, SystemView
+
+__all__ = ["OnlineScheduler"]
+
+
+class OnlineScheduler(abc.ABC):
+    """Event-driven scheduler: rank I/O candidates, favour them greedily."""
+
+    #: Human-readable name used in result tables; subclasses override.
+    name: str = "online"
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
+        """Return the I/O candidates of ``view`` ordered by decreasing priority.
+
+        Implementations must return a permutation of ``view.io_candidates()``
+        (dropping candidates is allowed and means "deliberately stall them").
+        """
+
+    # ------------------------------------------------------------------ #
+    def allocate(self, view: SystemView) -> BandwidthAllocation:
+        """Favour candidates in priority order until the bandwidth runs out."""
+        ordered = list(self.order_candidates(view))
+        self._check_ordering(view, ordered)
+        return favor_in_order(
+            ordered,
+            node_bandwidth=view.platform.node_bandwidth,
+            total_bandwidth=view.available_bandwidth,
+        )
+
+    def reset(self) -> None:
+        """Clear internal state between runs (most heuristics are stateless)."""
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_ordering(view: SystemView, ordered: Sequence[ApplicationView]) -> None:
+        candidate_names = {a.name for a in view.io_candidates()}
+        seen: set[str] = set()
+        for app_view in ordered:
+            if app_view.name not in candidate_names:
+                raise ValueError(
+                    f"ordering contains {app_view.name!r}, which is not an I/O candidate"
+                )
+            if app_view.name in seen:
+                raise ValueError(f"ordering contains {app_view.name!r} twice")
+            seen.add(app_view.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

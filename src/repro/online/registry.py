@@ -1,0 +1,112 @@
+"""Named construction of schedulers, and the standard heuristic suites.
+
+The experiment harness and the benchmarks refer to schedulers by name
+(``"MaxSysEff"``, ``"Priority-MinMax-0.5"``, ``"Intrepid"``, ...) so that a
+figure's list of series is data, not code.  :func:`make_scheduler` resolves
+such a name into a fresh scheduler instance; :func:`paper_heuristics`
+returns the exact suites used by the paper's figures.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+from repro.online.base import OnlineScheduler
+from repro.online.baselines import FCFS, FairShare
+from repro.online.heuristics import MaxSysEff, MinDilation, MinMaxGamma, RoundRobin
+from repro.online.priority import Priority
+
+__all__ = [
+    "make_scheduler",
+    "available_schedulers",
+    "paper_heuristics",
+    "figure6_suite",
+    "tables_suite",
+]
+
+_SIMPLE_FACTORIES: dict[str, Callable[[], OnlineScheduler]] = {
+    "roundrobin": RoundRobin,
+    "mindilation": MinDilation,
+    "maxsyseff": MaxSysEff,
+    "fairshare": FairShare,
+    "fcfs": FCFS,
+    "intrepid": lambda: FairShare(name="Intrepid"),
+    "mira": lambda: FairShare(name="Mira"),
+    "vesta": lambda: FairShare(name="Vesta"),
+    "ior": lambda: FairShare(name="IOR"),
+}
+
+_MINMAX_RE = re.compile(r"^minmax-(?P<gamma>[0-9.]+)$")
+
+
+def make_scheduler(name: str) -> OnlineScheduler:
+    """Build a scheduler from its display name.
+
+    Recognized names (case-insensitive):
+
+    * ``RoundRobin``, ``MinDilation``, ``MaxSysEff``, ``FairShare``,
+      ``FCFS``, ``Intrepid``, ``Mira``, ``Vesta``, ``IOR``;
+    * ``MinMax-<gamma>`` for any ``gamma`` in [0, 1], e.g. ``MinMax-0.5``;
+    * any of the above prefixed with ``Priority-``.
+    """
+    key = name.strip()
+    lowered = key.lower()
+    if lowered.startswith("priority-"):
+        return Priority(make_scheduler(key[len("priority-"):]))
+    if lowered in _SIMPLE_FACTORIES:
+        return _SIMPLE_FACTORIES[lowered]()
+    match = _MINMAX_RE.match(lowered)
+    if match:
+        return MinMaxGamma(float(match.group("gamma")))
+    raise KeyError(
+        f"unknown scheduler name {name!r}; known names: {sorted(available_schedulers())} "
+        "plus 'MinMax-<gamma>' and 'Priority-' prefixes"
+    )
+
+
+def available_schedulers() -> list[str]:
+    """Base scheduler names accepted by :func:`make_scheduler`."""
+    return sorted({"RoundRobin", "MinDilation", "MaxSysEff", "FairShare", "FCFS",
+                   "Intrepid", "Mira", "Vesta", "IOR", "MinMax-<gamma>"})
+
+
+def paper_heuristics(
+    gammas: Iterable[float] = (0.5,), with_priority: bool = True
+) -> list[OnlineScheduler]:
+    """The paper's heuristic set: RoundRobin, MinDilation, MaxSysEff, MinMax-γ.
+
+    With ``with_priority`` each heuristic is also returned in its Priority
+    variant, matching the eight series of Figure 6.
+    """
+    base: list[OnlineScheduler] = [RoundRobin(), MinDilation(), MaxSysEff()]
+    base.extend(MinMaxGamma(g) for g in gammas)
+    if not with_priority:
+        return base
+    suite: list[OnlineScheduler] = []
+    for heuristic in base:
+        suite.append(heuristic)
+        suite.append(Priority(_clone(heuristic)))
+    return suite
+
+
+def figure6_suite() -> list[OnlineScheduler]:
+    """The eight series of Figure 6 (four heuristics × {plain, Priority})."""
+    return paper_heuristics(gammas=(0.5,), with_priority=True)
+
+
+def tables_suite(priority: bool) -> list[OnlineScheduler]:
+    """The scheduler rows of Tables 1–2 (MinMax sweep + extremes).
+
+    ``priority`` selects between the plain rows and the "Priority variant"
+    rows of the tables.
+    """
+    names = ["MaxSysEff", "MinMax-0.25", "MinMax-0.5", "MinMax-0.75", "MinDilation"]
+    if priority:
+        names = [f"Priority-{n}" for n in names]
+    return [make_scheduler(n) for n in names]
+
+
+def _clone(scheduler: OnlineScheduler) -> OnlineScheduler:
+    """Fresh instance of the same heuristic (for independent Priority wrapping)."""
+    return make_scheduler(scheduler.name)

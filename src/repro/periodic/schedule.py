@@ -1,0 +1,345 @@
+"""Periodic (steady-state) schedules — the data structure of Section 3.2.1.
+
+A periodic schedule of period ``T`` repeats the same pattern of compute and
+I/O phases every ``T`` seconds.  Within one regular period, application
+``k`` executes ``n_per^{(k)}`` instances; each instance is a compute chunk of
+length ``w^{(k)}`` followed by an I/O transfer of ``vol_io^{(k)}`` bytes
+executed *contiguously at a constant bandwidth* (the shape the greedy
+insertion heuristics of Section 3.2.3 produce — the general model allows
+arbitrary piecewise-constant profiles, but the heuristics never need them).
+
+The schedule knows how to:
+
+* check its own feasibility (per-node cap, back-end cap, no overlap between
+  the instances of one application, I/O volumes fully transferred);
+* compute the steady-state efficiency ``rho_tilde^{(k)} = n_per w / T`` of
+  equation (1) and both paper objectives;
+* expose its bandwidth profile so the greedy inserter can find room for the
+  next instance.
+
+Instances never wrap around the period boundary in this implementation.
+The paper's formalism allows wrapping; forbidding it only wastes a sliver of
+the period for a greedy first-fit heuristic and keeps the feasibility checks
+straightforward (a wrapped schedule can always be "rotated" into an unwrapped
+one with the same efficiencies when capacity is not tight at the boundary).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.application import Application
+from repro.core.objectives import ApplicationOutcome, ObjectiveSummary, summarize
+from repro.core.platform import Platform
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = ["ScheduledInstance", "PeriodicSchedule"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledInstance:
+    """One instance placed inside the period.
+
+    Attributes
+    ----------
+    app_name:
+        Application this instance belongs to.
+    compute_start:
+        ``initW`` — start of the compute chunk.
+    work:
+        Length of the compute chunk (``w``).
+    io_start:
+        Start of the I/O transfer (``>= compute_start + work``; the greedy
+        heuristics always use equality, but a gap is legal).
+    io_duration:
+        Length of the contiguous I/O transfer.
+    io_bandwidth:
+        Constant per-processor bandwidth ``gamma`` during the transfer.
+    """
+
+    app_name: str
+    compute_start: float
+    work: float
+    io_start: float
+    io_duration: float
+    io_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.compute_start < -_EPS:
+            raise ValidationError("compute_start must be >= 0")
+        if self.work < 0 or self.io_duration < 0 or self.io_bandwidth < 0:
+            raise ValidationError("work, io_duration and io_bandwidth must be >= 0")
+        if self.io_start < self.compute_start + self.work - _EPS:
+            raise ValidationError(
+                "I/O cannot start before the compute chunk ends "
+                f"({self.io_start} < {self.compute_start + self.work})"
+            )
+
+    @property
+    def compute_end(self) -> float:
+        """``endW`` — end of the compute chunk."""
+        return self.compute_start + self.work
+
+    @property
+    def io_end(self) -> float:
+        """End of the I/O transfer."""
+        return self.io_start + self.io_duration
+
+    @property
+    def end(self) -> float:
+        """End of the whole instance footprint."""
+        return max(self.compute_end, self.io_end)
+
+
+class PeriodicSchedule:
+    """A steady-state schedule over one regular period.
+
+    Parameters
+    ----------
+    platform:
+        Supplies the ``b`` and ``B`` caps.
+    applications:
+        The periodic applications being scheduled.  Only their first
+        instance's ``(work, io_volume)`` is used (periodic applications have
+        identical instances); non-periodic applications are rejected.
+    period:
+        Length ``T`` of the regular period.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        applications: Sequence[Application],
+        period: float,
+    ):
+        self.platform = platform
+        self.period = check_positive("period", period)
+        self._apps: dict[str, Application] = {}
+        for app in applications:
+            if not app.is_periodic:
+                raise ValidationError(
+                    f"application {app.name!r} is not periodic; periodic schedules "
+                    "require identical instances"
+                )
+            if app.name in self._apps:
+                raise ValidationError(f"duplicate application {app.name!r}")
+            self._apps[app.name] = app
+        if not self._apps:
+            raise ValidationError("a periodic schedule needs at least one application")
+        self._instances: list[ScheduledInstance] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def applications(self) -> tuple[Application, ...]:
+        """The applications known to this schedule (scheduled or not)."""
+        return tuple(self._apps.values())
+
+    @property
+    def instances(self) -> tuple[ScheduledInstance, ...]:
+        """All placed instances, in insertion order."""
+        return tuple(self._instances)
+
+    def application(self, name: str) -> Application:
+        """Look up an application by name."""
+        return self._apps[name]
+
+    def instances_of(self, app_name: str) -> list[ScheduledInstance]:
+        """Instances of one application, sorted by compute start."""
+        if app_name not in self._apps:
+            raise KeyError(f"unknown application {app_name!r}")
+        return sorted(
+            (inst for inst in self._instances if inst.app_name == app_name),
+            key=lambda i: i.compute_start,
+        )
+
+    def instances_per_application(self) -> dict[str, int]:
+        """``n_per^{(k)}`` for every application (0 if never scheduled)."""
+        counts = {name: 0 for name in self._apps}
+        for inst in self._instances:
+            counts[inst.app_name] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_instance(self, instance: ScheduledInstance) -> None:
+        """Place an instance, enforcing every feasibility constraint."""
+        app = self._apps.get(instance.app_name)
+        if app is None:
+            raise ValidationError(f"unknown application {instance.app_name!r}")
+        if instance.end > self.period + _EPS:
+            raise ValidationError(
+                f"instance of {instance.app_name!r} ends at {instance.end:.6g}, "
+                f"beyond the period {self.period:.6g}"
+            )
+        if instance.io_bandwidth > self.platform.node_bandwidth * (1 + 1e-9):
+            raise ValidationError(
+                f"per-processor bandwidth {instance.io_bandwidth:.6g} exceeds "
+                f"b = {self.platform.node_bandwidth:.6g}"
+            )
+        expected_work = app.instances[0].work
+        if abs(instance.work - expected_work) > _EPS * max(1.0, expected_work):
+            raise ValidationError(
+                f"instance work {instance.work} does not match the application's "
+                f"work {expected_work}"
+            )
+        # The transferred volume must match the application's volume.
+        volume = instance.io_bandwidth * instance.io_duration * app.processors
+        expected_volume = app.instances[0].io_volume
+        if abs(volume - expected_volume) > 1e-6 * max(1.0, expected_volume):
+            raise ValidationError(
+                f"instance transfers {volume:.6g} B but {instance.app_name!r} "
+                f"needs {expected_volume:.6g} B"
+            )
+        # No overlap with the application's other instances.
+        for other in self.instances_of(instance.app_name):
+            if instance.compute_start < other.end - _EPS and other.compute_start < instance.end - _EPS:
+                raise ValidationError(
+                    f"instance of {instance.app_name!r} at [{instance.compute_start:.6g}, "
+                    f"{instance.end:.6g}) overlaps another at "
+                    f"[{other.compute_start:.6g}, {other.end:.6g})"
+                )
+        # Back-end capacity over the I/O window.
+        if instance.io_duration > _EPS:
+            rate = instance.io_bandwidth * app.processors
+            for start, end, used in self._profile_segments(exclude=None):
+                overlap = min(end, instance.io_end) - max(start, instance.io_start)
+                if overlap > _EPS and used + rate > self.platform.system_bandwidth * (1 + 1e-9):
+                    raise ValidationError(
+                        f"adding {instance.app_name!r} would exceed B over "
+                        f"[{max(start, instance.io_start):.6g}, {min(end, instance.io_end):.6g})"
+                    )
+        self._instances.append(instance)
+
+    # ------------------------------------------------------------------ #
+    # Bandwidth profile
+    # ------------------------------------------------------------------ #
+    def breakpoints(self) -> list[float]:
+        """Sorted distinct time points where the I/O load may change."""
+        points = {0.0, self.period}
+        for inst in self._instances:
+            points.add(inst.io_start)
+            points.add(inst.io_end)
+            points.add(inst.compute_start)
+            points.add(inst.compute_end)
+        return sorted(p for p in points if -_EPS <= p <= self.period + _EPS)
+
+    def io_load(self, time: float) -> float:
+        """Aggregate back-end bandwidth in use at ``time`` (bytes/s)."""
+        load = 0.0
+        for inst in self._instances:
+            if inst.io_start - _EPS <= time < inst.io_end - _EPS:
+                load += inst.io_bandwidth * self._apps[inst.app_name].processors
+        return load
+
+    def available_bandwidth(self, time: float) -> float:
+        """Back-end bandwidth still free at ``time``."""
+        return max(0.0, self.platform.system_bandwidth - self.io_load(time))
+
+    def min_available_bandwidth(self, start: float, end: float) -> float:
+        """Minimum free back-end bandwidth over ``[start, end)``."""
+        if end <= start:
+            return self.platform.system_bandwidth
+        candidates = [start] + [
+            p for p in self.breakpoints() if start < p < end
+        ]
+        return min(self.available_bandwidth(t) for t in candidates)
+
+    def _profile_segments(self, exclude: Optional[ScheduledInstance]):
+        """Yield ``(start, end, load)`` segments of the current I/O profile."""
+        points = self.breakpoints()
+        for start, end in zip(points[:-1], points[1:]):
+            if end - start <= _EPS:
+                continue
+            mid = 0.5 * (start + end)
+            load = 0.0
+            for inst in self._instances:
+                if inst is exclude:
+                    continue
+                if inst.io_start - _EPS <= mid < inst.io_end - _EPS:
+                    load += inst.io_bandwidth * self._apps[inst.app_name].processors
+            yield start, end, load
+
+    # ------------------------------------------------------------------ #
+    # Validation and scoring
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Re-check every constraint of the whole schedule (defence in depth)."""
+        b = self.platform.node_bandwidth
+        for inst in self._instances:
+            if inst.io_bandwidth > b * (1 + 1e-9):
+                raise ValidationError(
+                    f"{inst.app_name!r}: per-processor bandwidth exceeds b"
+                )
+            if inst.end > self.period + _EPS:
+                raise ValidationError(f"{inst.app_name!r}: instance exceeds the period")
+        for name in self._apps:
+            insts = self.instances_of(name)
+            for first, second in zip(insts[:-1], insts[1:]):
+                if second.compute_start < first.end - _EPS:
+                    raise ValidationError(f"{name!r}: overlapping instances")
+        for start, end, load in self._profile_segments(exclude=None):
+            if load > self.platform.system_bandwidth * (1 + 1e-9):
+                raise ValidationError(
+                    f"back-end capacity exceeded over [{start:.6g}, {end:.6g}): "
+                    f"{load:.6g} > {self.platform.system_bandwidth:.6g}"
+                )
+
+    def steady_state_efficiency(self, app_name: str) -> float:
+        """Equation (1): ``rho_tilde^{(k)} = n_per^{(k)} w^{(k)} / T``."""
+        app = self._apps[app_name]
+        n_per = self.instances_per_application()[app_name]
+        return n_per * app.instances[0].work / self.period
+
+    def outcomes(self) -> list[ApplicationOutcome]:
+        """Objective-level outcomes of one steady-state period.
+
+        The period plays the role of the elapsed time; the executed work of
+        application ``k`` is ``n_per^{(k)} * w^{(k)}``, and the dedicated I/O
+        time covers the same number of instances — exactly the quantities of
+        equation (1) and of the optimal efficiency ``rho``.
+        """
+        outs: list[ApplicationOutcome] = []
+        counts = self.instances_per_application()
+        for name, app in self._apps.items():
+            n_per = counts[name]
+            work = n_per * app.instances[0].work
+            peak = self.platform.peak_application_bandwidth(app.processors)
+            io_time = n_per * app.instances[0].io_volume / peak if peak > 0 else 0.0
+            outs.append(
+                ApplicationOutcome(
+                    name=name,
+                    processors=app.processors,
+                    release_time=0.0,
+                    completion_time=self.period,
+                    executed_work=work,
+                    dedicated_io_time=io_time,
+                )
+            )
+        return outs
+
+    def summary(self, total_processors: int | None = None) -> ObjectiveSummary:
+        """SysEfficiency / Dilation of the steady state (per period)."""
+        return summarize(self.outcomes(), total_processors)
+
+    def is_complete(self) -> bool:
+        """True when every application has at least one instance in the period."""
+        return all(n > 0 for n in self.instances_per_application().values())
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.instances_per_application()
+        return (
+            f"PeriodicSchedule(T={self.period:g}, "
+            f"instances={sum(counts.values())}, apps={len(counts)})"
+        )

@@ -1,0 +1,130 @@
+"""Bandwidth-allocation primitives shared by schedulers and baselines.
+
+Two allocation shapes cover every policy in the paper:
+
+* :func:`favor_in_order` — the Section 3.1 semantics of *favouring*
+  applications: walk a priority-ordered list and give each application
+  ``min(beta * b, remaining)`` until the back-end bandwidth is exhausted.
+  Every online heuristic (RoundRobin, MinDilation, MaxSysEff, MinMax-γ and
+  their Priority variants) reduces to this with a different ordering.
+* :func:`fair_share` — proportional water-filling: every application that
+  wants to transfer gets an equal per-processor share, capped at its I/O
+  card bandwidth ``b``, iterating until either the demand or the back-end is
+  exhausted.  This is the "let congestion happen" behaviour used to model
+  the native Intrepid / Mira / Vesta schedulers (and the file-system
+  behaviour when the burst buffer is full).
+
+Both return a :class:`~repro.core.allocation.BandwidthAllocation` that
+always satisfies the feasibility constraints by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.allocation import BandwidthAllocation
+from repro.simulator.interface import ApplicationView
+from repro.utils.validation import ValidationError, check_non_negative
+
+__all__ = ["favor_in_order", "fair_share", "single_application_rate"]
+
+#: Bandwidth below this fraction of a byte/s is treated as zero.
+_EPS = 1e-12
+
+
+def single_application_rate(
+    view: ApplicationView, node_bandwidth: float, available: float
+) -> float:
+    """Per-processor bandwidth when one application is favoured in isolation.
+
+    ``gamma = min(b, available / beta)`` so that the aggregate rate is
+    ``min(beta * b, available)`` as in Section 3.1.
+    """
+    if available <= _EPS:
+        return 0.0
+    return min(node_bandwidth, available / view.processors)
+
+
+def favor_in_order(
+    ordered: Sequence[ApplicationView],
+    node_bandwidth: float,
+    total_bandwidth: float,
+) -> BandwidthAllocation:
+    """Favour applications greedily in the given priority order.
+
+    Parameters
+    ----------
+    ordered:
+        I/O candidates, highest priority first.
+    node_bandwidth:
+        Per-processor cap ``b``.
+    total_bandwidth:
+        Back-end capacity to distribute at this event.
+
+    Returns
+    -------
+    BandwidthAllocation
+        Each application in turn receives ``min(beta*b, remaining)`` until
+        nothing is left.  Applications that would receive (numerically)
+        nothing are omitted, so they stay stalled.
+    """
+    check_non_negative("total_bandwidth", total_bandwidth)
+    check_non_negative("node_bandwidth", node_bandwidth)
+    remaining = float(total_bandwidth)
+    gammas: dict[str, float] = {}
+    for view in ordered:
+        if remaining <= _EPS:
+            break
+        if not view.wants_io:
+            raise ValidationError(
+                f"application {view.name!r} is not an I/O candidate and cannot be favoured"
+            )
+        gamma = single_application_rate(view, node_bandwidth, remaining)
+        if gamma <= _EPS:
+            continue
+        gammas[view.name] = gamma
+        remaining -= gamma * view.processors
+    return BandwidthAllocation(gammas)
+
+
+def fair_share(
+    candidates: Iterable[ApplicationView],
+    node_bandwidth: float,
+    total_bandwidth: float,
+) -> BandwidthAllocation:
+    """Proportional (water-filling) sharing of the back-end bandwidth.
+
+    Every candidate gets the same per-processor bandwidth, capped at ``b``;
+    bandwidth freed by capped applications is redistributed among the rest
+    (classic max-min / water-filling on the per-processor rate).  When the
+    aggregate demand fits within ``total_bandwidth`` every application simply
+    runs at ``b`` per processor.
+    """
+    check_non_negative("total_bandwidth", total_bandwidth)
+    check_non_negative("node_bandwidth", node_bandwidth)
+    views = [v for v in candidates if v.wants_io]
+    if not views or total_bandwidth <= _EPS:
+        return BandwidthAllocation.empty()
+
+    remaining = float(total_bandwidth)
+    unsatisfied = list(views)
+    gammas: dict[str, float] = {}
+    # Water-filling: repeatedly split the remaining bandwidth equally over the
+    # processors of unsatisfied applications; applications capped at b leave
+    # the pool and free their unused share for the others.
+    while unsatisfied and remaining > _EPS:
+        total_procs = sum(v.processors for v in unsatisfied)
+        share = remaining / total_procs
+        capped = [v for v in unsatisfied if share >= node_bandwidth]
+        if not capped:
+            for v in unsatisfied:
+                gammas[v.name] = gammas.get(v.name, 0.0) + share
+            remaining = 0.0
+            break
+        for v in capped:
+            already = gammas.get(v.name, 0.0)
+            extra = node_bandwidth - already
+            gammas[v.name] = node_bandwidth
+            remaining -= extra * v.processors
+        unsatisfied = [v for v in unsatisfied if v not in capped]
+    return BandwidthAllocation({k: g for k, g in gammas.items() if g > _EPS})

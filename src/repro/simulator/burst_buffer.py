@@ -1,0 +1,183 @@
+"""Burst-buffer staging layer used by the baseline system schedulers.
+
+The paper compares its heuristics **without** burst buffers against the
+Intrepid / Mira behaviour **with** burst buffers.  Burst buffers absorb I/O
+bursts at (fast) compute-fabric speed and destage them to the parallel file
+system in the background; as the introduction notes, "burst buffers cannot
+prevent congestion at all times" — once the staging pool is full, writes fall
+through to the congested file system.
+
+The model here is intentionally simple but captures exactly the behaviour
+the paper relies on:
+
+* a single shared pool of ``capacity`` bytes;
+* while the pool has free space, applications write into it at up to the
+  ingest bandwidth (shared fairly) — their I/O phases complete quickly and
+  do not consume file-system bandwidth;
+* the pool destages continuously at up to ``drain_bandwidth`` (which is
+  subtracted from the file-system bandwidth available for direct writes);
+* when the pool is full, new writes go straight to the file system and
+  experience congestion as usual.
+
+The engine owns the pool's level and asks :class:`BurstBufferState` for the
+time of the next *transition* (full / empty), which becomes a simulation
+event so that bandwidth can be re-allocated at the exact moment behaviour
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.platform import BurstBufferSpec
+from repro.utils.validation import ValidationError, check_non_negative
+
+__all__ = ["BurstBufferState"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class BurstBufferState:
+    """Mutable run-time state of the shared burst-buffer pool.
+
+    Attributes
+    ----------
+    spec:
+        Static description (capacity, ingest and drain bandwidths).
+    level:
+        Bytes currently staged and not yet destaged to the file system.
+    resume_fraction:
+        Flow-control watermark: once the pool fills up, absorption stays
+        blocked until the level drains back below ``resume_fraction *
+        capacity``.  Without this hysteresis a full pool would re-open the
+        moment a single byte drains and sustained congestion would stream
+        through the buffer forever, which is not how staging layers behave
+        (and would make the burst-buffer baseline unrealistically strong).
+    blocked:
+        True while the flow-control watermark keeps new writes out.
+    total_absorbed:
+        Cumulative bytes ever written into the pool (statistics).
+    total_drained:
+        Cumulative bytes destaged to the file system (statistics).
+    """
+
+    spec: BurstBufferSpec
+    level: float = 0.0
+    resume_fraction: float = 0.5
+    blocked: bool = False
+    total_absorbed: float = 0.0
+    total_drained: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("level", self.level)
+        if self.level > self.spec.capacity + _EPS:
+            raise ValidationError(
+                f"initial level {self.level} exceeds capacity {self.spec.capacity}"
+            )
+        if not (0.0 <= self.resume_fraction < 1.0):
+            raise ValidationError(
+                f"resume_fraction must be in [0, 1), got {self.resume_fraction}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_full(self) -> bool:
+        """True when the pool has no staging space left."""
+        return self.level >= self.spec.capacity - _EPS
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing left to destage."""
+        return self.level <= _EPS
+
+    @property
+    def free_space(self) -> float:
+        """Bytes of staging space still available."""
+        return max(0.0, self.spec.capacity - self.level)
+
+    @property
+    def resume_level(self) -> float:
+        """Level below which a blocked pool re-opens for absorption."""
+        return self.resume_fraction * self.spec.capacity
+
+    def can_absorb(self) -> bool:
+        """True when applications may currently write into the pool."""
+        return not self.blocked and not self.is_full
+
+    def drain_rate(self) -> float:
+        """Current destage rate towards the file system (bytes/s)."""
+        return self.spec.drain_bandwidth if not self.is_empty else 0.0
+
+    def ingest_capacity(self) -> float:
+        """Aggregate rate at which applications may write into the pool now."""
+        return self.spec.ingest_bandwidth if self.can_absorb() else 0.0
+
+    # ------------------------------------------------------------------ #
+    def next_transition(self, ingest_rate: float) -> Optional[float]:
+        """Seconds until the pool changes behaviour at the given net flow.
+
+        Transitions are: the pool fills up (absorption blocks), a blocked
+        pool drains below its resume watermark (absorption resumes), or the
+        pool empties (the drain stops).
+
+        Parameters
+        ----------
+        ingest_rate:
+            Aggregate rate (bytes/s) at which applications are currently
+            writing into the pool.
+
+        Returns
+        -------
+        float or None
+            Time until the next state change, or ``None`` if the current
+            rates never cause one.
+        """
+        check_non_negative("ingest_rate", ingest_rate)
+        net = ingest_rate - self.drain_rate()
+        if self.blocked:
+            # Absorption is off; the pool only drains.
+            if self.is_empty or self.drain_rate() <= _EPS:
+                return None
+            target = max(self.level - self.resume_level, 0.0)
+            return max(target / self.drain_rate(), 0.0)
+        if net > _EPS and not self.is_full:
+            return self.free_space / net
+        if net < -_EPS and not self.is_empty:
+            return self.level / (-net)
+        if ingest_rate <= _EPS and not self.is_empty:
+            # Pure drain.
+            return self.level / self.drain_rate()
+        return None
+
+    def advance(self, duration: float, ingest_rate: float) -> None:
+        """Advance the pool state by ``duration`` seconds.
+
+        The caller guarantees that no transition happens strictly inside the
+        interval (the engine always cuts intervals at transition times), so a
+        single linear update is exact; the level is clamped to the valid
+        range to absorb floating-point error.  Crossing the capacity blocks
+        absorption; a blocked pool re-opens once the level reaches the
+        resume watermark.
+        """
+        check_non_negative("duration", duration)
+        check_non_negative("ingest_rate", ingest_rate)
+        drained = min(self.drain_rate() * duration, self.level + ingest_rate * duration)
+        absorbed = ingest_rate * duration
+        self.level = min(
+            self.spec.capacity, max(0.0, self.level + absorbed - drained)
+        )
+        self.total_absorbed += absorbed
+        self.total_drained += drained
+        if self.is_full:
+            self.blocked = True
+        elif self.blocked and self.level <= self.resume_level + _EPS:
+            self.blocked = False
+
+    def reset(self) -> None:
+        """Return to an empty pool (used between simulation runs)."""
+        self.level = 0.0
+        self.blocked = False
+        self.total_absorbed = 0.0
+        self.total_drained = 0.0

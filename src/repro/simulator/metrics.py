@@ -1,0 +1,224 @@
+"""Result records produced by the simulator and derived metrics.
+
+A simulation run produces one :class:`ApplicationRecord` per application
+(with per-instance timings) wrapped into a :class:`SimulationResult`.  The
+result object knows how to turn itself into the Section 2.2 objective values
+(via :mod:`repro.core.objectives`) and into the per-application I/O
+throughput figures behind Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.application import Application
+from repro.core.objectives import (
+    ApplicationOutcome,
+    ObjectiveSummary,
+    application_dilation,
+    summarize,
+)
+from repro.core.platform import Platform
+from repro.utils.validation import ValidationError
+
+__all__ = ["InstanceRecord", "ApplicationRecord", "BurstBufferStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """Timings of one executed instance.
+
+    Attributes
+    ----------
+    index:
+        0-based instance index within the application.
+    work, io_volume:
+        The instance's parameters (copied for convenience).
+    compute_start, compute_end:
+        Boundaries of the compute phase (``initW`` / ``endW`` of the paper).
+    io_first_transfer:
+        First time the instance actually received bandwidth (``initIO``);
+        equals ``compute_end`` when the scheduler served it immediately and
+        is ``None`` for instances with no I/O at all.
+    io_end:
+        Time the instance's I/O completed (== ``compute_end`` when the
+        instance has no I/O).
+    """
+
+    index: int
+    work: float
+    io_volume: float
+    compute_start: float
+    compute_end: float
+    io_first_transfer: Optional[float]
+    io_end: float
+
+    @property
+    def io_phase_duration(self) -> float:
+        """Wall-clock length of the I/O phase, stall time included."""
+        return self.io_end - self.compute_end
+
+    @property
+    def io_wait(self) -> float:
+        """Time spent stalled before the first byte was transferred."""
+        if self.io_first_transfer is None:
+            return 0.0
+        return self.io_first_transfer - self.compute_end
+
+
+@dataclass
+class ApplicationRecord:
+    """Complete execution record of one application.
+
+    The record carries enough information to recompute every metric the
+    paper reports: objectives (through :meth:`outcome`), observed I/O
+    throughput (Figure 1), and per-instance waiting times.
+    """
+
+    application: Application
+    release_time: float
+    completion_time: float
+    executed_work: float
+    dedicated_io_time: float
+    total_io_transferred: float
+    instances: list[InstanceRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self.application.name
+
+    @property
+    def processors(self) -> int:
+        """``beta^{(k)}``."""
+        return self.application.processors
+
+    @property
+    def time_in_io_phases(self) -> float:
+        """Total wall-clock time spent in I/O phases (stalls included)."""
+        return float(sum(r.io_phase_duration for r in self.instances))
+
+    @property
+    def total_io_wait(self) -> float:
+        """Total time spent stalled waiting for bandwidth."""
+        return float(sum(r.io_wait for r in self.instances))
+
+    def outcome(self) -> ApplicationOutcome:
+        """Objective-level view of this record."""
+        return ApplicationOutcome(
+            name=self.name,
+            processors=self.processors,
+            release_time=self.release_time,
+            completion_time=self.completion_time,
+            executed_work=self.executed_work,
+            dedicated_io_time=self.dedicated_io_time,
+        )
+
+    def dilation(self) -> float:
+        """Slowdown of this application (``rho / rho_tilde``)."""
+        return application_dilation(self.outcome())
+
+    def observed_io_throughput(self) -> float:
+        """Average bytes/s achieved across the application's I/O phases.
+
+        Stall time counts against the application, exactly like the
+        application-perceived bandwidth that Figure 1 reports.
+        Returns ``inf`` for applications that performed no I/O.
+        """
+        io_time = self.time_in_io_phases
+        if io_time <= 0:
+            return float("inf")
+        return self.total_io_transferred / io_time
+
+    def dedicated_io_throughput(self, platform: Platform) -> float:
+        """Best-case bytes/s: ``min(beta * b, B)``."""
+        return platform.peak_application_bandwidth(self.processors)
+
+    def io_throughput_decrease(self, platform: Platform) -> float:
+        """Fractional throughput loss versus dedicated mode (0 = no loss).
+
+        This is the per-application quantity histogrammed in Figure 1.
+        Applications without I/O report 0.
+        """
+        dedicated = self.dedicated_io_throughput(platform)
+        observed = self.observed_io_throughput()
+        if not np.isfinite(observed):
+            return 0.0
+        if dedicated <= 0:
+            return 0.0
+        return float(max(0.0, 1.0 - observed / dedicated))
+
+
+@dataclass(frozen=True)
+class BurstBufferStats:
+    """Aggregate burst-buffer behaviour over one run."""
+
+    total_absorbed: float
+    total_drained: float
+    final_level: float
+    time_full: float
+
+    @property
+    def absorbed_fraction(self) -> float:
+        """Fraction of absorbed bytes among absorbed + spilled is tracked upstream."""
+        return self.total_absorbed
+
+
+@dataclass
+class SimulationResult:
+    """Everything the simulator returns for one (scenario, scheduler) run."""
+
+    scenario_label: str
+    scheduler_name: str
+    platform: Platform
+    records: dict[str, ApplicationRecord]
+    makespan: float
+    n_events: int
+    burst_buffer: Optional[BurstBufferStats] = None
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValidationError("a simulation result needs at least one record")
+
+    # ------------------------------------------------------------------ #
+    def record(self, name: str) -> ApplicationRecord:
+        """Record of one application."""
+        return self.records[name]
+
+    def outcomes(self) -> list[ApplicationOutcome]:
+        """Objective-level outcomes, in deterministic (name) order."""
+        return [self.records[k].outcome() for k in sorted(self.records)]
+
+    def summary(self, total_processors: int | None = None) -> ObjectiveSummary:
+        """SysEfficiency / Dilation / upper limit for this run.
+
+        By default the objectives are normalized by the processors actually
+        used by the scenario's applications (the paper normalizes per
+        scenario, not by the full 40k-node machine, when replaying congested
+        moments).
+        """
+        return summarize(self.outcomes(), total_processors)
+
+    def dilations(self) -> dict[str, float]:
+        """Per-application dilation map (Figure 16 data)."""
+        return {name: rec.dilation() for name, rec in self.records.items()}
+
+    def throughput_decreases(self) -> dict[str, float]:
+        """Per-application I/O throughput decrease (Figure 1 data)."""
+        return {
+            name: rec.io_throughput_decrease(self.platform)
+            for name, rec in self.records.items()
+        }
+
+    def total_io_volume(self) -> float:
+        """Bytes transferred across all applications."""
+        return float(sum(r.total_io_transferred for r in self.records.values()))
+
+    def mean_io_wait(self) -> float:
+        """Average stall time per application (diagnostic)."""
+        waits = [r.total_io_wait for r in self.records.values()]
+        return float(np.mean(waits)) if waits else 0.0

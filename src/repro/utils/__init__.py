@@ -1,0 +1,46 @@
+"""Small shared utilities: deterministic RNG handling, unit helpers, validation.
+
+These helpers are deliberately dependency-free (numpy only) and are used by
+every other subpackage.  Nothing in here encodes paper semantics; the paper
+model lives in :mod:`repro.core`.
+"""
+
+from repro.utils.rng import RngLike, as_rng, spawn_rngs
+from repro.utils.units import (
+    GB,
+    GIB,
+    KB,
+    MB,
+    MIB,
+    TB,
+    format_bandwidth,
+    format_bytes,
+    format_duration,
+)
+from repro.utils.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "RngLike",
+    "as_rng",
+    "spawn_rngs",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "MIB",
+    "GIB",
+    "format_bytes",
+    "format_bandwidth",
+    "format_duration",
+    "ValidationError",
+    "check_positive",
+    "check_non_negative",
+    "check_finite",
+    "check_in_range",
+]

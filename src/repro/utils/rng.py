@@ -1,0 +1,59 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (workload generators, congested
+moment builders, sensibility perturbations) accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None``.  Funnelling them all through
+:func:`as_rng` guarantees that experiments are reproducible from a single
+seed, which the benchmark harness relies on to regenerate the paper's tables
+with stable values run-to-run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+#: Anything accepted where a random generator is expected.
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        if rng < 0:
+            raise ValueError(f"seed must be non-negative, got {rng}")
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot interpret {type(rng).__name__!r} as a random generator")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Used when an experiment fans out into independent repetitions (e.g. the
+    200 application mixes behind Figure 6): each repetition gets its own
+    stream so results do not depend on evaluation order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    base = as_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,57 @@
+"""Byte / bandwidth / time unit constants and human-readable formatting.
+
+The paper expresses per-node I/O card bandwidth in GB/s (e.g. 0.1 GB/s per
+Intrepid node) and aggregate file-system bandwidth in GB/s (e.g. 64 GB/s on
+Mira).  Internally the library works in plain bytes and seconds; these
+constants keep platform definitions readable.
+"""
+
+from __future__ import annotations
+
+#: Decimal byte units (storage vendors and the paper use decimal GB).
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+TB = 1_000_000_000_000.0
+
+#: Binary byte units, occasionally useful when describing memory sizes.
+KIB = 1024.0
+MIB = 1024.0**2
+GIB = 1024.0**3
+TIB = 1024.0**4
+
+_BYTE_STEPS = [(TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")]
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a sensible decimal unit (``1.50 GB``)."""
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for factor, suffix in _BYTE_STEPS:
+        if n >= factor:
+            return f"{sign}{n / factor:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth (``12.80 GB/s``)."""
+    return f"{format_bytes(bytes_per_second)}/s"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest unit that keeps 2 significant parts."""
+    seconds = float(seconds)
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    if seconds < 1e-3:
+        return f"{sign}{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{sign}{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{sign}{seconds:.2f} s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{sign}{int(minutes)} min {rem:.0f} s"
+    hours, rem_min = divmod(minutes, 60.0)
+    return f"{sign}{int(hours)} h {int(rem_min)} min"

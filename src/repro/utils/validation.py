@@ -1,0 +1,66 @@
+"""Argument validation helpers shared across the library.
+
+The simulator and schedulers enforce the paper's feasibility constraints
+(``0 <= gamma <= b``, ``sum(beta * gamma) <= B``, volumes fully transferred).
+Raising a dedicated :class:`ValidationError` keeps those failures easy to
+distinguish from ordinary ``ValueError`` raised by user-facing constructors.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class ValidationError(ValueError):
+    """Raised when a model object or schedule violates a structural invariant."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    check_finite(name, value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_finite(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite real number."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(value) or math.isinf(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` if it lies in ``[low, high]`` (or the open interval)."""
+    value = check_finite(name, value)
+    if inclusive:
+        if low is not None and value < low:
+            raise ValidationError(f"{name} must be >= {low}, got {value}")
+        if high is not None and value > high:
+            raise ValidationError(f"{name} must be <= {high}, got {value}")
+    else:
+        if low is not None and value <= low:
+            raise ValidationError(f"{name} must be > {low}, got {value}")
+        if high is not None and value >= high:
+            raise ValidationError(f"{name} must be < {high}, got {value}")
+    return value

@@ -1,0 +1,124 @@
+"""Application size categories used in the Intrepid workload analysis (Section 4.1).
+
+The paper buckets the Darshan-captured applications by node count:
+
+* *small* — fewer than 1,284 nodes;
+* *large* — 1,285 nodes or more;
+* *very large* — more than 4,584 nodes.
+
+(The "large" and "very large" categories overlap in the paper's wording; we
+treat them as disjoint: large = [1285, 4584], very large = (4584, ∞).)
+
+Each category also carries the node-count range and the typical
+I/O-time fraction used by the synthetic workload generator; the fractions
+follow the shape of Figure 5b (small applications spend a larger share of
+their time in I/O than the very large capability jobs, which are dominated
+by computation but move enormous volumes when they do write).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["Category", "CategoryProfile", "CATEGORY_PROFILES", "categorize"]
+
+#: Paper thresholds (nodes).
+SMALL_MAX_NODES = 1_284
+LARGE_MAX_NODES = 4_584
+
+
+class Category(enum.Enum):
+    """Workload category by node count."""
+
+    SMALL = "small"
+    LARGE = "large"
+    VERY_LARGE = "very_large"
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Generation profile of one category.
+
+    Attributes
+    ----------
+    category:
+        The category being described.
+    min_nodes, max_nodes:
+        Node-count range (inclusive) for applications of this category.
+    typical_nodes:
+        Common allocation sizes (powers of two and rack multiples) used by
+        the generator so node counts look like real job sizes.
+    io_fraction_range:
+        Range of the dedicated-mode I/O-time fraction
+        ``time_io / (w + time_io)`` used when synthesizing applications.
+    instance_range:
+        Range of the number of compute/I-O instances per job.
+    work_range:
+        Range of the per-instance compute time in seconds.
+    """
+
+    category: Category
+    min_nodes: int
+    max_nodes: int
+    typical_nodes: tuple[int, ...]
+    io_fraction_range: tuple[float, float]
+    instance_range: tuple[int, int]
+    work_range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.min_nodes <= 0 or self.max_nodes < self.min_nodes:
+            raise ValidationError("invalid node range")
+        lo, hi = self.io_fraction_range
+        if not (0.0 <= lo <= hi < 1.0):
+            raise ValidationError("io_fraction_range must satisfy 0 <= lo <= hi < 1")
+        ilo, ihi = self.instance_range
+        if ilo <= 0 or ihi < ilo:
+            raise ValidationError("invalid instance_range")
+        wlo, whi = self.work_range
+        if wlo <= 0 or whi < wlo:
+            raise ValidationError("invalid work_range")
+
+
+CATEGORY_PROFILES: dict[Category, CategoryProfile] = {
+    Category.SMALL: CategoryProfile(
+        category=Category.SMALL,
+        min_nodes=32,
+        max_nodes=SMALL_MAX_NODES,
+        typical_nodes=(32, 64, 128, 256, 512, 1024),
+        io_fraction_range=(0.05, 0.45),
+        instance_range=(5, 20),
+        work_range=(100.0, 1_200.0),
+    ),
+    Category.LARGE: CategoryProfile(
+        category=Category.LARGE,
+        min_nodes=SMALL_MAX_NODES + 1,
+        max_nodes=LARGE_MAX_NODES,
+        typical_nodes=(2048, 4096),
+        io_fraction_range=(0.05, 0.35),
+        instance_range=(4, 15),
+        work_range=(200.0, 2_400.0),
+    ),
+    Category.VERY_LARGE: CategoryProfile(
+        category=Category.VERY_LARGE,
+        min_nodes=LARGE_MAX_NODES + 1,
+        max_nodes=40_960,
+        typical_nodes=(8192, 16384, 32768),
+        io_fraction_range=(0.03, 0.25),
+        instance_range=(3, 10),
+        work_range=(400.0, 3_600.0),
+    ),
+}
+
+
+def categorize(nodes: int) -> Category:
+    """Category of a job running on ``nodes`` nodes (paper thresholds)."""
+    if nodes <= 0:
+        raise ValidationError(f"nodes must be positive, got {nodes}")
+    if nodes <= SMALL_MAX_NODES:
+        return Category.SMALL
+    if nodes <= LARGE_MAX_NODES:
+        return Category.LARGE
+    return Category.VERY_LARGE

@@ -1,0 +1,264 @@
+"""Synthetic application and scenario generators (Section 4.1 / 4.2).
+
+The simulations of Section 4.2 are driven by randomly generated application
+mixes "with similar properties to real applications that ran on the Intrepid
+system".  Two mix shapes cover over 95% of what ran on Intrepid:
+
+* a few large / very large applications owning the whole machine
+  (Figure 6a: 10 large applications);
+* many small applications plus a few large ones dividing the machine
+  unevenly (Figure 6b/6c: 50 small and 5 large applications).
+
+:func:`generate_mix` builds those mixes; the I/O pressure is controlled by
+``io_ratio`` — the average ratio of dedicated-mode I/O time to compute time
+(the paper uses 20% and 35%).  :func:`apply_sensibility` perturbs a periodic
+application into a quasi-periodic one for the Figure 7 study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.application import Application, Instance
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ValidationError, check_in_range, check_positive
+from repro.workload.categories import CATEGORY_PROFILES, Category
+
+__all__ = [
+    "MixSpec",
+    "generate_application",
+    "generate_mix",
+    "figure6_mix",
+    "apply_sensibility",
+]
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """How many applications of each category a generated scenario contains."""
+
+    n_small: int = 0
+    n_large: int = 0
+    n_very_large: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name in ("n_small", "n_large", "n_very_large"):
+            value = getattr(self, field_name)
+            if value < 0 or int(value) != value:
+                raise ValidationError(f"{field_name} must be a non-negative integer")
+        if self.total == 0:
+            raise ValidationError("a mix needs at least one application")
+
+    @property
+    def total(self) -> int:
+        """Total number of applications."""
+        return self.n_small + self.n_large + self.n_very_large
+
+    def counts(self) -> dict[Category, int]:
+        """Mapping category -> count."""
+        return {
+            Category.SMALL: self.n_small,
+            Category.LARGE: self.n_large,
+            Category.VERY_LARGE: self.n_very_large,
+        }
+
+
+def generate_application(
+    name: str,
+    category: Category,
+    platform: Platform,
+    io_ratio: float,
+    rng: RngLike = None,
+    *,
+    processors: Optional[int] = None,
+    n_instances: Optional[int] = None,
+) -> Application:
+    """Generate one periodic application of the given category.
+
+    Parameters
+    ----------
+    io_ratio:
+        Target ratio of dedicated-mode I/O time to compute time
+        (``time_io / w``).  The actual ratio of each application is jittered
+        by ±30% around the target so a mix is not perfectly homogeneous.
+    processors, n_instances:
+        Override the category defaults (used by the Vesta/IOR scenarios that
+        prescribe exact node counts).
+    """
+    check_in_range("io_ratio", io_ratio, 0.0, 10.0)
+    rng = as_rng(rng)
+    profile = CATEGORY_PROFILES[category]
+    if processors is None:
+        processors = int(rng.choice(profile.typical_nodes))
+    processors = min(processors, platform.total_processors)
+    if n_instances is None:
+        lo, hi = profile.instance_range
+        n_instances = int(rng.integers(lo, hi + 1))
+    work = float(rng.uniform(*profile.work_range))
+    ratio = io_ratio * float(rng.uniform(0.7, 1.3))
+    peak = platform.peak_application_bandwidth(processors)
+    io_volume = ratio * work * peak
+    return Application.periodic(
+        name=name,
+        processors=processors,
+        work=work,
+        io_volume=io_volume,
+        n_instances=n_instances,
+        category=category.value,
+    )
+
+
+def generate_mix(
+    spec: MixSpec,
+    platform: Platform,
+    io_ratio: float,
+    rng: RngLike = None,
+    *,
+    label: str = "mix",
+    fit_to_platform: bool = True,
+) -> Scenario:
+    """Generate a full scenario following ``spec`` on ``platform``.
+
+    With ``fit_to_platform`` (default) the node counts are rescaled so that
+    the applications exactly partition the machine, mirroring the paper's
+    setting where the scheduled applications own dedicated processors and
+    jointly cover the platform.
+    """
+    rng = as_rng(rng)
+    apps: list[Application] = []
+    index = 0
+    for category, count in spec.counts().items():
+        for _ in range(count):
+            apps.append(
+                generate_application(
+                    name=f"{category.value}-{index:03d}",
+                    category=category,
+                    platform=platform,
+                    io_ratio=io_ratio,
+                    rng=rng,
+                )
+            )
+            index += 1
+    if fit_to_platform:
+        apps = _fit_processors(apps, platform)
+    return Scenario(
+        platform=platform,
+        applications=tuple(apps),
+        label=label,
+        metadata={"io_ratio": io_ratio, "spec": spec.counts()},
+    )
+
+
+def figure6_mix(
+    scenario: str,
+    platform: Platform,
+    rng: RngLike = None,
+    *,
+    label: Optional[str] = None,
+) -> Scenario:
+    """The three application mixes evaluated in Figure 6.
+
+    ``scenario`` is one of:
+
+    * ``"10large-20"`` — 10 large applications, average I/O ratio 20%;
+    * ``"50small5large-20"`` — 50 small and 5 large applications, 20%;
+    * ``"50small5large-35"`` — 50 small and 5 large applications, 35%.
+    """
+    table = {
+        "10large-20": (MixSpec(n_large=10), 0.20),
+        "50small5large-20": (MixSpec(n_small=50, n_large=5), 0.20),
+        "50small5large-35": (MixSpec(n_small=50, n_large=5), 0.35),
+    }
+    if scenario not in table:
+        raise KeyError(
+            f"unknown Figure 6 scenario {scenario!r}; choose one of {sorted(table)}"
+        )
+    spec, ratio = table[scenario]
+    return generate_mix(
+        spec, platform, ratio, rng, label=label or f"figure6-{scenario}"
+    )
+
+
+def apply_sensibility(
+    application: Application,
+    sensibility_work: float = 0.0,
+    sensibility_io: float = 0.0,
+    rng: RngLike = None,
+) -> Application:
+    """Perturb a periodic application into a quasi-periodic one (Figure 7).
+
+    The paper defines the sensibility of an application as
+    ``(max_i w_i - min_i w_i) / max_i w_i``; to generate an application of
+    sensibility ``x`` it draws each instance's compute time uniformly in
+    ``[w_min, w_min * (1 + x)]`` (and likewise for the I/O volume).  This
+    function applies that exact transformation, using the periodic
+    application's parameters as the minimum values.
+    """
+    check_in_range("sensibility_work", sensibility_work, 0.0, 0.999)
+    check_in_range("sensibility_io", sensibility_io, 0.0, 0.999)
+    rng = as_rng(rng)
+    if not application.is_periodic:
+        raise ValidationError("apply_sensibility expects a periodic application")
+    base = application.instances[0]
+    n = application.n_instances
+
+    def bounds(value: float, sensibility: float) -> tuple[float, float]:
+        # Uniform draw in [lo, hi] with hi = lo / (1 - s), so the expected
+        # sensibility (max - min)/max equals s, while the midpoint stays at
+        # the periodic value — otherwise increasing the sensibility would also
+        # increase the mean work and confound the Figure 7 sweep.
+        if sensibility <= 0 or value <= 0:
+            return value, value
+        lo = value * 2.0 * (1.0 - sensibility) / (2.0 - sensibility)
+        hi = lo / (1.0 - sensibility)
+        return lo, hi
+
+    w_lo, w_hi = bounds(base.work, sensibility_work)
+    v_lo, v_hi = bounds(base.io_volume, sensibility_io)
+    works = rng.uniform(w_lo, w_hi, size=n) if base.work > 0 else np.zeros(n)
+    vols = (
+        rng.uniform(v_lo, v_hi, size=n) if base.io_volume > 0 else np.zeros(n)
+    )
+    return Application.from_sequences(
+        name=application.name,
+        processors=application.processors,
+        works=works.tolist(),
+        io_volumes=vols.tolist(),
+        release_time=application.release_time,
+        category=application.category,
+    )
+
+
+# ---------------------------------------------------------------------- #
+def _fit_processors(apps: list[Application], platform: Platform) -> list[Application]:
+    """Rescale node counts so the applications exactly fill the platform."""
+    total = sum(app.processors for app in apps)
+    capacity = platform.total_processors
+    if total <= 0:
+        raise ValidationError("applications use no processors")
+    scale = capacity / total
+    fitted: list[Application] = []
+    budget = capacity
+    for i, app in enumerate(apps):
+        remaining_apps = len(apps) - i
+        target = max(1, int(math.floor(app.processors * scale)))
+        # Keep at least one processor for every remaining application.
+        target = min(target, budget - (remaining_apps - 1))
+        target = max(target, 1)
+        budget -= target
+        fitted.append(
+            Application(
+                name=app.name,
+                processors=target,
+                instances=app.instances,
+                release_time=app.release_time,
+                category=app.category,
+            )
+        )
+    return fitted

@@ -1,0 +1,155 @@
+"""Unit tests for BandwidthAllocation, Scenario and the event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import BandwidthAllocation
+from repro.core.application import Application
+from repro.core.events import Event, EventLog, EventType
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def apps():
+    return {
+        "a": Application.periodic("a", 10, 10.0, 1e6, 2),
+        "b": Application.periodic("b", 5, 10.0, 1e6, 2),
+    }
+
+
+@pytest.fixture
+def platform():
+    return Platform("p", 100, 1e6, 1e7)
+
+
+class TestBandwidthAllocation:
+    def test_gamma_lookup_defaults_to_zero(self):
+        alloc = BandwidthAllocation({"a": 5e5})
+        assert alloc.gamma("a") == 5e5
+        assert alloc.gamma("missing") == 0.0
+
+    def test_zero_entries_dropped(self):
+        alloc = BandwidthAllocation({"a": 0.0, "b": 1.0})
+        assert "a" not in alloc
+        assert "b" in alloc
+        assert len(alloc) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            BandwidthAllocation({"a": -1.0})
+
+    def test_application_rate(self, apps):
+        alloc = BandwidthAllocation({"a": 2e5})
+        assert alloc.application_rate(apps["a"]) == pytest.approx(2e6)
+
+    def test_total_rate(self, apps):
+        alloc = BandwidthAllocation({"a": 2e5, "b": 4e5})
+        assert alloc.total_rate(apps.values()) == pytest.approx(2e6 + 2e6)
+
+    def test_validate_ok(self, apps, platform):
+        BandwidthAllocation({"a": 5e5, "b": 1e6}).validate(platform, apps)
+
+    def test_validate_unknown_application(self, apps, platform):
+        with pytest.raises(ValidationError):
+            BandwidthAllocation({"zzz": 1.0}).validate(platform, apps)
+
+    def test_validate_node_cap(self, apps, platform):
+        with pytest.raises(ValidationError):
+            BandwidthAllocation({"a": 2e6}).validate(platform, apps)
+
+    def test_validate_total_cap(self, apps, platform):
+        # a: 10 * 1e6 = 1e7 = B, b adds more -> violation
+        with pytest.raises(ValidationError):
+            BandwidthAllocation({"a": 1e6, "b": 1e6}).validate(platform, apps)
+
+    def test_validate_custom_capacity(self, apps, platform):
+        alloc = BandwidthAllocation({"a": 1e6})
+        alloc.validate(platform, apps, capacity=1e7)
+        with pytest.raises(ValidationError):
+            alloc.validate(platform, apps, capacity=1e6)
+
+    def test_restricted_to(self):
+        alloc = BandwidthAllocation({"a": 1.0, "b": 2.0})
+        restricted = alloc.restricted_to(["b"])
+        assert restricted.active_applications() == frozenset({"b"})
+
+    def test_empty(self):
+        assert len(BandwidthAllocation.empty()) == 0
+
+
+class TestScenario:
+    def test_basic(self, apps, platform):
+        sc = Scenario(platform=platform, applications=tuple(apps.values()), label="t")
+        assert sc.n_applications == 2
+        assert sc.used_processors == 15
+        assert set(sc.application_names) == {"a", "b"}
+        assert sc.application("a").processors == 10
+        assert len(list(iter(sc))) == 2
+
+    def test_duplicate_names_rejected(self, platform):
+        app = Application.periodic("dup", 5, 1.0, 1.0, 1)
+        with pytest.raises(ValidationError):
+            Scenario(platform=platform, applications=(app, app))
+
+    def test_overcommitted_platform_rejected(self, platform):
+        big = Application.periodic("big", 200, 1.0, 1.0, 1)
+        with pytest.raises(ValidationError):
+            Scenario(platform=platform, applications=(big,))
+
+    def test_empty_rejected(self, platform):
+        with pytest.raises(ValidationError):
+            Scenario(platform=platform, applications=())
+
+    def test_unknown_lookup(self, apps, platform):
+        sc = Scenario(platform=platform, applications=tuple(apps.values()))
+        with pytest.raises(KeyError):
+            sc.application("ghost")
+
+    def test_subset(self, apps, platform):
+        sc = Scenario(platform=platform, applications=tuple(apps.values()))
+        sub = sc.subset(["b"])
+        assert sub.application_names == ("b",)
+        with pytest.raises(KeyError):
+            sc.subset(["ghost"])
+
+    def test_with_helpers(self, apps, platform):
+        sc = Scenario(platform=platform, applications=tuple(apps.values()), label="x")
+        assert sc.with_label("y").label == "y"
+        bigger = Platform("p2", 1000, 1e6, 1e7)
+        assert sc.with_platform(bigger).platform.name == "p2"
+        one = sc.with_applications([apps["a"]])
+        assert one.n_applications == 1
+
+
+class TestEventLog:
+    def test_chronological_append(self):
+        log = EventLog()
+        log.append(Event(0.0, EventType.APP_RELEASE, "a"))
+        log.append(Event(1.0, EventType.IO_REQUEST, "a"))
+        assert len(log) == 2
+
+    def test_out_of_order_rejected(self):
+        log = EventLog()
+        log.append(Event(5.0, EventType.IO_REQUEST, "a"))
+        with pytest.raises(ValueError):
+            log.append(Event(1.0, EventType.IO_COMPLETE, "a"))
+
+    def test_filters(self):
+        log = EventLog()
+        log.append(Event(0.0, EventType.APP_RELEASE, "a"))
+        log.append(Event(1.0, EventType.IO_REQUEST, "b"))
+        log.append(Event(2.0, EventType.IO_COMPLETE, "b"))
+        assert len(log.of_type(EventType.IO_REQUEST)) == 1
+        assert len(log.for_app("b")) == 2
+        assert [e.event_type for e in log][0] == EventType.APP_RELEASE
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, EventType.APP_RELEASE)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            Event(0.0, "not-an-event-type")

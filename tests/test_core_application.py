@@ -1,0 +1,129 @@
+"""Unit tests for the application model (:mod:`repro.core.application`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.application import Application, Instance, total_processors
+from repro.utils.validation import ValidationError
+
+
+class TestInstance:
+    def test_basic(self):
+        inst = Instance(work=10.0, io_volume=5e6)
+        assert inst.work == 10.0 and inst.io_volume == 5e6
+
+    def test_zero_work_allowed_with_io(self):
+        assert Instance(work=0.0, io_volume=1.0).work == 0.0
+
+    def test_zero_io_allowed_with_work(self):
+        assert Instance(work=1.0, io_volume=0.0).io_volume == 0.0
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            Instance(work=0.0, io_volume=0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            Instance(work=-1.0, io_volume=1.0)
+        with pytest.raises(ValidationError):
+            Instance(work=1.0, io_volume=-1.0)
+
+
+class TestApplicationConstruction:
+    def test_periodic_constructor(self):
+        app = Application.periodic("a", 16, work=10.0, io_volume=1e6, n_instances=4)
+        assert app.n_instances == 4
+        assert app.is_periodic
+        assert app.total_work == 40.0
+        assert app.total_io_volume == 4e6
+
+    def test_from_sequences(self):
+        app = Application.from_sequences("a", 8, works=[1, 2, 3], io_volumes=[10, 20, 30])
+        assert app.n_instances == 3
+        assert not app.is_periodic
+        assert app.total_work == 6.0
+
+    def test_from_sequences_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Application.from_sequences("a", 8, works=[1, 2], io_volumes=[10])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Application.periodic("", 8, 1.0, 1.0, 1)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValidationError):
+            Application.periodic("a", 0, 1.0, 1.0, 1)
+
+    def test_fractional_processors_rejected(self):
+        with pytest.raises(ValidationError):
+            Application("a", 2.5, (Instance(1.0, 1.0),))
+
+    def test_no_instances_rejected(self):
+        with pytest.raises(ValidationError):
+            Application(name="a", processors=4, instances=())
+
+    def test_zero_instance_count_rejected(self):
+        with pytest.raises(ValidationError):
+            Application.periodic("a", 4, 1.0, 1.0, 0)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValidationError):
+            Application.periodic("a", 4, 1.0, 1.0, 1, release_time=-1.0)
+
+    def test_instances_are_tuple(self):
+        app = Application.periodic("a", 4, 1.0, 1.0, 2)
+        assert isinstance(app.instances, tuple)
+
+
+class TestApplicationDerived:
+    def test_io_time_dedicated_node_limited(self):
+        # 4 procs * 10 B/s = 40 B/s < B = 1000 B/s -> node-limited
+        app = Application.periodic("a", 4, work=1.0, io_volume=400.0, n_instances=1)
+        assert app.io_time_dedicated(10.0, 1000.0) == pytest.approx(10.0)
+
+    def test_io_time_dedicated_system_limited(self):
+        # 100 procs * 10 B/s = 1000 > B = 500 -> system-limited
+        app = Application.periodic("a", 100, work=1.0, io_volume=500.0, n_instances=1)
+        assert app.io_time_dedicated(10.0, 500.0) == pytest.approx(1.0)
+
+    def test_optimal_efficiency_formula(self):
+        app = Application.periodic("a", 10, work=90.0, io_volume=100.0, n_instances=5)
+        # peak = min(10*10, 1e9) = 100 B/s, time_io = 1 s per instance
+        rho = app.optimal_efficiency(10.0, 1e9)
+        assert rho == pytest.approx(90.0 / 91.0)
+
+    def test_optimal_efficiency_no_io(self):
+        app = Application.periodic("a", 10, work=5.0, io_volume=0.0, n_instances=2)
+        assert app.optimal_efficiency(10.0, 100.0) == 1.0
+
+    def test_instance_io_time_dedicated(self):
+        app = Application.from_sequences("a", 10, works=[1, 1], io_volumes=[100.0, 200.0])
+        assert app.instance_io_time_dedicated(1, 10.0, 1e9) == pytest.approx(2.0)
+
+    def test_work_and_volume_arrays(self):
+        app = Application.from_sequences("a", 2, works=[1, 2], io_volumes=[3, 4])
+        assert np.array_equal(app.work_array(), [1.0, 2.0])
+        assert np.array_equal(app.io_volume_array(), [3.0, 4.0])
+
+    def test_with_release_time(self):
+        app = Application.periodic("a", 4, 1.0, 1.0, 1)
+        moved = app.with_release_time(7.0)
+        assert moved.release_time == 7.0 and app.release_time == 0.0
+        assert moved.name == app.name
+
+    def test_with_name(self):
+        app = Application.periodic("a", 4, 1.0, 1.0, 1)
+        renamed = app.with_name("b")
+        assert renamed.name == "b" and renamed.instances == app.instances
+
+    def test_is_periodic_false_for_varying(self):
+        app = Application.from_sequences("a", 2, works=[1, 2], io_volumes=[1, 1])
+        assert not app.is_periodic
+
+
+def test_total_processors():
+    apps = [Application.periodic(f"a{i}", 10 * (i + 1), 1.0, 1.0, 1) for i in range(3)]
+    assert total_processors(apps) == 60

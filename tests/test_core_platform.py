@@ -1,0 +1,116 @@
+"""Unit tests for the platform model and the machine presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import (
+    BurstBufferSpec,
+    Platform,
+    generic,
+    intrepid,
+    mira,
+    vesta,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestBurstBufferSpec:
+    def test_valid(self):
+        spec = BurstBufferSpec(capacity=1e12, ingest_bandwidth=1e11, drain_bandwidth=1e10)
+        assert spec.capacity == 1e12
+
+    @pytest.mark.parametrize("field", ["capacity", "ingest_bandwidth", "drain_bandwidth"])
+    def test_non_positive_rejected(self, field):
+        kwargs = dict(capacity=1.0, ingest_bandwidth=1.0, drain_bandwidth=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(ValidationError):
+            BurstBufferSpec(**kwargs)
+
+
+class TestPlatform:
+    def test_valid(self):
+        p = Platform("p", 100, 1e6, 1e8)
+        assert p.total_processors == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform("", 10, 1.0, 1.0)
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform("p", 0, 1.0, 1.0)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            Platform("p", 10, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            Platform("p", 10, 1.0, -1.0)
+
+    def test_bad_burst_buffer_type(self):
+        with pytest.raises(ValidationError):
+            Platform("p", 10, 1.0, 1.0, burst_buffer="not a spec")
+
+    def test_peak_application_bandwidth_node_limited(self):
+        p = Platform("p", 100, 1e6, 2e7)
+        assert p.peak_application_bandwidth(10) == pytest.approx(1e7)
+
+    def test_peak_application_bandwidth_system_limited(self):
+        p = Platform("p", 100, 1e6, 2e7)
+        assert p.peak_application_bandwidth(50) == pytest.approx(2e7)
+
+    def test_congestion_point(self):
+        p = Platform("p", 100, 1e6, 2e7)
+        assert p.congestion_point() == pytest.approx(20.0)
+
+    def test_with_and_without_burst_buffer(self):
+        spec = BurstBufferSpec(1e9, 1e9, 1e8)
+        p = Platform("p", 10, 1.0, 10.0)
+        with_bb = p.with_burst_buffer(spec)
+        assert with_bb.burst_buffer is spec
+        assert with_bb.without_burst_buffer().burst_buffer is None
+        # Original untouched (frozen dataclass semantics).
+        assert p.burst_buffer is None
+
+    def test_scaled(self):
+        p = Platform("p", 1000, 1e6, 1e9)
+        half = p.scaled(0.5)
+        assert half.total_processors == 500
+        assert half.system_bandwidth == pytest.approx(5e8)
+        assert half.node_bandwidth == p.node_bandwidth
+
+    def test_scaled_requires_positive_factor(self):
+        with pytest.raises(ValidationError):
+            Platform("p", 10, 1.0, 1.0).scaled(0.0)
+
+
+class TestPresets:
+    def test_intrepid_shape(self):
+        p = intrepid()
+        assert p.total_processors == 40_960
+        assert p.node_bandwidth == pytest.approx(0.1e9)
+        assert p.burst_buffer is None
+
+    def test_intrepid_with_burst_buffer(self):
+        p = intrepid(with_burst_buffer=True)
+        assert p.burst_buffer is not None
+        assert p.burst_buffer.drain_bandwidth <= p.system_bandwidth
+
+    def test_mira_is_bigger_than_intrepid(self):
+        assert mira().system_bandwidth > intrepid().system_bandwidth
+        assert mira().total_processors > intrepid().total_processors
+
+    def test_vesta_is_small_mira(self):
+        v, m = vesta(), mira()
+        assert v.node_bandwidth == m.node_bandwidth
+        assert v.total_processors == 2_048
+        assert v.system_bandwidth < m.system_bandwidth
+
+    def test_all_presets_accept_burst_buffer_flag(self):
+        for factory in (intrepid, mira, vesta):
+            assert factory(True).burst_buffer is not None
+            assert factory(False).burst_buffer is None
+
+    def test_generic(self):
+        p = generic(10, 1.0, 5.0, name="tiny")
+        assert p.name == "tiny" and p.total_processors == 10

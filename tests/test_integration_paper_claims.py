@@ -1,0 +1,244 @@
+"""Integration tests asserting the paper's qualitative claims end to end.
+
+These are the "does the reproduction reproduce" tests: each one runs a small
+version of one of the paper's experiments through the public API and checks
+the *shape* of the result (who wins, in which direction), never the absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.platform import intrepid, vesta
+from repro.experiments.comparison import (
+    congested_moments_experiment,
+    figure6_experiment,
+)
+from repro.experiments.runner import SchedulerCase, run_grid
+from repro.experiments.vesta import figure16_per_application_dilation, run_vesta_case
+from repro.online.registry import make_scheduler
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.workload.congested import intrepid_congested_moments
+from repro.workload.generator import figure6_mix
+
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def intrepid_moments():
+    """A handful of Intrepid congested moments shared by several tests."""
+    return intrepid_congested_moments(4, rng=11)
+
+
+@pytest.fixture(scope="module")
+def moments_grid(intrepid_moments):
+    cases = [
+        SchedulerCase("MaxSysEff"),
+        SchedulerCase("MinDilation"),
+        SchedulerCase("MinMax-0.5"),
+        SchedulerCase("Priority-MaxSysEff"),
+        SchedulerCase("Priority-MinDilation"),
+        SchedulerCase("RoundRobin"),
+        SchedulerCase("Intrepid"),
+        SchedulerCase(
+            "Intrepid",
+            use_burst_buffer=True,
+            burst_buffer_platform=intrepid(with_burst_buffer=True),
+            label="Intrepid+BB",
+        ),
+    ]
+    return run_grid(intrepid_moments, cases)
+
+
+class TestCongestedMomentClaims:
+    def test_heuristics_beat_uncoordinated_congestion(self, moments_grid):
+        """Core claim: the global scheduler mitigates congestion (Section 4.4)."""
+        baseline = moments_grid.mean("Intrepid", "system_efficiency")
+        for scheduler in ("MaxSysEff", "MinDilation", "MinMax-0.5"):
+            assert moments_grid.mean(scheduler, "system_efficiency") > baseline
+
+    def test_heuristics_reduce_dilation_versus_congestion(self, moments_grid):
+        baseline = moments_grid.mean("Intrepid", "dilation")
+        assert moments_grid.mean("MinDilation", "dilation") < baseline
+        assert moments_grid.mean("MinMax-0.5", "dilation") < baseline
+
+    def test_maxsyseff_among_best_system_efficiency(self, moments_grid):
+        """MaxSysEff optimizes the machine-level objective.
+
+        On the full 56-moment campaign MaxSysEff has the best average
+        SysEfficiency; on a 4-moment sample the ordering against the other
+        coordinated heuristics can wobble by a couple of points, so the test
+        asserts it is within a small margin of the best and clearly above
+        the uncoordinated baseline and RoundRobin.
+        """
+        best = moments_grid.mean("MaxSysEff", "system_efficiency")
+        for other in ("MinDilation", "MinMax-0.5"):
+            assert best >= moments_grid.mean(other, "system_efficiency") - 3.0
+        assert best > moments_grid.mean("RoundRobin", "system_efficiency")
+        assert best > moments_grid.mean("Intrepid", "system_efficiency")
+
+    def test_mindilation_best_dilation(self, moments_grid):
+        """MinDilation optimizes the user-level fairness objective."""
+        best = moments_grid.mean("MinDilation", "dilation")
+        for other in ("MaxSysEff", "MinMax-0.5", "RoundRobin", "Intrepid"):
+            assert best <= moments_grid.mean(other, "dilation") + 1e-9
+
+    def test_minmax_is_a_trade_off(self, moments_grid):
+        """MinMax-γ sits between the two extreme heuristics on both objectives."""
+        dil = {
+            name: moments_grid.mean(name, "dilation")
+            for name in ("MaxSysEff", "MinMax-0.5", "MinDilation")
+        }
+        assert dil["MinDilation"] <= dil["MinMax-0.5"] <= dil["MaxSysEff"]
+
+    def test_priority_variant_costs_little(self, moments_grid):
+        """Priority variants stay close to the originals.
+
+        The paper observes the Priority constraint is usually slightly less
+        efficient but that "the difference in system efficiency and
+        application dilation is small in all studied scenarios"; the test
+        asserts exactly that smallness, in both directions.
+        """
+        for base in ("MaxSysEff", "MinDilation"):
+            plain = moments_grid.mean(base, "system_efficiency")
+            prio = moments_grid.mean(f"Priority-{base}", "system_efficiency")
+            assert abs(prio - plain) <= 0.2 * plain
+
+    def test_heuristics_without_bb_comparable_to_baseline_with_bb(self, moments_grid):
+        """The striking result: no burst buffers needed to match the baseline."""
+        with_bb = moments_grid.mean("Intrepid+BB", "system_efficiency")
+        no_bb_heuristic = moments_grid.mean("MaxSysEff", "system_efficiency")
+        assert no_bb_heuristic >= 0.8 * with_bb
+        # ... and the heuristic remains far ahead of the baseline without them.
+        assert no_bb_heuristic > 1.2 * moments_grid.mean("Intrepid", "system_efficiency")
+
+    def test_upper_limit_bounds_everything(self, moments_grid):
+        # The upper limit is defined against the file-system-only model
+        # (min(beta*b, B)); burst-buffer runs can legitimately exceed it
+        # because the staging layer is faster than the file system, so they
+        # are excluded here.
+        for scheduler in moments_grid.schedulers():
+            if scheduler.endswith("+BB"):
+                continue
+            eff = np.asarray(moments_grid.series(scheduler, "system_efficiency"))
+            upper = np.asarray(moments_grid.series(scheduler, "upper_limit"))
+            assert np.all(eff <= upper * (1 + 1e-6))
+
+
+class TestFigure6Claims:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure6_experiment(
+            "10large-20",
+            n_repetitions=4,
+            schedulers=("MaxSysEff", "MinDilation", "MinMax-0.5", "RoundRobin"),
+            rng=21,
+        )
+
+    def test_maxsyseff_vs_mindilation_trade_off(self, result):
+        max_eff = result.averages["MaxSysEff"]
+        min_dil = result.averages["MinDilation"]
+        assert max_eff.system_efficiency > min_dil.system_efficiency
+        assert min_dil.dilation < max_eff.dilation
+
+    def test_minmax_trade_off_position(self, result):
+        minmax = result.averages["MinMax-0.5"]
+        assert minmax.dilation <= result.averages["MaxSysEff"].dilation + 1e-9
+        assert minmax.dilation >= result.averages["MinDilation"].dilation - 1e-9
+
+    def test_round_robin_is_not_the_best(self, result):
+        rr = result.averages["RoundRobin"]
+        assert rr.system_efficiency <= result.averages["MaxSysEff"].system_efficiency
+        assert rr.dilation >= result.averages["MinDilation"].dilation
+
+
+class TestTableExperiments:
+    def test_mira_campaign_shape(self):
+        result = congested_moments_experiment(
+            "mira",
+            n_moments=3,
+            schedulers=("MaxSysEff", "MinMax-0.5", "MinDilation"),
+            rng=31,
+        )
+        table = result.table()
+        # Dilation decreases monotonically from MaxSysEff to MinDilation.
+        assert (
+            table["MinDilation"].dilation
+            <= table["MinMax-0.5"].dilation
+            <= table["MaxSysEff"].dilation
+        )
+        # The baseline with burst buffers does not dominate the best heuristic.
+        assert table["MaxSysEff"].system_efficiency >= 0.9 * table["Mira"].system_efficiency
+        assert result.mean_upper_limit() >= table["MaxSysEff"].system_efficiency - 1e-9
+
+
+class TestVestaClaims:
+    def test_heuristics_beat_plain_ior_when_congested(self):
+        mix = "512/256/256/32"
+        ior = run_vesta_case(mix, "IOR", rng=0)
+        maxsyseff = run_vesta_case(mix, "MaxSysEff", rng=0)
+        mindil = run_vesta_case(mix, "MinDilation", rng=0)
+        assert maxsyseff.summary.system_efficiency > ior.summary.system_efficiency
+        assert mindil.summary.dilation < ior.summary.dilation
+
+    def test_heuristics_without_bb_vs_ior_with_bb(self):
+        """Section 5's headline: >= 3 applications, no BB needed."""
+        mix = "256/256/256/256"
+        bb_ior = run_vesta_case(mix, "BBIOR", rng=0)
+        maxsyseff = run_vesta_case(mix, "MaxSysEff", rng=0)
+        assert maxsyseff.summary.system_efficiency >= 0.9 * bb_ior.summary.system_efficiency
+
+    def test_single_application_overhead_is_small(self):
+        """With one application the scheduler only adds its request overhead."""
+        solo_ior = run_vesta_case("512", "IOR", rng=0)
+        solo_sched = run_vesta_case("512", "MaxSysEff", rng=0)
+        loss = (
+            solo_ior.summary.system_efficiency - solo_sched.summary.system_efficiency
+        ) / solo_ior.summary.system_efficiency
+        assert 0.0 <= loss < 0.1
+
+    def test_figure16_maxsyseff_sacrifices_small_application(self):
+        data = figure16_per_application_dilation("512/256/256/32", rng=0)
+        small_app = "ior-3-32n"
+        big_app = "ior-0-512n"
+        # MaxSysEff favours the big application at the expense of the small one.
+        assert data["MaxSysEff"][big_app] <= data["MaxSysEff"][small_app]
+        # MinDilation keeps the spread of dilations tighter than MaxSysEff.
+        spread = lambda d: max(d.values()) - min(d.values())  # noqa: E731
+        assert spread(data["MinDilation"]) <= spread(data["MaxSysEff"])
+
+
+class TestPeriodicVsOnline:
+    def test_periodic_schedule_competitive_on_steady_state(self):
+        """Periodic schedules reach a steady-state efficiency comparable to
+        what the online scheduler achieves on the same applications.
+
+        The comparison uses applications whose individual I/O does not
+        saturate the whole back-end (otherwise the greedy periodic insertion
+        has no choice but to serialize all transfers, which the paper leaves
+        to future work to improve on).
+        """
+        from repro.core.application import Application
+        from repro.core.platform import Platform
+        from repro.core.scenario import Scenario
+        from repro.periodic import InsertInScheduleThrou, search_period
+
+        platform = Platform("steady", 200, 1e6, 2e7)
+        apps = [
+            Application.periodic(f"s{i}", 30, work=120.0 + 30 * i, io_volume=8e8,
+                                 n_instances=4)
+            for i in range(4)
+        ]
+        result = search_period(
+            InsertInScheduleThrou(), platform, apps,
+            objective="system_efficiency", epsilon=0.2, max_period_factor=5.0,
+        )
+        periodic_eff = result.best_schedule.summary().system_efficiency
+        scenario = Scenario(platform=platform, applications=tuple(apps))
+        online = simulate(scenario, make_scheduler("MaxSysEff"), SimulatorConfig())
+        online_eff = online.summary().system_efficiency
+        assert result.best_schedule.is_complete()
+        assert periodic_eff >= 0.6 * online_eff

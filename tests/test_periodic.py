@@ -1,0 +1,238 @@
+"""Unit tests for periodic schedules, greedy insertion and the period search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.platform import Platform
+from repro.periodic.heuristics import InsertInScheduleCong, InsertInScheduleThrou
+from repro.periodic.insertion import GreedyInserter
+from repro.periodic.period_search import minimum_period, search_period
+from repro.periodic.schedule import PeriodicSchedule, ScheduledInstance
+from repro.utils.validation import ValidationError
+
+PLATFORM = Platform("p", 100, 1e6, 2e7)
+
+
+def app(name="a", procs=10, work=100.0, vol=1e8, n=3):
+    # 10 procs * 1 MB/s = 10 MB/s -> vol 1e8 takes 10 s dedicated.
+    return Application.periodic(name, procs, work, vol, n)
+
+
+class TestScheduledInstance:
+    def test_properties(self):
+        inst = ScheduledInstance("a", 0.0, 10.0, 10.0, 5.0, 1e6)
+        assert inst.compute_end == 10.0
+        assert inst.io_end == 15.0
+        assert inst.end == 15.0
+
+    def test_io_before_compute_end_rejected(self):
+        with pytest.raises(ValidationError):
+            ScheduledInstance("a", 0.0, 10.0, 5.0, 5.0, 1e6)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValidationError):
+            ScheduledInstance("a", -1.0, 10.0, 10.0, 5.0, 1e6)
+
+
+class TestPeriodicSchedule:
+    def test_requires_periodic_applications(self):
+        aperiodic = Application.from_sequences("x", 10, [1, 2], [1e6, 1e6])
+        with pytest.raises(ValidationError):
+            PeriodicSchedule(PLATFORM, [aperiodic], period=100.0)
+
+    def test_add_instance_and_counts(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+        assert schedule.instances_per_application()["a"] == 1
+        assert len(schedule) == 1
+        assert schedule.is_complete()
+
+    def test_volume_mismatch_rejected(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        with pytest.raises(ValidationError):
+            # Transfers 10 procs * 1e6 * 5 s = 5e7 != 1e8.
+            schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 5.0, 1e6))
+
+    def test_own_overlap_rejected(self):
+        schedule = PeriodicSchedule(PLATFORM, [app(n=2)], period=400.0)
+        schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+        with pytest.raises(ValidationError):
+            schedule.add_instance(ScheduledInstance("a", 50.0, 100.0, 150.0, 10.0, 1e6))
+
+    def test_bandwidth_cap_rejected(self):
+        big1 = app("b1", procs=50, vol=1e9)   # 50 MB/s demand at gamma = b
+        big2 = app("b2", procs=50, vol=1e9)
+        schedule = PeriodicSchedule(PLATFORM, [big1, big2], period=1000.0)
+        # b1 uses min(50*1e6, 2e7) = 2e7 -> gamma = 4e5 over 50 s.
+        schedule.add_instance(ScheduledInstance("b1", 0.0, 100.0, 100.0, 50.0, 4e5))
+        with pytest.raises(ValidationError):
+            # Overlapping I/O that would need another 2e7.
+            schedule.add_instance(ScheduledInstance("b2", 10.0, 100.0, 110.0, 50.0, 4e5))
+
+    def test_node_bandwidth_cap_rejected(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        with pytest.raises(ValidationError):
+            schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 5.0, 2e6))
+
+    def test_period_overflow_rejected(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=105.0)
+        with pytest.raises(ValidationError):
+            schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+
+    def test_steady_state_efficiency(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=220.0)
+        schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+        schedule.add_instance(ScheduledInstance("a", 110.0, 100.0, 210.0, 10.0, 1e6))
+        assert schedule.steady_state_efficiency("a") == pytest.approx(200.0 / 220.0)
+        summary = schedule.summary()
+        assert summary.dilation == pytest.approx((100 / 110) / (200 / 220))
+
+    def test_available_bandwidth_profile(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+        assert schedule.available_bandwidth(50.0) == pytest.approx(2e7)
+        assert schedule.available_bandwidth(105.0) == pytest.approx(2e7 - 1e7)
+        assert schedule.min_available_bandwidth(0.0, 300.0) == pytest.approx(1e7)
+
+    def test_validate_passes_on_consistent_schedule(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        schedule.add_instance(ScheduledInstance("a", 0.0, 100.0, 100.0, 10.0, 1e6))
+        schedule.validate()
+
+
+class TestGreedyInserter:
+    def test_first_instance_at_time_zero(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=300.0)
+        inserter = GreedyInserter(schedule)
+        assert inserter.try_insert(app()) is True
+        placed = schedule.instances[0]
+        assert placed.compute_start == 0.0
+        assert placed.io_start == pytest.approx(100.0)
+        assert placed.io_bandwidth == pytest.approx(1e6)
+
+    def test_insertion_stops_when_full(self):
+        schedule = PeriodicSchedule(PLATFORM, [app()], period=230.0)
+        inserter = GreedyInserter(schedule)
+        count = 0
+        while inserter.try_insert(app()):
+            count += 1
+        # Each instance occupies 110 s: exactly two fit in 230 s.
+        assert count == 2
+
+    def test_two_apps_share_bandwidth_windows(self):
+        a = app("a", procs=30, vol=6e8)   # peak 2e7 system-limited -> 30 s I/O
+        c = app("c", procs=30, vol=6e8)
+        schedule = PeriodicSchedule(PLATFORM, [a, c], period=400.0)
+        inserter = GreedyInserter(schedule)
+        assert inserter.try_insert(a)
+        assert inserter.try_insert(c)
+        schedule.validate()
+        # The second application cannot transfer at the full back-end rate
+        # while the first one is transferring, so either it starts later or
+        # it runs at a reduced constant bandwidth.
+        first, second = schedule.instances
+        if second.io_start < first.io_end:
+            assert second.io_bandwidth < PLATFORM.node_bandwidth
+
+    def test_unknown_application_rejected(self):
+        schedule = PeriodicSchedule(PLATFORM, [app("a")], period=300.0)
+        inserter = GreedyInserter(schedule)
+        with pytest.raises(ValidationError):
+            inserter.find_placement(app("ghost"))
+
+    def test_infeasible_period_returns_none(self):
+        schedule = PeriodicSchedule(PLATFORM, [app(work=500.0)], period=100.0)
+        inserter = GreedyInserter(schedule)
+        assert inserter.find_placement(app(work=500.0)) is None
+
+
+class TestHeuristics:
+    def apps(self):
+        return [
+            app("io_heavy", procs=20, work=50.0, vol=1e9, n=3),
+            app("cpu_heavy", procs=40, work=400.0, vol=2e8, n=3),
+            app("balanced", procs=30, work=150.0, vol=5e8, n=3),
+        ]
+
+    @pytest.mark.parametrize("heuristic", [InsertInScheduleThrou(), InsertInScheduleCong()])
+    def test_schedules_are_valid_and_complete(self, heuristic):
+        schedule = heuristic.build(PLATFORM, self.apps(), period=1200.0)
+        schedule.validate()
+        assert schedule.is_complete()
+
+    def test_throu_fills_more_of_the_period(self):
+        # The throughput heuristic should never schedule fewer total
+        # instances than needed for completeness; usually it packs more of
+        # the I/O-bound application.
+        schedule = InsertInScheduleThrou().build(PLATFORM, self.apps(), period=1200.0)
+        counts = schedule.instances_per_application()
+        assert counts["io_heavy"] >= 1
+
+    def test_cong_balances_scheduled_load(self):
+        # The Dilation-oriented heuristic balances n_per * (w + time_io), not
+        # raw instance counts: every application's scheduled load should end
+        # up within one footprint of the others.
+        schedule = InsertInScheduleCong().build(PLATFORM, self.apps(), period=1200.0)
+        counts = schedule.instances_per_application()
+        loads = {}
+        footprints = {}
+        for application in self.apps():
+            inst = application.instances[0]
+            peak = PLATFORM.peak_application_bandwidth(application.processors)
+            footprint = inst.work + inst.io_volume / peak
+            footprints[application.name] = footprint
+            loads[application.name] = counts[application.name] * footprint
+        spread = max(loads.values()) - min(loads.values())
+        assert spread <= max(footprints.values()) + 1e-6
+
+    def test_empty_applications_rejected(self):
+        with pytest.raises(ValidationError):
+            InsertInScheduleThrou().build(PLATFORM, [], period=100.0)
+
+
+class TestPeriodSearch:
+    def test_minimum_period(self):
+        a = app(procs=10, work=100.0, vol=1e8)  # 100 + 10
+        c = app("c", procs=20, work=300.0, vol=2e8)  # 300 + 10
+        assert minimum_period(PLATFORM, [a, c]) == pytest.approx(310.0)
+
+    def test_search_returns_best_and_sweep(self):
+        apps = [app("a", procs=30, work=100.0, vol=3e8, n=2),
+                app("b", procs=30, work=150.0, vol=3e8, n=2)]
+        result = search_period(
+            InsertInScheduleCong(), PLATFORM, apps,
+            objective="dilation", epsilon=0.25, max_period_factor=4.0,
+        )
+        assert result.best_schedule.is_complete()
+        assert len(result.sweep) >= 2
+        assert result.best_point.period == result.best_period
+
+    def test_objective_validation(self):
+        with pytest.raises(ValidationError):
+            search_period(
+                InsertInScheduleCong(), PLATFORM, [app()], objective="nonsense"
+            )
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            search_period(InsertInScheduleCong(), PLATFORM, [app()], epsilon=0.0)
+
+    def test_max_period_smaller_than_min_rejected(self):
+        with pytest.raises(ValidationError):
+            search_period(
+                InsertInScheduleCong(), PLATFORM, [app(work=500.0)], max_period=10.0
+            )
+
+    def test_best_system_efficiency_not_worse_than_first_point(self):
+        apps = [app("a", procs=30, work=100.0, vol=3e8, n=2),
+                app("b", procs=30, work=150.0, vol=3e8, n=2)]
+        result = search_period(
+            InsertInScheduleThrou(), PLATFORM, apps,
+            objective="system_efficiency", epsilon=0.3, max_period_factor=3.0,
+        )
+        first = result.sweep[0]
+        best = result.best_point
+        if first.complete:
+            assert best.system_efficiency >= first.system_efficiency - 1e-9

@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These fuzz the pieces whose correctness everything else rests on:
+
+* bandwidth allocators never violate the Section 2.1 feasibility constraints;
+* the discrete-event engine conserves I/O volume, completes every instance,
+  never finishes an application faster than its dedicated-mode bound, and
+  reports a dilation >= 1;
+* the interference model is monotone and bounded;
+* the periodic greedy inserter only ever produces feasible schedules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.application import Application
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.online.baselines import FairShare
+from repro.online.heuristics import MaxSysEff, MinDilation, MinMaxGamma, RoundRobin
+from repro.online.priority import Priority
+from repro.periodic.heuristics import InsertInScheduleCong, InsertInScheduleThrou
+from repro.simulator.bandwidth import fair_share, favor_in_order
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.interference import InterferenceModel
+from repro.simulator.interface import ApplicationPhase, ApplicationView
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+views_strategy = st.lists(
+    st.builds(
+        lambda i, procs, remaining, achieved, optimal, started: ApplicationView(
+            name=f"app{i}",
+            processors=procs,
+            phase=ApplicationPhase.IO_PENDING,
+            remaining_io_volume=remaining,
+            io_started=started,
+            achieved_efficiency=achieved,
+            optimal_efficiency=max(achieved, optimal),
+            last_io_end=-math.inf,
+            io_request_time=0.0,
+            instance_index=0,
+            n_instances=3,
+            total_io_transferred=0.0,
+        ),
+        i=st.integers(0, 10_000),
+        procs=st.integers(1, 500),
+        remaining=st.floats(1e3, 1e12),
+        achieved=st.floats(0.0, 1.0),
+        optimal=st.floats(0.01, 1.0),
+        started=st.booleans(),
+    ),
+    min_size=1,
+    max_size=12,
+    unique_by=lambda v: v.name,
+)
+
+
+def scenario_strategy():
+    """Small random scenarios that always fit a 200-processor platform."""
+    app_strategy = st.tuples(
+        st.integers(1, 40),                      # processors
+        st.floats(1.0, 200.0),                   # work
+        st.floats(0.0, 5e8),                     # io volume
+        st.integers(1, 4),                       # instances
+        st.floats(0.0, 100.0),                   # release time
+    )
+    return st.lists(app_strategy, min_size=1, max_size=5).map(_build_scenario)
+
+
+def _build_scenario(rows):
+    platform = Platform("prop", 200, 1e6, 1.5e7)
+    apps = []
+    for i, (procs, work, vol, n_inst, release) in enumerate(rows):
+        if work < 1e-3 and vol < 1e-3:
+            vol = 1e6
+        apps.append(
+            Application.periodic(
+                name=f"p{i}",
+                processors=procs,
+                work=work,
+                io_volume=vol,
+                n_instances=n_inst,
+                release_time=release,
+            )
+        )
+    return Scenario(platform=platform, applications=tuple(apps), label="prop")
+
+
+SCHEDULER_FACTORIES = [
+    FairShare,
+    RoundRobin,
+    MinDilation,
+    MaxSysEff,
+    lambda: MinMaxGamma(0.5),
+    lambda: Priority(MaxSysEff()),
+]
+
+
+# --------------------------------------------------------------------------- #
+# Allocation invariants
+# --------------------------------------------------------------------------- #
+class TestAllocatorProperties:
+    @given(views=views_strategy, total=st.floats(0.0, 1e11))
+    @settings(max_examples=80, deadline=None)
+    def test_favor_in_order_feasible(self, views, total):
+        b = 1e6
+        alloc = favor_in_order(views, b, total)
+        assert all(g <= b * (1 + 1e-9) for g in alloc.per_processor_bandwidth.values())
+        used = sum(alloc.gamma(v.name) * v.processors for v in views)
+        assert used <= total * (1 + 1e-9)
+
+    @given(views=views_strategy, total=st.floats(0.0, 1e11))
+    @settings(max_examples=80, deadline=None)
+    def test_fair_share_feasible_and_work_conserving(self, views, total):
+        b = 1e6
+        alloc = fair_share(views, b, total)
+        assert all(g <= b * (1 + 1e-9) for g in alloc.per_processor_bandwidth.values())
+        used = sum(alloc.gamma(v.name) * v.processors for v in views)
+        assert used <= total * (1 + 1e-9)
+        # Work conservation: either the demand or the capacity is saturated.
+        demand = sum(min(v.processors * b, total) for v in views)
+        if total > 0 and views:
+            assert used == pytest.approx(min(total, sum(v.processors * b for v in views)), rel=1e-6) or used <= demand
+
+    @given(
+        strength=st.floats(0.01, 5.0),
+        floor=st.floats(0.0, 1.0),
+        k=st.integers(1, 200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interference_bounded_and_monotone(self, strength, floor, k):
+        model = InterferenceModel(strength=strength, floor=floor)
+        assert floor - 1e-12 <= model.factor(k) <= 1.0
+        assert model.factor(k) >= model.factor(k + 1) - 1e-12
+
+
+# --------------------------------------------------------------------------- #
+# Engine invariants
+# --------------------------------------------------------------------------- #
+class TestEngineProperties:
+    @given(scenario=scenario_strategy(), scheduler_index=st.integers(0, len(SCHEDULER_FACTORIES) - 1))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_simulation_invariants(self, scenario, scheduler_index):
+        scheduler = SCHEDULER_FACTORIES[scheduler_index]()
+        result = simulate(scenario, scheduler, SimulatorConfig())
+        for app in scenario:
+            record = result.record(app.name)
+            # All I/O volume transferred.
+            assert record.total_io_transferred == pytest.approx(
+                app.total_io_volume, rel=1e-6, abs=1.0
+            )
+            # Every instance executed exactly once.
+            assert len(record.instances) == app.n_instances
+            # Completion never earlier than the dedicated-mode lower bound.
+            peak = scenario.platform.peak_application_bandwidth(app.processors)
+            dedicated = app.total_work + app.total_io_volume / peak
+            assert record.completion_time >= app.release_time + dedicated - 1e-6
+            # Dilation is at least 1 (up to numerical noise: the engine cuts
+            # intervals with an absolute epsilon of 1e-9 s, which shows up as
+            # a relative error on sub-second applications).
+            assert record.dilation() >= 1.0 - 1e-6
+        summary = result.summary()
+        assert 0.0 <= summary.system_efficiency <= 100.0 * (1.0 + 1e-6)
+        assert summary.system_efficiency <= summary.upper_limit * (1.0 + 1e-6)
+
+    @given(scenario=scenario_strategy())
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_fair_share_is_deterministic(self, scenario):
+        a = simulate(scenario, FairShare(), SimulatorConfig())
+        b = simulate(scenario, FairShare(), SimulatorConfig())
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.summary().dilation == pytest.approx(b.summary().dilation)
+
+
+# --------------------------------------------------------------------------- #
+# Periodic schedule invariants
+# --------------------------------------------------------------------------- #
+class TestPeriodicProperties:
+    periodic_apps = st.lists(
+        st.tuples(
+            st.integers(1, 60),            # processors
+            st.floats(10.0, 300.0),        # work
+            st.floats(1e6, 1e9),           # io volume
+        ),
+        min_size=1,
+        max_size=4,
+    )
+
+    @given(rows=periodic_apps, heuristic_index=st.integers(0, 1), factor=st.floats(1.5, 4.0))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_greedy_schedules_always_feasible(self, rows, heuristic_index, factor):
+        platform = Platform("prop", 200, 1e6, 1.5e7)
+        apps = [
+            Application.periodic(f"q{i}", procs, work, vol, n_instances=2)
+            for i, (procs, work, vol) in enumerate(rows)
+        ]
+        heuristic = (InsertInScheduleThrou(), InsertInScheduleCong())[heuristic_index]
+        worst = max(
+            a.instances[0].work
+            + a.instances[0].io_volume / platform.peak_application_bandwidth(a.processors)
+            for a in apps
+        )
+        schedule = heuristic.build(platform, apps, period=worst * factor)
+        # validate() raises on any constraint violation.
+        schedule.validate()
+        summary = schedule.summary()
+        assert 0.0 <= summary.system_efficiency <= 100.0 + 1e-9

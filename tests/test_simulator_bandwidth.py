@@ -1,0 +1,150 @@
+"""Unit tests for the bandwidth allocation primitives and interference model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.simulator.bandwidth import fair_share, favor_in_order, single_application_rate
+from repro.simulator.interference import (
+    DEFAULT_INTERFERENCE,
+    NO_INTERFERENCE,
+    InterferenceModel,
+)
+from repro.simulator.interface import ApplicationPhase, ApplicationView
+from repro.utils.validation import ValidationError
+
+
+def view(name: str, processors: int, phase=ApplicationPhase.IO_PENDING, **kwargs):
+    defaults = dict(
+        name=name,
+        processors=processors,
+        phase=phase,
+        remaining_io_volume=1e9,
+        io_started=False,
+        achieved_efficiency=0.5,
+        optimal_efficiency=0.9,
+        last_io_end=-math.inf,
+        io_request_time=0.0,
+        instance_index=0,
+        n_instances=3,
+        total_io_transferred=0.0,
+    )
+    defaults.update(kwargs)
+    return ApplicationView(**defaults)
+
+
+B = 2e7  # back-end
+b = 1e6  # per node
+
+
+class TestSingleApplicationRate:
+    def test_node_limited(self):
+        assert single_application_rate(view("a", 5), b, B) == pytest.approx(b)
+
+    def test_system_limited(self):
+        assert single_application_rate(view("a", 100), b, B) == pytest.approx(B / 100)
+
+    def test_no_bandwidth(self):
+        assert single_application_rate(view("a", 5), b, 0.0) == 0.0
+
+
+class TestFavorInOrder:
+    def test_first_gets_min_beta_b_or_all(self):
+        ordered = [view("a", 10), view("b", 10)]
+        alloc = favor_in_order(ordered, b, B)
+        # a gets 10 * 1e6 = 1e7, b gets the remaining 1e7
+        assert alloc.gamma("a") == pytest.approx(b)
+        assert alloc.gamma("b") == pytest.approx(b)
+
+    def test_big_first_app_takes_everything(self):
+        ordered = [view("big", 100), view("small", 10)]
+        alloc = favor_in_order(ordered, b, B)
+        assert alloc.gamma("big") == pytest.approx(B / 100)
+        assert alloc.gamma("small") == 0.0
+
+    def test_leftover_goes_down_the_list(self):
+        ordered = [view("a", 15), view("b", 15)]
+        alloc = favor_in_order(ordered, b, B)
+        assert alloc.gamma("a") == pytest.approx(b)
+        # remaining = 2e7 - 1.5e7 = 5e6 over 15 procs
+        assert alloc.gamma("b") == pytest.approx(5e6 / 15)
+
+    def test_total_never_exceeds_capacity(self):
+        ordered = [view(f"x{i}", 7) for i in range(10)]
+        alloc = favor_in_order(ordered, b, B)
+        total = sum(alloc.gamma(f"x{i}") * 7 for i in range(10))
+        assert total <= B * (1 + 1e-9)
+
+    def test_zero_capacity(self):
+        assert len(favor_in_order([view("a", 4)], b, 0.0)) == 0
+
+    def test_non_candidate_rejected(self):
+        with pytest.raises(ValidationError):
+            favor_in_order([view("a", 4, phase=ApplicationPhase.COMPUTING)], b, B)
+
+    def test_empty_order(self):
+        assert len(favor_in_order([], b, B)) == 0
+
+
+class TestFairShare:
+    def test_no_congestion_everyone_at_node_cap(self):
+        alloc = fair_share([view("a", 5), view("b", 5)], b, B)
+        assert alloc.gamma("a") == pytest.approx(b)
+        assert alloc.gamma("b") == pytest.approx(b)
+
+    def test_congestion_shares_proportionally(self):
+        # Demand 3e7 > B = 2e7: equal per-processor share of 2e7/30
+        alloc = fair_share([view("a", 15), view("b", 15)], b, B)
+        assert alloc.gamma("a") == pytest.approx(2e7 / 30)
+        assert alloc.gamma("a") == alloc.gamma("b")
+
+    def test_unequal_sizes_get_equal_per_processor_share(self):
+        # Demand (102 MB/s) far exceeds B: every processor gets the same
+        # share regardless of which application it belongs to.
+        alloc = fair_share([view("a", 2), view("big", 100)], b, B)
+        assert alloc.gamma("a") == pytest.approx(B / 102)
+        assert alloc.gamma("big") == pytest.approx(B / 102)
+        total = 2 * alloc.gamma("a") + 100 * alloc.gamma("big")
+        assert total == pytest.approx(B)
+
+    def test_total_conserved_under_congestion(self):
+        views = [view(f"x{i}", 13) for i in range(7)]
+        alloc = fair_share(views, b, B)
+        total = sum(alloc.gamma(v.name) * v.processors for v in views)
+        assert total == pytest.approx(B)
+
+    def test_ignores_non_candidates(self):
+        views = [view("a", 5), view("c", 5, phase=ApplicationPhase.COMPUTING)]
+        alloc = fair_share(views, b, B)
+        assert "c" not in alloc
+
+    def test_empty(self):
+        assert len(fair_share([], b, B)) == 0
+
+
+class TestInterferenceModel:
+    def test_single_stream_untouched(self):
+        assert DEFAULT_INTERFERENCE.factor(1) == 1.0
+        assert DEFAULT_INTERFERENCE.factor(0) == 1.0
+
+    def test_monotone_decreasing(self):
+        factors = [DEFAULT_INTERFERENCE.factor(k) for k in range(1, 20)]
+        assert all(f1 >= f2 for f1, f2 in zip(factors, factors[1:]))
+
+    def test_floor_respected(self):
+        assert DEFAULT_INTERFERENCE.factor(10_000) >= DEFAULT_INTERFERENCE.floor
+
+    def test_no_interference_model(self):
+        assert NO_INTERFERENCE.factor(50) == pytest.approx(1.0, abs=1e-6)
+
+    def test_effective_bandwidth(self):
+        model = InterferenceModel(strength=1.0, floor=0.5)
+        assert model.effective_bandwidth(100.0, 2) == pytest.approx(75.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            InterferenceModel(strength=0.0, floor=0.5)
+        with pytest.raises(ValidationError):
+            InterferenceModel(strength=1.0, floor=1.5)

@@ -1,0 +1,91 @@
+"""Unit tests for the burst-buffer state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import BurstBufferSpec
+from repro.simulator.burst_buffer import BurstBufferState
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def spec():
+    return BurstBufferSpec(capacity=1000.0, ingest_bandwidth=100.0, drain_bandwidth=10.0)
+
+
+class TestBurstBufferState:
+    def test_initially_empty(self, spec):
+        bb = BurstBufferState(spec)
+        assert bb.is_empty and not bb.is_full
+        assert bb.free_space == 1000.0
+        assert bb.drain_rate() == 0.0
+        assert bb.ingest_capacity() == 100.0
+
+    def test_invalid_initial_level(self, spec):
+        with pytest.raises(ValidationError):
+            BurstBufferState(spec, level=2000.0)
+
+    def test_advance_fills(self, spec):
+        bb = BurstBufferState(spec)
+        bb.advance(duration=10.0, ingest_rate=50.0)
+        # 500 in, nothing drained during the very first interval (was empty,
+        # drain only runs when level > 0), apart from flow-through allowance.
+        assert bb.level <= 500.0
+        assert bb.total_absorbed == pytest.approx(500.0)
+
+    def test_advance_drains_when_no_ingest(self, spec):
+        bb = BurstBufferState(spec, level=100.0)
+        bb.advance(duration=5.0, ingest_rate=0.0)
+        assert bb.level == pytest.approx(50.0)
+        assert bb.total_drained == pytest.approx(50.0)
+
+    def test_level_never_negative(self, spec):
+        bb = BurstBufferState(spec, level=10.0)
+        bb.advance(duration=100.0, ingest_rate=0.0)
+        assert bb.level == 0.0
+
+    def test_level_never_exceeds_capacity(self, spec):
+        bb = BurstBufferState(spec)
+        bb.advance(duration=1000.0, ingest_rate=100.0)
+        assert bb.level <= spec.capacity
+
+    def test_full_state(self, spec):
+        bb = BurstBufferState(spec, level=1000.0)
+        assert bb.is_full
+        assert bb.ingest_capacity() == 0.0
+        assert bb.drain_rate() == 10.0
+
+    def test_next_transition_to_full(self, spec):
+        bb = BurstBufferState(spec, level=500.0)
+        # net fill = 50 - 10 = 40 -> 500 remaining / 40
+        assert bb.next_transition(ingest_rate=50.0) == pytest.approx(12.5)
+
+    def test_next_transition_to_empty(self, spec):
+        bb = BurstBufferState(spec, level=100.0)
+        # net = 5 - 10 = -5 -> 100 / 5 = 20 s
+        assert bb.next_transition(ingest_rate=5.0) == pytest.approx(20.0)
+
+    def test_next_transition_pure_drain(self, spec):
+        bb = BurstBufferState(spec, level=100.0)
+        assert bb.next_transition(ingest_rate=0.0) == pytest.approx(10.0)
+
+    def test_next_transition_steady_state_none(self, spec):
+        bb = BurstBufferState(spec, level=100.0)
+        assert bb.next_transition(ingest_rate=10.0) is None
+
+    def test_next_transition_empty_idle_none(self, spec):
+        bb = BurstBufferState(spec)
+        assert bb.next_transition(ingest_rate=0.0) is None
+
+    def test_reset(self, spec):
+        bb = BurstBufferState(spec, level=10.0)
+        bb.advance(1.0, 50.0)
+        bb.reset()
+        assert bb.level == 0.0
+        assert bb.total_absorbed == 0.0
+        assert bb.total_drained == 0.0
+
+    def test_negative_duration_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            BurstBufferState(spec).advance(-1.0, 0.0)

@@ -1,0 +1,161 @@
+"""Unit tests for :mod:`repro.utils` (RNG plumbing, units, validation)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    format_bandwidth,
+    format_bytes,
+    format_duration,
+)
+from repro.utils.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+# --------------------------------------------------------------------------- #
+# rng
+# --------------------------------------------------------------------------- #
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(123).integers(0, 1_000_000, size=5)
+        b = as_rng(123).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 1_000_000, size=10)
+        b = as_rng(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_zero_is_allowed(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(42, 2)
+        a = children[0].integers(0, 1_000_000, size=10)
+        b = children[1].integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(0, 1000) for g in spawn_rngs(9, 3)]
+        b = [g.integers(0, 1000) for g in spawn_rngs(9, 3)]
+        assert a == b
+
+
+# --------------------------------------------------------------------------- #
+# units
+# --------------------------------------------------------------------------- #
+class TestUnits:
+    def test_constants_are_decimal(self):
+        assert KB == 1e3 and MB == 1e6 and GB == 1e9 and TB == 1e12
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (512.0, "512 B"),
+            (1.5e3, "1.50 KB"),
+            (2.5e6, "2.50 MB"),
+            (3e9, "3.00 GB"),
+            (1.2e12, "1.20 TB"),
+        ],
+    )
+    def test_format_bytes(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_format_bytes_negative(self):
+        assert format_bytes(-2e6) == "-2.00 MB"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(88e9) == "88.00 GB/s"
+
+    @pytest.mark.parametrize(
+        "seconds, fragment",
+        [
+            (5e-7, "us"),
+            (0.05, "ms"),
+            (42.0, "s"),
+            (600.0, "min"),
+            (7200.0, "h"),
+        ],
+    )
+    def test_format_duration_units(self, seconds, fragment):
+        assert fragment in format_duration(seconds)
+
+
+# --------------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------------- #
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3) == 3.0
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1e-9)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), "zzz", None])
+    def test_check_finite_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_finite("x", bad)
+
+    def test_check_in_range_inclusive(self):
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_check_in_range_lower_violation(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", -0.5, 0.0, None)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)

@@ -1,0 +1,308 @@
+"""Unit tests for the workload substrates (categories, generators, Darshan, congested, IOR)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.platform import intrepid, vesta
+from repro.utils.validation import ValidationError
+from repro.workload.categories import (
+    CATEGORY_PROFILES,
+    Category,
+    CategoryProfile,
+    categorize,
+)
+from repro.workload.congested import (
+    CongestedMomentSpec,
+    generate_congested_moment,
+    intrepid_congested_moments,
+    mira_congested_moments,
+)
+from repro.workload.darshan import (
+    DarshanRecord,
+    generate_records,
+    load_records,
+    record_to_application,
+    replicate_uncovered,
+    save_records,
+)
+from repro.workload.generator import (
+    MixSpec,
+    apply_sensibility,
+    figure6_mix,
+    generate_application,
+    generate_mix,
+)
+from repro.workload.ior import VESTA_SCENARIOS, IORGroup, ior_scenario, parse_scenario
+
+
+PLATFORM = intrepid()
+
+
+class TestCategories:
+    def test_thresholds(self):
+        assert categorize(100) == Category.SMALL
+        assert categorize(1284) == Category.SMALL
+        assert categorize(1285) == Category.LARGE
+        assert categorize(4584) == Category.LARGE
+        assert categorize(4585) == Category.VERY_LARGE
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            categorize(0)
+
+    def test_profiles_cover_all_categories(self):
+        assert set(CATEGORY_PROFILES) == set(Category)
+
+    def test_profiles_typical_nodes_inside_range(self):
+        for profile in CATEGORY_PROFILES.values():
+            for nodes in profile.typical_nodes:
+                assert profile.min_nodes <= nodes <= profile.max_nodes
+
+    def test_profile_validation(self):
+        with pytest.raises(ValidationError):
+            CategoryProfile(
+                category=Category.SMALL,
+                min_nodes=10,
+                max_nodes=5,
+                typical_nodes=(10,),
+                io_fraction_range=(0.1, 0.2),
+                instance_range=(1, 2),
+                work_range=(1.0, 2.0),
+            )
+
+
+class TestGenerator:
+    def test_mix_spec_total(self):
+        assert MixSpec(n_small=3, n_large=2).total == 5
+
+    def test_mix_spec_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            MixSpec()
+
+    def test_generate_application_category_respected(self):
+        app = generate_application("x", Category.LARGE, PLATFORM, 0.2, rng=0)
+        assert app.category == "large"
+        assert app.is_periodic
+        assert app.processors <= PLATFORM.total_processors
+
+    def test_generate_application_io_ratio_controls_volume(self):
+        low = generate_application("x", Category.SMALL, PLATFORM, 0.05, rng=1)
+        high = generate_application("x", Category.SMALL, PLATFORM, 1.0, rng=1)
+        # Same RNG stream: same work/processors, larger ratio -> more I/O.
+        assert high.total_io_volume > low.total_io_volume
+
+    def test_generate_mix_fills_platform(self):
+        scenario = generate_mix(MixSpec(n_small=10, n_large=3), PLATFORM, 0.2, rng=0)
+        assert scenario.used_processors <= PLATFORM.total_processors
+        assert scenario.used_processors >= 0.9 * PLATFORM.total_processors
+        assert scenario.n_applications == 13
+
+    def test_generate_mix_unique_names(self):
+        scenario = generate_mix(MixSpec(n_small=20), PLATFORM, 0.2, rng=0)
+        assert len(set(scenario.application_names)) == 20
+
+    def test_generate_mix_reproducible(self):
+        a = generate_mix(MixSpec(n_small=5, n_large=1), PLATFORM, 0.2, rng=7)
+        b = generate_mix(MixSpec(n_small=5, n_large=1), PLATFORM, 0.2, rng=7)
+        assert [x.processors for x in a] == [y.processors for y in b]
+        assert [x.total_io_volume for x in a] == [y.total_io_volume for y in b]
+
+    @pytest.mark.parametrize("name", ["10large-20", "50small5large-20", "50small5large-35"])
+    def test_figure6_mix_shapes(self, name):
+        scenario = figure6_mix(name, PLATFORM, rng=0)
+        if name == "10large-20":
+            assert scenario.n_applications == 10
+        else:
+            assert scenario.n_applications == 55
+
+    def test_figure6_unknown(self):
+        with pytest.raises(KeyError):
+            figure6_mix("nonsense", PLATFORM)
+
+
+class TestSensibility:
+    def test_zero_sensibility_is_identity(self):
+        app = generate_application("x", Category.SMALL, PLATFORM, 0.2, rng=0)
+        same = apply_sensibility(app, 0.0, 0.0, rng=1)
+        assert np.allclose(same.work_array(), app.work_array())
+        assert np.allclose(same.io_volume_array(), app.io_volume_array())
+
+    def test_sensibility_spreads_but_preserves_midpoint(self):
+        app = generate_application("x", Category.SMALL, PLATFORM, 0.2, rng=0)
+        app = app.with_name("base")
+        perturbed = apply_sensibility(app, 0.3, 0.0, rng=2)
+        works = perturbed.work_array()
+        base = app.instances[0].work
+        # Every draw stays in the designed interval around the base value.
+        lo = base * 2 * 0.7 / 1.7
+        hi = lo / 0.7
+        assert works.min() >= lo - 1e-9
+        assert works.max() <= hi + 1e-9
+        # The interval is centred on the periodic value.
+        assert (lo + hi) / 2 == pytest.approx(base)
+
+    def test_sensibility_io_only(self):
+        app = generate_application("x", Category.SMALL, PLATFORM, 0.2, rng=0)
+        perturbed = apply_sensibility(app, 0.0, 0.25, rng=3)
+        assert np.allclose(perturbed.work_array(), app.work_array())
+        assert perturbed.io_volume_array().std() > 0
+
+    def test_non_periodic_rejected(self):
+        from repro.core.application import Application
+
+        aperiodic = Application.from_sequences("x", 4, [1, 2], [1, 1])
+        with pytest.raises(ValidationError):
+            apply_sensibility(aperiodic, 0.1)
+
+    def test_out_of_range_rejected(self):
+        app = generate_application("x", Category.SMALL, PLATFORM, 0.2, rng=0)
+        with pytest.raises(ValidationError):
+            apply_sensibility(app, 1.5)
+
+
+class TestDarshan:
+    def test_record_properties(self):
+        rec = DarshanRecord("j", 2048, 0.0, 1000.0, 100.0, 1e12)
+        assert rec.runtime == 1000.0
+        assert rec.compute_time == 900.0
+        assert rec.io_fraction == pytest.approx(0.1)
+        assert rec.category == Category.LARGE
+        assert rec.start_day == 0
+
+    def test_record_validation(self):
+        with pytest.raises(ValidationError):
+            DarshanRecord("j", 0, 0.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            DarshanRecord("j", 1, 10.0, 5.0, 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            DarshanRecord("j", 1, 0.0, 10.0, 20.0, 0.0)
+
+    def test_generate_records_shape(self):
+        records = generate_records(200, PLATFORM, rng=0, coverage=0.5)
+        assert len(records) == 200
+        assert all(r.nodes <= PLATFORM.total_processors for r in records)
+        # Sorted by start time.
+        starts = [r.start_time for r in records]
+        assert starts == sorted(starts)
+        covered_fraction = sum(r.covered for r in records) / len(records)
+        assert 0.3 < covered_fraction < 0.7
+
+    def test_round_trip_persistence(self, tmp_path):
+        records = generate_records(25, PLATFORM, rng=1)
+        path = tmp_path / "darshan.jsonl"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValidationError):
+            load_records(path)
+
+    def test_record_to_application(self):
+        rec = DarshanRecord("job-1", 1024, 0.0, 2000.0, 200.0, 5e12)
+        app = record_to_application(rec, PLATFORM, n_instances=10)
+        assert app.n_instances == 10
+        assert app.total_io_volume == pytest.approx(5e12)
+        assert app.total_work == pytest.approx(1800.0)
+
+    def test_replicate_uncovered(self):
+        records = generate_records(60, PLATFORM, rng=2, coverage=0.5)
+        completed = replicate_uncovered(records, rng=3)
+        assert len(completed) == len(records)
+        assert all(r.covered for r in completed)
+
+    def test_replicate_without_covered_rejected(self):
+        uncovered = [
+            DarshanRecord("j", 64, 0.0, 100.0, 10.0, 1e9, covered=False)
+        ]
+        with pytest.raises(ValidationError):
+            replicate_uncovered(uncovered, rng=0)
+
+
+class TestCongestedMoments:
+    def test_congestion_factor_reached(self):
+        spec = CongestedMomentSpec(
+            congestion_factor=1.5, n_small=10, n_large=3, n_very_large=0, io_ratio=0.2
+        )
+        scenario = generate_congested_moment(spec, PLATFORM, rng=0)
+        platform = scenario.platform
+        demand = 0.0
+        for app in scenario:
+            inst = app.instances[0]
+            peak = platform.peak_application_bandwidth(app.processors)
+            demand += inst.io_volume / (inst.work + inst.io_volume / peak)
+        assert demand == pytest.approx(1.5 * platform.system_bandwidth, rel=0.05)
+
+    def test_series_sizes(self):
+        assert len(intrepid_congested_moments(5, rng=0)) == 5
+        assert len(mira_congested_moments(3, rng=0)) == 3
+
+    def test_default_counts_match_paper(self):
+        from repro.workload.congested import N_INTREPID_MOMENTS, N_MIRA_MOMENTS
+
+        assert N_INTREPID_MOMENTS == 56
+        assert N_MIRA_MOMENTS == 11
+
+    def test_moments_are_reproducible(self):
+        a = intrepid_congested_moments(3, rng=5)
+        b = intrepid_congested_moments(3, rng=5)
+        assert [m.metadata["congestion_factor"] for m in a] == [
+            m.metadata["congestion_factor"] for m in b
+        ]
+
+    def test_moment_metadata(self):
+        moment = intrepid_congested_moments(1, rng=0)[0]
+        assert moment.metadata["congestion_factor"] > 1.0
+        assert moment.label.startswith("intrepid-moment-")
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValidationError):
+            CongestedMomentSpec(0.0, 1, 0, 0, 0.2)
+        with pytest.raises(ValidationError):
+            CongestedMomentSpec(1.5, 0, 0, 0, 0.2)
+
+
+class TestIOR:
+    def test_parse_scenario(self):
+        assert parse_scenario("512/256/256/32") == [512, 256, 256, 32]
+        assert parse_scenario("256") == [256]
+
+    @pytest.mark.parametrize("bad", ["", "abc", "256/-2", "256//32"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            parse_scenario(bad)
+
+    def test_group_to_application(self):
+        group = IORGroup("g", nodes=256, iterations=4, compute_time=100.0,
+                         write_per_node=1e9)
+        app = group.to_application()
+        assert app.processors == 256
+        assert app.n_instances == 4
+        assert app.instances[0].io_volume == pytest.approx(256e9)
+
+    def test_ior_scenario_builds_on_vesta(self):
+        scenario = ior_scenario("512/256/256/32", rng=0)
+        assert scenario.platform.name == "vesta"
+        assert scenario.n_applications == 4
+        assert scenario.used_processors == 512 + 256 + 256 + 32
+
+    def test_ior_scenario_rejects_oversubscription(self):
+        with pytest.raises(ValidationError):
+            ior_scenario("2048/2048", rng=0)
+
+    def test_jitter_changes_compute_times(self):
+        jittered = ior_scenario("256/256", rng=1, jitter=0.2)
+        works = [app.instances[0].work for app in jittered]
+        assert works[0] != works[1]
+
+    def test_vesta_scenarios_all_parse_and_fit(self):
+        platform = vesta()
+        for name in VESTA_SCENARIOS:
+            counts = parse_scenario(name)
+            assert sum(counts) <= platform.total_processors
