@@ -1,11 +1,28 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures and prints
+Most benchmarks regenerate one of the paper's tables or figures and print
 the corresponding rows/series (the numbers land in the pytest-benchmark
-report *and* on stdout with ``-s``).  The ``REPRO_BENCH_SCALE`` environment
-variable scales the experiment sizes: ``1`` (default) is a laptop-friendly
-reduced setting; larger values approach the paper's full settings (e.g. 200
-repetitions for Figure 6, 56 congested moments for Table 1).
+report *and* on stdout with ``-s``).  ``bench_engine_scaling.py`` is the
+exception: it measures the simulator engine itself (events/sec of the
+optimized engine vs the preserved seed engine) and writes the
+machine-readable ``BENCH_engine.json`` — see ``benchmarks/run_bench.py`` for
+the one-command CI entry point and the "Performance" section of ROADMAP.md
+for how to read the payload.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``
+    Experiment-size multiplier.  ``1`` (default) is a laptop-friendly
+    reduced setting; larger values approach the paper's full settings (e.g.
+    200 repetitions for Figure 6, 56 congested moments for Table 1) and
+    multiply the engine-scaling event budget.
+``REPRO_BENCH_OUT``
+    Output path for ``BENCH_engine.json`` (default: current directory).
+
+Experiment grids accept ``workers=`` (see
+:func:`repro.experiments.runner.run_grid`) to fan independent cells out over
+processes; benchmarks keep the default serial mode so that the timings stay
+comparable run-to-run.
 """
 
 from __future__ import annotations

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""One-command engine-scaling benchmark: write ``BENCH_engine.json``.
+
+CI perf-job entry point — runs the scaling suite of
+:mod:`repro.experiments.scaling` at scale 1 (or ``--scale N``) without any
+pytest machinery and writes the machine-readable payload:
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --scale 4 --out perf/BENCH_engine.json
+
+Exit status is non-zero when the optimized and reference engines disagree on
+any cell's timeline (event count / makespan) — a correctness regression, not
+just a slow run — so a CI job fails loudly on the thing that matters most.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="output path for the JSON payload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="event-budget multiplier, like REPRO_BENCH_SCALE (default: 1)",
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="MaxSysEff",
+        help="scheduler driven through both engines (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="time only the optimized engine (fast smoke run, no speedups)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        from repro.experiments.scaling import run_scaling_suite, write_bench_json
+    except ImportError as exc:  # pragma: no cover - environment guard
+        print(
+            f"cannot import repro ({exc}); run with PYTHONPATH=src "
+            "or install the package",
+            file=sys.stderr,
+        )
+        return 2
+
+    payload = run_scaling_suite(
+        scheduler=args.scheduler,
+        events_budget=4000 * max(1, args.scale),
+        include_reference=not args.no_reference,
+        progress=print,
+    )
+    out = write_bench_json(payload, args.out)
+    print(f"wrote {out}")
+
+    if not args.no_reference:
+        broken = [
+            f"{c['n_apps']}x{c['n_instances']}"
+            for c in payload["cells"]
+            if not c["identical"]
+        ]
+        if broken:
+            print(
+                f"ENGINE MISMATCH on cells: {', '.join(broken)} — the optimized "
+                "engine no longer reproduces the reference timeline",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ constructor accepts per-instance sequences and is what the sensibility study
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -161,15 +162,43 @@ class Application:
         """Number of instances ``n_tot^{(k)}``."""
         return len(self.instances)
 
+    @cached_property
+    def cumulative_work(self) -> tuple[float, ...]:
+        """Prefix sums of per-instance compute times.
+
+        ``cumulative_work[i] == sum(inst.work for inst in instances[:i+1])``
+        bit-for-bit: the accumulation runs left to right exactly like the
+        built-in ``sum``, so callers replacing an on-the-fly sum with a prefix
+        lookup observe the identical float.  Cached once per application; the
+        simulator's hot path turns every per-event efficiency computation
+        into an O(1) lookup through this table.
+        """
+        total = 0.0
+        prefix: list[float] = []
+        for inst in self.instances:
+            total += inst.work
+            prefix.append(total)
+        return tuple(prefix)
+
+    @cached_property
+    def cumulative_io_volume(self) -> tuple[float, ...]:
+        """Prefix sums of per-instance I/O volumes (see :attr:`cumulative_work`)."""
+        total = 0.0
+        prefix: list[float] = []
+        for inst in self.instances:
+            total += inst.io_volume
+            prefix.append(total)
+        return tuple(prefix)
+
     @property
     def total_work(self) -> float:
         """Total compute seconds over all instances."""
-        return float(sum(inst.work for inst in self.instances))
+        return self.cumulative_work[-1]
 
     @property
     def total_io_volume(self) -> float:
         """Total bytes of I/O over all instances."""
-        return float(sum(inst.io_volume for inst in self.instances))
+        return self.cumulative_io_volume[-1]
 
     @property
     def is_periodic(self) -> bool:

@@ -20,7 +20,11 @@ from repro.experiments.comparison import (
     congested_moments_experiment,
     figure6_experiment,
 )
-from repro.experiments.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.experiments.overhead import (
+    DEFAULT_OVERHEAD,
+    OverheadModel,
+    scenario_overhead_fractions,
+)
 from repro.experiments.reporting import (
     format_mapping,
     format_series,
@@ -32,6 +36,8 @@ from repro.experiments.runner import (
     CaseResult,
     ExperimentGrid,
     SchedulerCase,
+    map_parallel,
+    resolve_workers,
     run_case,
     run_grid,
 )
@@ -52,6 +58,9 @@ __all__ = [
     "ExperimentGrid",
     "run_case",
     "run_grid",
+    "map_parallel",
+    "resolve_workers",
+    "scenario_overhead_fractions",
     "Figure6Result",
     "HeuristicAverages",
     "figure6_experiment",

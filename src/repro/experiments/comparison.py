@@ -107,12 +107,18 @@ def figure6_experiment(
     schedulers: Sequence[str] = FIGURE6_SCHEDULERS,
     platform: Optional[Platform] = None,
     rng: RngLike = None,
+    workers: int | None = None,
 ) -> Figure6Result:
     """Reproduce one panel of Figure 6.
 
     The paper averages 200 random mixes per panel; ``n_repetitions`` defaults
     to a laptop-friendly 20, which is already enough for stable orderings
     (the benchmark harness exposes the full setting).
+
+    ``workers`` fans the (mix × heuristic) grid out over processes (see
+    :func:`repro.experiments.runner.run_grid`); every repetition's mix is
+    generated from its own spawned seed *before* the grid runs, so results
+    are identical whatever the worker count.
     """
     if scenario not in FIGURE6_SCENARIOS:
         raise ValidationError(
@@ -127,7 +133,7 @@ def figure6_experiment(
         for i, rep_rng in enumerate(rngs)
     ]
     cases = [SchedulerCase(name=name) for name in schedulers]
-    grid = run_grid(scenarios, cases)
+    grid = run_grid(scenarios, cases, workers=workers)
     result = Figure6Result(scenario=scenario, n_repetitions=n_repetitions)
     for scheduler, metrics in grid.averages().items():
         result.averages[scheduler] = HeuristicAverages(
@@ -180,6 +186,7 @@ def congested_moments_experiment(
     schedulers: Sequence[str] = TABLE_SCHEDULERS,
     rng: RngLike = None,
     priority_only: bool = False,
+    workers: int | None = None,
 ) -> CongestedMomentsResult:
     """Reproduce the congested-moment campaigns (Tables 1–2, Figures 8–13).
 
@@ -187,6 +194,10 @@ def congested_moments_experiment(
     buffers on the machine's burst-buffer platform — this is the key
     comparison of the paper: the heuristics run without burst buffers and
     still match or beat it.
+
+    ``workers`` parallelizes the (moment × scheduler) grid; the moments are
+    generated up front from the seed, so the tables are identical whatever
+    the worker count.
     """
     if machine == "intrepid":
         moments = intrepid_congested_moments(n_moments or 56, rng)
@@ -208,5 +219,5 @@ def congested_moments_experiment(
             label=baseline,
         )
     )
-    grid = run_grid(moments, cases)
+    grid = run_grid(moments, cases, workers=workers)
     return CongestedMomentsResult(machine=machine, grid=grid, baseline_label=baseline)

@@ -31,12 +31,13 @@ efficiency rather than as extra "useful" work.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.scenario import Scenario
 from repro.utils.validation import check_non_negative
 
-__all__ = ["OverheadModel", "DEFAULT_OVERHEAD"]
+__all__ = ["OverheadModel", "DEFAULT_OVERHEAD", "scenario_overhead_fractions"]
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,21 @@ class OverheadModel:
             self.apply_to_application(app, n_apps) for app in scenario.applications
         )
         return scenario.with_applications(apps)
+
+
+def scenario_overhead_fractions(
+    scenarios: Sequence[Scenario],
+    *,
+    overhead: Optional["OverheadModel"] = None,
+) -> list[float]:
+    """Mean relative overhead of each scenario, in input order.
+
+    Batch companion to :meth:`OverheadModel.scenario_overhead_fraction` for
+    callers sweeping many scenarios (e.g. overhead-sensitivity studies);
+    ``overhead`` defaults to :data:`DEFAULT_OVERHEAD`.
+    """
+    model = overhead if overhead is not None else DEFAULT_OVERHEAD
+    return [model.scenario_overhead_fraction(scenario) for scenario in scenarios]
 
 
 #: Calibration that lands in the 1–5.3% range of Figure 14 for the Vesta

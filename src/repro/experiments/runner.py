@@ -5,12 +5,22 @@ set of scenarios under a set of schedulers (some with burst buffers, some
 without) and tabulate SysEfficiency, Dilation and the upper limit.  The
 runner centralizes that loop so the figure-specific modules only describe
 *what* to run.
+
+Grid cells are mutually independent — every scenario carries its own
+pre-generated applications (per-cell randomness is decided *before* the grid
+runs, when scenarios are built from seeds), and schedulers are constructed
+fresh inside each cell.  :func:`run_grid` therefore accepts ``workers=`` and
+fans the cells out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+results are collected in submission order, so a parallel grid is
+cell-for-cell identical to a serial one, just faster.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Callable, Iterable, Mapping, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -23,7 +33,52 @@ from repro.simulator.interface import SchedulerProtocol
 from repro.simulator.metrics import SimulationResult
 from repro.utils.validation import ValidationError
 
-__all__ = ["SchedulerCase", "CaseResult", "ExperimentGrid", "run_case", "run_grid"]
+__all__ = [
+    "SchedulerCase",
+    "CaseResult",
+    "ExperimentGrid",
+    "run_case",
+    "run_grid",
+    "map_parallel",
+    "resolve_workers",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a ``workers=`` argument into a concrete process count.
+
+    ``None`` and ``1`` mean serial execution (the default — identical to the
+    pre-parallel behaviour); ``0`` means "one process per CPU"; any other
+    positive integer is taken literally.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValidationError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def map_parallel(
+    fn: Callable[[_T], _R], items: Sequence[_T], *, workers: int | None = None
+) -> list[_R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results come back in input order regardless of completion order, so
+    callers observe exactly the serial semantics.  ``fn`` and the items must
+    be picklable (module-level function, plain-data arguments) when
+    ``workers`` implies more than one process.
+    """
+    n_workers = resolve_workers(workers)
+    if n_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 
 @dataclass(frozen=True)
@@ -184,19 +239,44 @@ def run_case(
     return case_result
 
 
+def _run_grid_cell(
+    cell: tuple[Scenario, SchedulerCase, float]
+) -> CaseResult:
+    """Picklable adapter running one grid cell in a worker process."""
+    scenario, case, max_time = cell
+    return run_case(scenario, case, max_time=max_time)
+
+
 def run_grid(
     scenarios: Sequence[Scenario],
     cases: Sequence[SchedulerCase],
     *,
     max_time: float = float("inf"),
+    workers: int | None = None,
 ) -> ExperimentGrid:
-    """Run every scenario under every scheduler case."""
+    """Run every scenario under every scheduler case.
+
+    Parameters
+    ----------
+    scenarios, cases:
+        The grid axes; every (scenario, case) pair becomes one cell.
+    max_time:
+        Simulation horizon passed to every cell.
+    workers:
+        Number of worker processes (see :func:`resolve_workers`; ``None`` or
+        ``1`` runs serially, ``0`` uses every CPU).  Cells are independent
+        and deterministic — scenario randomness is fixed when the scenarios
+        are built — and results are collected in submission order, so the
+        grid is identical whatever the worker count.
+    """
     if not scenarios:
         raise ValidationError("run_grid needs at least one scenario")
     if not cases:
         raise ValidationError("run_grid needs at least one scheduler case")
+    cells = [
+        (scenario, case, max_time) for scenario in scenarios for case in cases
+    ]
     grid = ExperimentGrid()
-    for scenario in scenarios:
-        for case in cases:
-            grid.add(run_case(scenario, case, max_time=max_time))
+    for result in map_parallel(_run_grid_cell, cells, workers=workers):
+        grid.add(result)
     return grid

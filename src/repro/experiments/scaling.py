@@ -1,0 +1,254 @@
+"""Engine-scaling microbenchmark: events/sec of the simulator hot path.
+
+The paper's campaigns replay thousands of (scenario × scheduler) cells, so
+the events-per-second throughput of the discrete-event engine bounds every
+experiment in this repository.  This module builds synthetic congested
+scenarios of controlled size, times the optimized engine
+(:mod:`repro.simulator.engine`) against the preserved seed engine
+(:mod:`repro.simulator.reference`) on identical windows, and emits a
+machine-readable payload (``BENCH_engine.json``) that future PRs diff to
+track the performance trajectory.
+
+Two entry points consume it:
+
+* ``benchmarks/bench_engine_scaling.py`` — the pytest-benchmark harness;
+* ``benchmarks/run_bench.py`` — a one-command CLI suitable for a CI perf job.
+
+Methodology
+-----------
+Each cell simulates the *same* scenario under the *same* scheduler with both
+engines, truncated at the same ``max_time`` horizon (chosen so a cell stays
+benchmark-sized even at 500 applications × 100 instances — a full run of the
+largest cell takes minutes on the seed engine, which is exactly the problem
+this PR addresses).  Both engines traverse the identical event timeline —
+the suite asserts equal event counts and makespans, piggybacking a coarse
+equivalence check onto every benchmark run — so events/sec ratios compare
+like with like.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import time
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.application import Application
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.online.registry import make_scheduler
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.metrics import SimulationResult
+from repro.simulator.reference import reference_simulate
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "DEFAULT_GRID",
+    "scaling_scenario",
+    "cell_horizon",
+    "measure_cell",
+    "run_scaling_suite",
+    "write_bench_json",
+]
+
+#: The (n_apps, n_instances) cells of the scaling grid.  500 × 100 is the
+#: headline cell: large enough that the seed engine's O(n_apps × n_instances)
+#: per-event cost dominates, small enough to stay benchmark-sized.
+DEFAULT_GRID: tuple[tuple[int, int], ...] = (
+    (10, 10),
+    (10, 100),
+    (100, 10),
+    (100, 100),
+    (500, 10),
+    (500, 100),
+)
+
+#: Scenario shape knobs: every application owns this many processors, and the
+#: back-end is sized so the aggregate demand oversubscribes it 3× — sustained
+#: congestion, the regime the paper's heuristics (and the engine) live in.
+_PROCS_PER_APP = 8
+_OVERSUBSCRIPTION = 3.0
+
+
+def scaling_scenario(
+    n_apps: int,
+    n_instances: int,
+    *,
+    seed: int = 2015,
+) -> Scenario:
+    """A congested synthetic scenario with ``n_apps × n_instances`` shape.
+
+    Applications are periodic (the paper's dominant pattern) with randomized
+    work lengths, I/O volumes around 50 s of dedicated transfer time, and
+    staggered releases, so the engine sees a realistic mix of release,
+    compute-completion and I/O events under steady 3× back-end congestion.
+    Deterministic in ``seed``.
+    """
+    check_positive("n_apps", n_apps)
+    check_positive("n_instances", n_instances)
+    rng = np.random.default_rng(seed)
+    node_bw = 1e6
+    system_bw = n_apps * _PROCS_PER_APP * node_bw / _OVERSUBSCRIPTION
+    plat = Platform(
+        name=f"bench-{n_apps}x{n_instances}",
+        total_processors=n_apps * _PROCS_PER_APP,
+        node_bandwidth=node_bw,
+        system_bandwidth=system_bw,
+    )
+    peak = _PROCS_PER_APP * node_bw
+    apps = tuple(
+        Application.periodic(
+            name=f"app-{i:04d}",
+            processors=_PROCS_PER_APP,
+            work=float(rng.uniform(30.0, 90.0)),
+            io_volume=float(rng.uniform(0.5, 1.5)) * 50.0 * peak,
+            n_instances=n_instances,
+            release_time=float(rng.uniform(0.0, 60.0)),
+        )
+        for i in range(n_apps)
+    )
+    return Scenario(
+        platform=plat,
+        applications=apps,
+        label=f"scaling-{n_apps}x{n_instances}",
+        metadata={"seed": seed, "oversubscription": _OVERSUBSCRIPTION},
+    )
+
+
+def cell_horizon(scenario: Scenario, events_budget: int) -> float:
+    """A ``max_time`` horizon producing roughly ``events_budget`` events.
+
+    Under sustained congestion one "round" (every application completing one
+    instance) takes about ``mean_work + n_apps * mean_volume / B`` seconds
+    and costs about 2.5 events per application (compute end, I/O completion,
+    and the odd release / reallocation split).  The estimate only has to be
+    in the right ballpark — both engines are always measured over the same
+    horizon, so the comparison is exact even when the budget is not.
+    """
+    check_positive("events_budget", events_budget)
+    apps = scenario.applications
+    n_apps = len(apps)
+    mean_work = float(np.mean([app.instances[0].work for app in apps]))
+    mean_vol = float(np.mean([app.instances[0].io_volume for app in apps]))
+    round_seconds = mean_work + n_apps * mean_vol / scenario.platform.system_bandwidth
+    rounds = events_budget / (2.5 * n_apps)
+    rounds = max(1.0, min(float(apps[0].n_instances), rounds))
+    release_span = max(app.release_time for app in apps)
+    return release_span + rounds * round_seconds
+
+
+def _timed(
+    runner: Callable[..., SimulationResult],
+    scenario: Scenario,
+    scheduler_name: str,
+    max_time: float,
+) -> dict:
+    scheduler = make_scheduler(scheduler_name)
+    config = SimulatorConfig(max_time=max_time)
+    start = time.perf_counter()
+    result = runner(scenario, scheduler, config)
+    seconds = time.perf_counter() - start
+    return {
+        "n_events": result.n_events,
+        "seconds": seconds,
+        "events_per_sec": result.n_events / seconds if seconds > 0 else float("inf"),
+        "makespan": result.makespan,
+    }
+
+
+def measure_cell(
+    n_apps: int,
+    n_instances: int,
+    *,
+    scheduler: str = "MaxSysEff",
+    seed: int = 2015,
+    events_budget: int = 4000,
+    include_reference: bool = True,
+) -> dict:
+    """Time one grid cell; optionally also on the reference (seed) engine.
+
+    Returns a JSON-ready mapping with per-engine ``n_events`` / ``seconds`` /
+    ``events_per_sec`` and, when the reference runs too, the ``speedup``
+    ratio plus an ``identical`` flag (equal event counts and makespans — the
+    engines must traverse the same timeline or the ratio is meaningless).
+    """
+    scenario = scaling_scenario(n_apps, n_instances, seed=seed)
+    max_time = cell_horizon(scenario, events_budget)
+    cell: dict = {
+        "n_apps": n_apps,
+        "n_instances": n_instances,
+        "scheduler": scheduler,
+        "seed": seed,
+        "max_time": max_time,
+        "engine": _timed(simulate, scenario, scheduler, max_time),
+    }
+    if include_reference:
+        cell["reference"] = _timed(reference_simulate, scenario, scheduler, max_time)
+        cell["speedup"] = (
+            cell["engine"]["events_per_sec"] / cell["reference"]["events_per_sec"]
+        )
+        cell["identical"] = (
+            cell["engine"]["n_events"] == cell["reference"]["n_events"]
+            and cell["engine"]["makespan"] == cell["reference"]["makespan"]
+        )
+    return cell
+
+
+def run_scaling_suite(
+    grid: Sequence[tuple[int, int]] = DEFAULT_GRID,
+    *,
+    scheduler: str = "MaxSysEff",
+    seed: int = 2015,
+    events_budget: int = 4000,
+    include_reference: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Measure every cell of ``grid`` and assemble the benchmark payload.
+
+    The payload is what ``BENCH_engine.json`` serializes: suite-level
+    metadata plus one entry per cell (see :func:`measure_cell`).  Pass
+    ``progress`` (e.g. ``print``) to follow long suites.
+    """
+    if not grid:
+        raise ValidationError("run_scaling_suite needs at least one grid cell")
+    cells = []
+    for n_apps, n_instances in grid:
+        cell = measure_cell(
+            n_apps,
+            n_instances,
+            scheduler=scheduler,
+            seed=seed,
+            events_budget=events_budget,
+            include_reference=include_reference,
+        )
+        cells.append(cell)
+        if progress is not None:
+            line = (
+                f"{n_apps:4d} apps x {n_instances:3d} inst: "
+                f"{cell['engine']['events_per_sec']:8.0f} ev/s"
+            )
+            if include_reference:
+                line += (
+                    f"  (reference {cell['reference']['events_per_sec']:8.0f} ev/s, "
+                    f"speedup {cell['speedup']:.2f}x)"
+                )
+            progress(line)
+    return {
+        "benchmark": "engine_scaling",
+        "scheduler": scheduler,
+        "seed": seed,
+        "events_budget": events_budget,
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "cells": cells,
+    }
+
+
+def write_bench_json(payload: Mapping, path: str = "BENCH_engine.json") -> str:
+    """Serialize a suite payload to ``path`` (pretty-printed) and return it."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path

@@ -37,7 +37,12 @@ from repro.core.objectives import (
 )
 from repro.core.platform import Platform, vesta
 from repro.core.scenario import Scenario
-from repro.experiments.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.experiments.overhead import (
+    DEFAULT_OVERHEAD,
+    OverheadModel,
+    scenario_overhead_fractions,
+)
+from repro.experiments.runner import map_parallel
 from repro.online.baselines import ior_scheduler
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
@@ -194,23 +199,67 @@ def run_vesta_case(
     )
 
 
+def _run_vesta_cell(
+    cell: tuple[str, str, OverheadModel, RngLike]
+) -> VestaCase:
+    """Picklable adapter running one Vesta grid cell in a worker process."""
+    scenario, configuration, overhead, rng = cell
+    return run_vesta_case(scenario, configuration, overhead=overhead, rng=rng)
+
+
+def _check_parallel_rng(rng: RngLike, workers: int | None) -> None:
+    """Refuse a live generator in a parallel run.
+
+    A ``Generator``'s state advances across cells in a serial run; pickling
+    it into worker processes would replay the *same* state in every cell and
+    silently change results.  Seed-like values (int / SeedSequence / None)
+    rebuild identically per cell, so only live generators are rejected.
+    """
+    import numpy as np
+
+    from repro.experiments.runner import resolve_workers
+
+    if resolve_workers(workers) > 1 and isinstance(rng, np.random.Generator):
+        raise ValidationError(
+            "workers > 1 requires a seed-like rng (int, SeedSequence or "
+            "None): a live numpy Generator cannot advance across worker "
+            "processes, so parallel results would silently diverge from "
+            "serial ones"
+        )
+
+
 def vesta_experiment(
     scenarios: Sequence[str] = VESTA_SCENARIOS,
     configurations: Sequence[str] = VESTA_CONFIGURATIONS,
     *,
     overhead: OverheadModel = DEFAULT_OVERHEAD,
     rng: RngLike = 0,
+    workers: int | None = None,
 ) -> VestaExperimentResult:
-    """The full Figure 15 grid."""
+    """The full Figure 15 grid.
+
+    ``workers`` fans the (node mix × configuration) cells out over processes
+    (see :func:`repro.experiments.runner.map_parallel`).  With a seed-like
+    ``rng`` (an integer, the default) every cell rebuilds its jittered IOR
+    scenario from that seed, so the grid is identical whatever the worker
+    count; a live ``Generator`` is accepted only in serial runs (where its
+    state advances across cells exactly as before) and rejected otherwise.
+    """
+    _check_parallel_rng(rng, workers)
+    cells = [
+        (scenario, configuration, overhead, rng)
+        for scenario in scenarios
+        for configuration in configurations
+    ]
     result = VestaExperimentResult()
-    for scenario in scenarios:
-        for configuration in configurations:
-            result.cases.append(
-                run_vesta_case(
-                    scenario, configuration, overhead=overhead, rng=rng
-                )
-            )
+    result.cases.extend(map_parallel(_run_vesta_cell, cells, workers=workers))
     return result
+
+
+def _build_ior_mix(cell: tuple[str, RngLike]) -> Scenario:
+    """Picklable adapter: build one jittered IOR mix in a worker process."""
+    name, rng = cell
+    return ior_scenario(name, vesta(), rng=rng)
 
 
 def figure14_overheads(
@@ -218,13 +267,23 @@ def figure14_overheads(
     *,
     overhead: OverheadModel = DEFAULT_OVERHEAD,
     rng: RngLike = 0,
+    workers: int | None = None,
 ) -> dict[str, float]:
-    """Figure 14: relative execution-time overhead (%) per node mix."""
-    out: dict[str, float] = {}
-    for name in scenarios:
-        scenario = ior_scenario(name, vesta(), rng=rng)
-        out[name] = 100.0 * overhead.scenario_overhead_fraction(scenario)
-    return out
+    """Figure 14: relative execution-time overhead (%) per node mix.
+
+    ``workers`` parallelizes the per-mix scenario generation (the costly
+    part; the overhead model itself is pure arithmetic, evaluated in batch
+    afterwards).  Deterministic for seed-like ``rng``; a live ``Generator``
+    is rejected in parallel runs, see :func:`vesta_experiment`.
+    """
+    _check_parallel_rng(rng, workers)
+    built = map_parallel(
+        _build_ior_mix, [(name, rng) for name in scenarios], workers=workers
+    )
+    fractions = scenario_overhead_fractions(built, overhead=overhead)
+    return {
+        name: 100.0 * fraction for name, fraction in zip(scenarios, fractions)
+    }
 
 
 def figure16_per_application_dilation(

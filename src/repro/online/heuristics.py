@@ -34,10 +34,10 @@ from repro.utils.validation import check_in_range
 __all__ = ["RoundRobin", "MinDilation", "MaxSysEff", "MinMaxGamma"]
 
 
-def _tie_break(view: ApplicationView) -> tuple[float, str]:
-    """Deterministic tie-break: earlier request first, then name."""
-    req = view.io_request_time if view.io_request_time is not None else math.inf
-    return (req, view.name)
+# Every sort key below ends with the same deterministic tie-break pair,
+# inlined into a flat tuple: earlier I/O request first (inf when no request
+# is pending), then name.  The keys run once per candidate per event, so
+# they build one tuple instead of calling out to a shared helper.
 
 
 class RoundRobin(OnlineScheduler):
@@ -55,7 +55,11 @@ class RoundRobin(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (a.last_io_end,) + _tie_break(a),
+            key=lambda a: (
+                a.last_io_end,
+                a.io_request_time if a.io_request_time is not None else math.inf,
+                a.name,
+            ),
         )
 
 
@@ -67,7 +71,11 @@ class MinDilation(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (a.efficiency_ratio,) + _tie_break(a),
+            key=lambda a: (
+                a.efficiency_ratio,
+                a.io_request_time if a.io_request_time is not None else math.inf,
+                a.name,
+            ),
         )
 
 
@@ -99,7 +107,11 @@ class MaxSysEff(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (-a.processors * a.achieved_efficiency,) + _tie_break(a),
+            key=lambda a: (
+                -a.processors * a.achieved_efficiency,
+                a.io_request_time if a.io_request_time is not None else math.inf,
+                a.name,
+            ),
         )
 
 
@@ -125,8 +137,18 @@ class MinMaxGamma(OnlineScheduler):
         candidates = list(view.io_candidates())
         starved = [a for a in candidates if a.efficiency_ratio < self.gamma]
         healthy = [a for a in candidates if a.efficiency_ratio >= self.gamma]
-        starved.sort(key=lambda a: (a.efficiency_ratio,) + _tie_break(a))
+        starved.sort(
+            key=lambda a: (
+                a.efficiency_ratio,
+                a.io_request_time if a.io_request_time is not None else math.inf,
+                a.name,
+            )
+        )
         healthy.sort(
-            key=lambda a: (-a.processors * a.achieved_efficiency,) + _tie_break(a)
+            key=lambda a: (
+                -a.processors * a.achieved_efficiency,
+                a.io_request_time if a.io_request_time is not None else math.inf,
+                a.name,
+            )
         )
         return starved + healthy

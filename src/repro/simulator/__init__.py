@@ -34,11 +34,16 @@ from repro.simulator.metrics import (
     InstanceRecord,
     SimulationResult,
 )
+from repro.simulator.queue import EventHeap
+from repro.simulator.reference import ReferenceSimulator, reference_simulate
 
 __all__ = [
     "Simulator",
     "SimulatorConfig",
     "simulate",
+    "ReferenceSimulator",
+    "reference_simulate",
+    "EventHeap",
     "SimulationError",
     "StallError",
     "ApplicationPhase",

@@ -79,11 +79,16 @@ def favor_in_order(
             raise ValidationError(
                 f"application {view.name!r} is not an I/O candidate and cannot be favoured"
             )
-        gamma = single_application_rate(view, node_bandwidth, remaining)
+        # Inlined single_application_rate: this loop runs once per favoured
+        # application per event.
+        processors = view.processors
+        gamma = remaining / processors
+        if gamma > node_bandwidth:
+            gamma = node_bandwidth
         if gamma <= _EPS:
             continue
         gammas[view.name] = gamma
-        remaining -= gamma * view.processors
+        remaining -= gamma * processors
     return BandwidthAllocation(gammas)
 
 

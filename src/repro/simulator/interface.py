@@ -86,7 +86,27 @@ class ApplicationView:
     @property
     def wants_io(self) -> bool:
         """True when the application is ready to transfer (pending or active)."""
-        return self.phase in (ApplicationPhase.IO_PENDING, ApplicationPhase.DOING_IO)
+        # Identity checks on the enum members: this predicate runs once per
+        # application per event in the engine's hot path.
+        phase = self.phase
+        return phase is ApplicationPhase.IO_PENDING or phase is ApplicationPhase.DOING_IO
+
+    @classmethod
+    def _build_fast(cls, fields: dict) -> "ApplicationView":
+        """Engine-internal constructor bypassing the frozen-dataclass ``__init__``.
+
+        A simulation builds one view per live application per event — millions
+        over a large run — and the generated ``__init__`` pays one guarded
+        ``object.__setattr__`` per field.  Installing ``fields`` directly as
+        the instance ``__dict__`` is several times cheaper and produces an
+        object indistinguishable from a normally constructed one (same
+        fields, equality, hashing and repr).  ``fields`` must contain exactly
+        the dataclass fields; the view takes ownership of the dict — callers
+        must not mutate it afterwards.
+        """
+        view = object.__new__(cls)
+        object.__setattr__(view, "__dict__", fields)
+        return view
 
     @property
     def efficiency_ratio(self) -> float:
@@ -124,8 +144,23 @@ class SystemView:
     applications: tuple[ApplicationView, ...]
 
     def io_candidates(self) -> tuple[ApplicationView, ...]:
-        """Applications that want to perform I/O right now."""
-        return tuple(a for a in self.applications if a.wants_io)
+        """Applications that want to perform I/O right now.
+
+        Memoized: schedulers typically ask several times per event (ordering,
+        feasibility checking, allocation), and the view is immutable, so the
+        filtered tuple is computed once and cached on the instance.
+        """
+        cached = self.__dict__.get("_io_candidates")
+        if cached is None:
+            pending = ApplicationPhase.IO_PENDING
+            doing = ApplicationPhase.DOING_IO
+            cached = tuple(
+                a
+                for a in self.applications
+                if a.phase is pending or a.phase is doing
+            )
+            self.__dict__["_io_candidates"] = cached
+        return cached
 
     def view(self, name: str) -> ApplicationView:
         """Look a single application view up by name."""

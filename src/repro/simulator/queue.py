@@ -1,0 +1,90 @@
+"""Indexed event timeline for the fast simulator engine.
+
+The engine's hot loop needs two operations on the set of *time-certain*
+future events (application releases, compute-phase completions):
+
+* "what is the earliest pending event?" — to cut the next interval; and
+* "pop everything due at the current time" — to fire transitions.
+
+A binary heap gives both in O(log n) without scanning every application at
+every event, which is the difference between the O(n_apps) per-event sweeps
+of :mod:`repro.simulator.reference` and the O(k log n) bookkeeping of
+:mod:`repro.simulator.engine` (k = applications actually transitioning).
+
+Entries cannot be removed from the middle of a heap cheaply, so the queue
+uses *lazy invalidation*: the engine pushes entries freely and supplies an
+``is_valid`` predicate when peeking or popping; stale entries (e.g. the
+compute-completion of an instance that chained straight into I/O because its
+work was ~0) are discarded the first time they surface at the top.  Stale
+entries are therefore never reported — crucially, they also never cut an
+interval, so the optimized engine sees exactly the same event timeline as
+the reference engine.
+
+I/O completions are *not* kept here: their times depend on the bandwidth
+assignment, which changes at every event, so the engine derives them from
+its active-transfer set instead of repeatedly re-keying a heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generic, Optional, TypeVar
+
+__all__ = ["EventHeap"]
+
+T = TypeVar("T")
+
+
+class EventHeap(Generic[T]):
+    """Min-heap of ``(time, item)`` entries with lazy invalidation.
+
+    Ties on ``time`` are broken by insertion order (a monotone sequence
+    number), so items pushed earlier pop earlier — matching the
+    insertion-order sweeps of the reference engine — and item payloads are
+    never compared.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of entries, stale ones included (they are pruned lazily)."""
+        return len(self._heap)
+
+    def push(self, time: float, item: T) -> None:
+        """Schedule ``item`` at ``time``."""
+        heapq.heappush(self._heap, (time, self._seq, item))
+        self._seq += 1
+
+    def peek_time(self, is_valid: Callable[[T], bool]) -> Optional[float]:
+        """Time of the earliest valid entry, or ``None`` if none remains.
+
+        Stale entries encountered at the top are discarded permanently, so
+        repeated peeks are amortized O(log n).
+        """
+        heap = self._heap
+        while heap:
+            time, _, item = heap[0]
+            if is_valid(item):
+                return time
+            heapq.heappop(heap)
+        return None
+
+    def pop_due(self, cutoff: float, is_valid: Callable[[T], bool]) -> list[T]:
+        """Pop every valid entry with ``time <= cutoff``, earliest first."""
+        due: list[T] = []
+        heap = self._heap
+        while heap:
+            time, _, item = heap[0]
+            if not is_valid(item):
+                heapq.heappop(heap)
+                continue
+            if time <= cutoff:
+                heapq.heappop(heap)
+                due.append(item)
+            else:
+                break
+        return due

@@ -1,0 +1,180 @@
+"""Optimized engine vs seed engine: the timelines must be identical.
+
+The fast engine (:mod:`repro.simulator.engine`) replaces the seed engine's
+per-event full scans with an event heap, cached prefix sums and memoized
+views.  Those are pure bookkeeping changes — every float handed to the
+scheduler and every event time must come out bit-for-bit the same — so these
+tests run randomized scenarios through both engines and require identical
+makespans, per-application completion times and event counts (the ISSUE's
+tolerance of 1e-9 is the allowance; in practice the engines agree exactly).
+
+The scenario matrix crosses: randomized mixes (several seeds), all four
+paper heuristics plus Priority variants and the fair-share baseline, with
+and without burst buffers, plus the awkward shapes (zero-work instances,
+zero-I/O instances, staggered releases, ``max_time`` truncation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.application import Application
+from repro.core.platform import BurstBufferSpec, Platform
+from repro.core.scenario import Scenario
+from repro.online.registry import make_scheduler
+from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.reference import reference_simulate
+
+#: Makespans / completion times must agree to this tolerance (they are
+#: expected — and observed — to agree exactly; the tolerance documents the
+#: acceptance bound).
+TOL = 1e-9
+
+#: The four paper heuristics, two Priority variants, and the fair-share
+#: baseline with interference.
+SCHEDULERS = (
+    "RoundRobin",
+    "MinDilation",
+    "MaxSysEff",
+    "MinMax-0.5",
+    "Priority-RoundRobin",
+    "Priority-MaxSysEff",
+    "Intrepid",
+)
+
+
+def random_scenario(
+    seed: int, *, n_apps: int = 12, with_bb: bool = False
+) -> Scenario:
+    """A randomized congested scenario, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    bb = (
+        BurstBufferSpec(capacity=2e9, ingest_bandwidth=5e8, drain_bandwidth=2e7)
+        if with_bb
+        else None
+    )
+    platform = Platform(
+        name=f"equiv-{seed}",
+        total_processors=n_apps * 20,
+        node_bandwidth=1e6,
+        # ~3x oversubscribed when everybody transfers at once.
+        system_bandwidth=n_apps * 20 * 1e6 / 3.0,
+        burst_buffer=bb,
+    )
+    apps = []
+    for i in range(n_apps):
+        procs = int(rng.integers(5, 21))
+        apps.append(
+            Application.periodic(
+                name=f"app-{i:02d}",
+                processors=procs,
+                work=float(rng.uniform(10.0, 120.0)),
+                io_volume=float(rng.uniform(0.2, 2.0)) * 30.0 * procs * 1e6,
+                n_instances=int(rng.integers(2, 7)),
+                release_time=float(rng.uniform(0.0, 150.0)),
+            )
+        )
+    return Scenario(platform=platform, applications=tuple(apps), label=f"equiv-{seed}")
+
+
+def assert_equivalent(scenario, scheduler_name, config=None):
+    """Run both engines and compare everything the ISSUE requires."""
+    config = config or SimulatorConfig()
+    fast = simulate(scenario, make_scheduler(scheduler_name), config)
+    seed_engine = reference_simulate(scenario, make_scheduler(scheduler_name), config)
+    assert fast.n_events == seed_engine.n_events
+    assert fast.makespan == pytest.approx(seed_engine.makespan, abs=TOL)
+    assert set(fast.records) == set(seed_engine.records)
+    for name, rec in fast.records.items():
+        ref_rec = seed_engine.records[name]
+        assert rec.completion_time == pytest.approx(
+            ref_rec.completion_time, abs=TOL
+        ), name
+        assert rec.executed_work == pytest.approx(ref_rec.executed_work, abs=TOL)
+        assert rec.total_io_transferred == pytest.approx(
+            ref_rec.total_io_transferred, abs=TOL
+        )
+        assert len(rec.instances) == len(ref_rec.instances)
+    return fast, seed_engine
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_all_heuristics_without_burst_buffer(self, seed, scheduler):
+        assert_equivalent(random_scenario(seed), scheduler)
+
+    @pytest.mark.parametrize("scheduler", ("Intrepid", "MaxSysEff"))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_with_burst_buffer(self, seed, scheduler):
+        scenario = random_scenario(seed, with_bb=True)
+        fast, seed_engine = assert_equivalent(
+            scenario, scheduler, SimulatorConfig(use_burst_buffer=True)
+        )
+        assert fast.burst_buffer is not None
+        assert fast.burst_buffer.total_absorbed == pytest.approx(
+            seed_engine.burst_buffer.total_absorbed, abs=TOL
+        )
+        assert fast.burst_buffer.time_full == pytest.approx(
+            seed_engine.burst_buffer.time_full, abs=TOL
+        )
+
+
+class TestAwkwardShapes:
+    def make_platform(self) -> Platform:
+        return Platform(
+            name="awkward",
+            total_processors=100,
+            node_bandwidth=1e6,
+            system_bandwidth=2e7,
+        )
+
+    def test_zero_work_and_zero_io_instances(self):
+        # Pure-I/O and pure-compute instances exercise the immediate
+        # transition chains (release -> compute done -> I/O done at one
+        # instant), the paths where stale heap entries could bite.
+        apps = (
+            Application.from_sequences(
+                "chain", 20, works=[0.0, 50.0, 0.0], io_volumes=[1e8, 0.0, 5e7]
+            ),
+            Application.periodic("steady", 30, work=40.0, io_volume=2e8, n_instances=3),
+            Application.periodic(
+                "cpu-only", 10, work=25.0, io_volume=0.0, n_instances=4
+            ),
+        )
+        scenario = Scenario(platform=self.make_platform(), applications=apps)
+        for scheduler in ("MaxSysEff", "RoundRobin"):
+            assert_equivalent(scenario, scheduler)
+
+    def test_simultaneous_releases_and_ties(self):
+        # Identical applications released at the same instant: every event
+        # is a tie, so any ordering slip between the engines would surface.
+        apps = tuple(
+            Application.periodic(f"tied-{i}", 20, work=30.0, io_volume=3e8, n_instances=3)
+            for i in range(4)
+        )
+        scenario = Scenario(platform=self.make_platform(), applications=apps)
+        for scheduler in ("RoundRobin", "MinDilation"):
+            assert_equivalent(scenario, scheduler)
+
+    @pytest.mark.parametrize("max_time", (100.0, 333.3, 1000.0))
+    def test_max_time_truncation(self, max_time):
+        scenario = random_scenario(4)
+        assert_equivalent(scenario, "MaxSysEff", SimulatorConfig(max_time=max_time))
+
+    def test_event_logs_serialize_identically(self):
+        from repro.core.events import EventLog
+
+        scenario = random_scenario(5, n_apps=6)
+        config = SimulatorConfig(record_events=True)
+        fast_log, seed_log = EventLog(), EventLog()
+        simulate(scenario, make_scheduler("MaxSysEff"), config, fast_log)
+        reference_simulate(scenario, make_scheduler("MaxSysEff"), config, seed_log)
+        fast_events = [
+            (e.time, e.event_type, e.app_name, e.instance_index) for e in fast_log
+        ]
+        seed_events = [
+            (e.time, e.event_type, e.app_name, e.instance_index) for e in seed_log
+        ]
+        assert fast_events == seed_events

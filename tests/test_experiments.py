@@ -23,10 +23,13 @@ from repro.experiments.reporting import (
     percent,
     ratio,
 )
+from repro.experiments.overhead import scenario_overhead_fractions
 from repro.experiments.runner import (
     CaseResult,
     ExperimentGrid,
     SchedulerCase,
+    map_parallel,
+    resolve_workers,
     run_case,
     run_grid,
 )
@@ -113,6 +116,76 @@ class TestRunner:
             run_grid([], [SchedulerCase("MaxSysEff")])
         with pytest.raises(ValidationError):
             run_grid([tiny_scenario()], [])
+
+
+class TestParallelGrid:
+    """The workers= fan-out must be cell-for-cell identical to serial runs."""
+
+    def test_resolve_workers(self):
+        import os
+
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        with pytest.raises(ValidationError):
+            resolve_workers(-1)
+
+    def test_map_parallel_preserves_order(self):
+        assert map_parallel(_square, [3, 1, 2], workers=2) == [9, 1, 4]
+        assert map_parallel(_square, [3, 1, 2], workers=None) == [9, 1, 4]
+
+    def test_run_grid_parallel_matches_serial(self):
+        scenarios = [tiny_scenario("t0"), tiny_scenario_b()]
+        cases = [SchedulerCase(name="MaxSysEff"), SchedulerCase(name="RoundRobin")]
+        serial = run_grid(scenarios, cases)
+        parallel = run_grid(scenarios, cases, workers=2)
+        assert len(serial.cases) == len(parallel.cases)
+        for s, p in zip(serial.cases, parallel.cases):
+            assert (s.scenario_label, s.scheduler_label) == (
+                p.scenario_label,
+                p.scheduler_label,
+            )
+            assert s.makespan == p.makespan
+            assert s.n_events == p.n_events
+            assert s.summary == p.summary
+
+    def test_vesta_rejects_live_generator_in_parallel(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError, match="seed-like"):
+            vesta_experiment(
+                scenarios=("512",), configurations=("IOR",), rng=rng, workers=2
+            )
+        with pytest.raises(ValidationError, match="seed-like"):
+            figure14_overheads(("512",), rng=rng, workers=2)
+        # Serial runs keep accepting live generators (state advances per cell).
+        result = vesta_experiment(
+            scenarios=("512",), configurations=("IOR",), rng=rng
+        )
+        assert len(result.cases) == 1
+
+    def test_scenario_overhead_fractions_matches_method(self):
+        scenarios = [tiny_scenario("t0"), tiny_scenario_b()]
+        batch = scenario_overhead_fractions(scenarios)
+        assert batch == [
+            DEFAULT_OVERHEAD.scenario_overhead_fraction(s) for s in scenarios
+        ]
+
+
+def tiny_scenario_b() -> Scenario:
+    platform = Platform("p", 100, 1e6, 2e7)
+    apps = tuple(
+        Application.periodic(f"b{i}", 20, work=35.0, io_volume=2e8, n_instances=3)
+        for i in range(4)
+    )
+    return Scenario(platform=platform, applications=apps, label="tiny-b")
+
+
+def _square(x: int) -> int:
+    """Module-level so ProcessPoolExecutor can pickle it."""
+    return x * x
 
 
 class TestFigure6Experiment:

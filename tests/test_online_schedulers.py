@@ -135,6 +135,37 @@ class TestMinMaxGamma:
         assert MinMaxGamma(0.25).name == "MinMax-0.25"
 
 
+class TestTieBreaks:
+    """Every heuristic resolves primary-key ties the same way: earlier I/O
+    request first, then name (the pair is inlined into each sort key, so a
+    slip in any single heuristic would surface here)."""
+
+    SCHEDULERS = (RoundRobin(), MinDilation(), MaxSysEff(), MinMaxGamma(0.5))
+
+    def test_request_time_breaks_ties(self):
+        # Identical primary keys, distinct request times.
+        late = view("aaa", 10, request=30.0)
+        early = view("zzz", 10, request=5.0)
+        for scheduler in self.SCHEDULERS:
+            assert ordering(scheduler, system_view(late, early)) == ["zzz", "aaa"]
+
+    def test_name_breaks_remaining_ties(self):
+        # Identical primary keys and request times: name decides.
+        b = view("bbb", 10, request=7.0)
+        a = view("aaa", 10, request=7.0)
+        for scheduler in self.SCHEDULERS:
+            assert ordering(scheduler, system_view(b, a)) == ["aaa", "bbb"]
+
+    def test_missing_request_time_sorts_last(self):
+        requested = view("bbb", 10, request=1e9)
+        unrequested = view("aaa", 10, request=None)
+        for scheduler in self.SCHEDULERS:
+            assert ordering(scheduler, system_view(unrequested, requested)) == [
+                "bbb",
+                "aaa",
+            ]
+
+
 class TestPriority:
     def test_in_flight_transfers_first(self):
         sv = system_view(

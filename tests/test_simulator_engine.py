@@ -12,8 +12,16 @@ from repro.core.platform import BurstBufferSpec, Platform
 from repro.core.scenario import Scenario
 from repro.online.baselines import FairShare
 from repro.online.heuristics import MaxSysEff, MinDilation, RoundRobin
-from repro.simulator.engine import SimulationError, Simulator, SimulatorConfig, simulate
+from repro.core.allocation import BandwidthAllocation
+from repro.simulator.engine import (
+    SimulationError,
+    Simulator,
+    SimulatorConfig,
+    StallError,
+    simulate,
+)
 from repro.simulator.interference import NO_INTERFERENCE
+from repro.simulator.reference import reference_simulate
 from repro.utils.validation import ValidationError
 
 
@@ -203,6 +211,70 @@ class TestTruncation:
     def test_max_events_guard(self, simple_scenario):
         with pytest.raises(SimulationError):
             simulate(simple_scenario, ideal_fair_share(), SimulatorConfig(max_events=2))
+
+
+class _NeverAllocate:
+    """A pathological scheduler that stalls every I/O candidate forever."""
+
+    name = "never"
+
+    def allocate(self, view):
+        return BandwidthAllocation.empty()
+
+    def reset(self):
+        pass
+
+
+class TestGuardRails:
+    """The engine's safety valves: stalled schedulers and event explosions."""
+
+    def test_zero_allocation_forever_raises_stall_error(self, simple_scenario):
+        # Both applications finish their compute phase and wait for
+        # bandwidth that never comes: no future event exists to unblock
+        # them, which must be detected as a stall, not an endless loop.
+        with pytest.raises(StallError, match="stalled"):
+            simulate(simple_scenario, _NeverAllocate())
+
+    def test_reference_engine_stalls_identically(self, simple_scenario):
+        with pytest.raises(StallError):
+            reference_simulate(simple_scenario, _NeverAllocate())
+
+    def test_stall_error_is_a_simulation_error(self):
+        assert issubclass(StallError, SimulationError)
+
+    def test_pending_release_defers_the_stall(self, small_platform):
+        # A stingy scheduler cannot stall the run while another application
+        # still has a pending release (a genuine future event) — the stall
+        # is only declared once no event can ever unblock the candidates.
+        early = Application.periodic(
+            "early", 10, work=10.0, io_volume=1e8, n_instances=1
+        )
+        late = Application.periodic(
+            "late", 10, work=10.0, io_volume=1e8, n_instances=1, release_time=500.0
+        )
+        scenario = Scenario(platform=small_platform, applications=(early, late))
+        with pytest.raises(StallError) as err:
+            simulate(scenario, _NeverAllocate())
+        # Both applications made it into the stalled candidate set, so the
+        # late release did fire before the stall was declared.
+        assert "2 application(s)" in str(err.value)
+
+    def test_max_events_exhaustion_message(self, simple_scenario):
+        with pytest.raises(SimulationError, match="max_events=3"):
+            simulate(
+                simple_scenario, ideal_fair_share(), SimulatorConfig(max_events=3)
+            )
+
+    def test_max_events_not_triggered_by_normal_run(self, simple_scenario):
+        # A correct run needs n_events well below the valve; make sure the
+        # optimized engine does not generate spurious (stale-heap) events.
+        result = simulate(simple_scenario, ideal_fair_share())
+        generous = simulate(
+            simple_scenario,
+            ideal_fair_share(),
+            SimulatorConfig(max_events=result.n_events),
+        )
+        assert generous.n_events == result.n_events
 
 
 class TestBadScheduler:
