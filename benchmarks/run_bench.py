@@ -45,7 +45,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        from repro.experiments.scaling import run_scaling_suite, write_bench_json
+        from repro.experiments.scaling import run_bench_cli
     except ImportError as exc:  # pragma: no cover - environment guard
         print(
             f"cannot import repro ({exc}); run with PYTHONPATH=src "
@@ -54,29 +54,18 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    payload = run_scaling_suite(
-        scheduler=args.scheduler,
-        events_budget=4000 * max(1, args.scale),
-        include_reference=not args.no_reference,
-        progress=print,
-    )
-    out = write_bench_json(payload, args.out)
-    print(f"wrote {out}")
+    from repro.utils.validation import ValidationError
 
-    if not args.no_reference:
-        broken = [
-            f"{c['n_apps']}x{c['n_instances']}"
-            for c in payload["cells"]
-            if not c["identical"]
-        ]
-        if broken:
-            print(
-                f"ENGINE MISMATCH on cells: {', '.join(broken)} — the optimized "
-                "engine no longer reproduces the reference timeline",
-                file=sys.stderr,
-            )
-            return 1
-    return 0
+    try:
+        return run_bench_cli(
+            out=args.out,
+            scale=args.scale,
+            scheduler=args.scheduler,
+            include_reference=not args.no_reference,
+        )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,10 +1,48 @@
-"""Legacy setup shim.
+"""Packaging metadata for the IPDPS 2015 I/O-scheduling reproduction.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` keeps working on environments without the ``wheel``
-package (legacy editable installs go through ``setup.py develop``).
+Installs the ``repro`` package from ``src/`` and the ``repro`` console
+script (the unified CLI of :mod:`repro.cli`)::
+
+    pip install -e .
+    repro quickstart
+
+The package also runs uninstalled: ``PYTHONPATH=src python -m repro ...``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single-sourced from the package so `repro --version` and pip metadata can
+# never disagree.
+_version = re.search(
+    r'^__version__ = "([^"]+)"',
+    Path(__file__).with_name("src").joinpath("repro", "__init__.py").read_text(),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-hpc-io-scheduling",
+    version=_version,
+    description=(
+        "Reproduction of 'Scheduling the I/O of HPC applications under "
+        "congestion' (Gainaru et al., IPDPS 2015)"
+    ),
+    long_description=__doc__,
+    license="MIT",
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -11,7 +11,11 @@ The package provides:
 * :mod:`repro.workload` — synthetic Intrepid/Mira/Vesta workload generators;
 * :mod:`repro.experiments` — the experiment runner behind every table/figure;
 * :mod:`repro.analysis` — figure-level analyses (throughput decrease, usage,
-  sensitivity).
+  sensitivity);
+* :mod:`repro.config` — declarative scenario/experiment specs (TOML/JSON),
+  the layer behind the ``repro`` command line;
+* :mod:`repro.cli` — the ``repro`` console script (``repro run <spec>``,
+  ``repro validate``, ``repro quickstart``, ``repro bench``, ``repro list``).
 
 Quickstart::
 
@@ -27,7 +31,7 @@ Quickstart::
     print(result.summary())
 """
 
-from repro import analysis, core, experiments, online, periodic, simulator, workload
+from repro import analysis, config, core, experiments, online, periodic, simulator, workload
 
 __version__ = "1.0.0"
 
@@ -39,5 +43,6 @@ __all__ = [
     "workload",
     "experiments",
     "analysis",
+    "config",
     "__version__",
 ]

@@ -1,0 +1,13 @@
+"""``python -m repro`` — module entry point for the :mod:`repro.cli` command.
+
+Lets the CLI run without installation::
+
+    PYTHONPATH=src python -m repro quickstart
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""Turn parsed specs into live model objects: platforms, scenarios, cases.
+
+This is the deterministic half of the subsystem: given the same
+:class:`~repro.config.spec.ExperimentSpec` the builders always produce the
+same :class:`~repro.core.scenario.Scenario` objects, byte for byte, because
+every random draw comes from seeds derived by the contract documented in
+:mod:`repro.config.spec` (and in ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.config.schema import SpecError
+from repro.config.spec import (
+    AppSpec,
+    ExperimentSpec,
+    GridSpec,
+    PlatformSpec,
+    ScenarioEntry,
+    SchedulerCaseSpec,
+)
+from repro.core.application import Application
+from repro.core.platform import BurstBufferSpec, Platform, generic, intrepid, mira, vesta
+from repro.core.scenario import Scenario
+from repro.experiments.runner import SchedulerCase
+from repro.utils.rng import spawn_rngs
+from repro.workload.congested import CongestedMomentSpec, generate_congested_moment
+from repro.workload.generator import MixSpec, figure6_mix, generate_mix
+from repro.workload.ior import (
+    DEFAULT_COMPUTE_TIME,
+    DEFAULT_ITERATIONS,
+    DEFAULT_WRITE_PER_NODE,
+    ior_scenario,
+)
+
+__all__ = [
+    "build_platform",
+    "build_burst_buffer_platform",
+    "build_entry_scenarios",
+    "build_grid_scenarios",
+    "build_cases",
+]
+
+_PRESETS = {"intrepid": intrepid, "mira": mira, "vesta": vesta}
+
+
+def build_platform(
+    spec: Optional[PlatformSpec], *, with_burst_buffer: bool = False
+) -> Platform:
+    """Concrete :class:`~repro.core.platform.Platform` for one platform spec.
+
+    ``None`` means the default (Intrepid, the paper's primary machine).
+    ``with_burst_buffer`` asks a preset for its burst-buffer variant; the
+    scale/rename post-processing is identical either way, so the plain and
+    BB platforms of one spec differ only in the burst-buffer layer.
+    """
+    if spec is None:
+        return intrepid(with_burst_buffer=with_burst_buffer)
+    if spec.preset in _PRESETS:
+        platform = _PRESETS[spec.preset](with_burst_buffer=with_burst_buffer)
+    else:
+        platform = generic(
+            total_processors=spec.processors,
+            node_bandwidth=spec.node_bandwidth,
+            system_bandwidth=spec.system_bandwidth,
+            name=spec.name or "generic",
+        )
+    if spec.burst_buffer is not None:
+        platform = platform.with_burst_buffer(
+            BurstBufferSpec(
+                capacity=spec.burst_buffer.capacity,
+                ingest_bandwidth=spec.burst_buffer.ingest_bandwidth,
+                drain_bandwidth=spec.burst_buffer.drain_bandwidth,
+            )
+        )
+    if spec.scale is not None:
+        platform = platform.scaled(spec.scale, name=spec.name)
+        if platform.burst_buffer is not None:
+            # Platform.scaled leaves the burst buffer untouched; the spec
+            # layer promises uniform machine scaling, and a 5%-size machine
+            # with a full-size buffer would absorb all I/O and silently
+            # invalidate any BB-vs-no-BB comparison.
+            bb = platform.burst_buffer
+            platform = platform.with_burst_buffer(
+                BurstBufferSpec(
+                    capacity=bb.capacity * spec.scale,
+                    ingest_bandwidth=bb.ingest_bandwidth * spec.scale,
+                    drain_bandwidth=bb.drain_bandwidth * spec.scale,
+                )
+            )
+    if spec.name is not None and platform.name != spec.name:
+        platform = dataclasses.replace(platform, name=spec.name)
+    return platform
+
+
+def build_burst_buffer_platform(spec: Optional[PlatformSpec]) -> Optional[Platform]:
+    """The burst-buffer variant of a platform spec, when one is derivable.
+
+    Presets carry the machine's burst-buffer description; generic platforms
+    need an explicit ``[platform.burst_buffer]`` table.  Returns ``None``
+    when no burst buffer can be built — scheduler cases that ask for one
+    then fail with a spec-level error.
+    """
+    if spec is not None and spec.burst_buffer is not None:
+        return build_platform(spec)
+    if spec is None or spec.preset in _PRESETS:
+        return build_platform(spec, with_burst_buffer=True)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+def _build_app(spec: AppSpec) -> Application:
+    return Application.periodic(
+        name=spec.name,
+        processors=spec.processors,
+        work=spec.work,
+        io_volume=spec.io_volume,
+        n_instances=spec.instances,
+        release_time=spec.release,
+    )
+
+
+def _entry_label(entry: ScenarioEntry, index: int) -> str:
+    if entry.label is not None:
+        return entry.label
+    return f"{entry.kind}-{index}"
+
+
+def build_entry_scenarios(
+    entry: ScenarioEntry,
+    index: int,
+    platform: Platform,
+    rng: np.random.Generator,
+) -> list[Scenario]:
+    """All scenarios of one ``[[scenarios]]`` entry (one per repetition).
+
+    ``rng`` is the entry's child generator from the experiment seed; an
+    entry-level ``seed`` replaces it, pinning the entry's randomness
+    independently of its position in the spec.
+    """
+    if entry.platform is not None:
+        platform = build_platform(entry.platform)
+    base_label = _entry_label(entry, index)
+    rep_rngs = spawn_rngs(entry.seed if entry.seed is not None else rng,
+                          entry.repetitions)
+    scenarios: list[Scenario] = []
+    for rep, rep_rng in enumerate(rep_rngs):
+        label = base_label if entry.repetitions == 1 else f"{base_label}-rep{rep:02d}"
+        if entry.kind == "mix":
+            scenario = generate_mix(
+                MixSpec(
+                    n_small=entry.small,
+                    n_large=entry.large,
+                    n_very_large=entry.very_large,
+                ),
+                platform,
+                entry.io_ratio,
+                rep_rng,
+                label=label,
+                fit_to_platform=entry.fit_to_platform,
+            )
+        elif entry.kind == "congested":
+            scenario = generate_congested_moment(
+                CongestedMomentSpec(
+                    congestion_factor=entry.congestion_factor,
+                    n_small=entry.small,
+                    n_large=entry.large,
+                    n_very_large=entry.very_large,
+                    io_ratio=entry.io_ratio,
+                ),
+                platform,
+                rep_rng,
+                label=label,
+            )
+        elif entry.kind == "figure6":
+            scenario = figure6_mix(entry.panel, platform, rep_rng, label=label)
+        elif entry.kind == "ior":
+            scenario = ior_scenario(
+                entry.mix,
+                platform,
+                iterations=entry.iterations or DEFAULT_ITERATIONS,
+                compute_time=entry.compute_time or DEFAULT_COMPUTE_TIME,
+                write_per_node=entry.write_per_node or DEFAULT_WRITE_PER_NODE,
+                jitter=entry.jitter,
+                rng=rep_rng,
+            ).with_label(label)
+        elif entry.kind == "apps":
+            scenario = Scenario(
+                platform=platform,
+                applications=tuple(_build_app(a) for a in entry.apps),
+                label=label,
+                metadata={"kind": "apps"},
+            )
+        else:  # pragma: no cover - parser rejects unknown kinds
+            raise SpecError(f"unknown scenario kind {entry.kind!r}")
+        scenarios.append(scenario)
+    return scenarios
+
+
+def build_grid_scenarios(grid: GridSpec, seed: int) -> list[Scenario]:
+    """Every scenario of a grid experiment, in declaration order.
+
+    Implements the determinism contract of :mod:`repro.config.spec`: one
+    child generator per entry from ``spawn_rngs(seed, n_entries)``, then one
+    per repetition inside each entry.
+    """
+    platform = build_platform(grid.platform)
+    entry_rngs = spawn_rngs(seed, len(grid.scenarios))
+    scenarios: list[Scenario] = []
+    labels: set[str] = set()
+    for index, (entry, rng) in enumerate(zip(grid.scenarios, entry_rngs)):
+        for scenario in build_entry_scenarios(entry, index, platform, rng):
+            if scenario.label in labels:
+                raise SpecError(
+                    f"duplicate scenario label {scenario.label!r}; give "
+                    "entries distinct 'label' values"
+                )
+            labels.add(scenario.label)
+            scenarios.append(scenario)
+    return scenarios
+
+
+def build_cases(grid: GridSpec) -> list[SchedulerCase]:
+    """Concrete :class:`~repro.experiments.runner.SchedulerCase` columns.
+
+    Cases with ``burst_buffer = true`` are bound to the grid platform's
+    burst-buffer variant; a spec whose platform has no derivable burst
+    buffer fails here with a message naming the case.  Because that binding
+    is grid-wide, burst-buffer cases are rejected when any scenario entry
+    overrides its platform — the BB cell would silently run on a different
+    machine than the entry's other cells.
+    """
+    bb_platform: Optional[Platform] = None
+    cases: list[SchedulerCase] = []
+    for spec in grid.cases:
+        if spec.burst_buffer:
+            if any(entry.platform is not None for entry in grid.scenarios):
+                raise SpecError(
+                    f"scheduler case {spec.name!r} sets burst_buffer = true, "
+                    "which binds the grid-level platform's burst buffer to "
+                    "every scenario — incompatible with per-entry "
+                    "[scenarios.platform] overrides; drop the overrides or "
+                    "split the grid into separate specs"
+                )
+            if bb_platform is None:
+                bb_platform = build_burst_buffer_platform(grid.platform)
+            if bb_platform is None or bb_platform.burst_buffer is None:
+                raise SpecError(
+                    f"scheduler case {spec.name!r} sets burst_buffer = true "
+                    "but the platform defines no burst buffer; use a preset "
+                    "platform or add a [platform.burst_buffer] table"
+                )
+        case = SchedulerCase(
+            name=spec.name,
+            use_burst_buffer=spec.burst_buffer,
+            burst_buffer_platform=bb_platform if spec.burst_buffer else None,
+            label=spec.label,
+        )
+        # Grids index cells by display label; a collision would silently
+        # merge two columns (last cell wins), exactly like duplicate
+        # scenario labels in build_grid_scenarios.
+        if any(case.display == existing.display for existing in cases):
+            raise SpecError(
+                f"duplicate scheduler label {case.display!r}; give cases "
+                "distinct 'label' values"
+            )
+        cases.append(case)
+    return cases

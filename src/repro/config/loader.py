@@ -1,0 +1,68 @@
+"""Load spec files (TOML or JSON) into validated :class:`ExperimentSpec` objects.
+
+The file format is chosen by extension: ``.toml`` goes through the standard
+library ``tomllib``, ``.json`` through ``json``.  Both produce the same
+nested mappings, so a spec can be written in either language — the examples
+under ``examples/specs/`` use TOML because inline comments make them
+self-documenting.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Union
+
+from repro.config.schema import SpecError
+from repro.config.spec import ExperimentSpec, parse_spec
+
+__all__ = ["load_spec", "parse_spec_text"]
+
+
+def parse_spec_text(text: str, *, format: str = "toml", name: str = "experiment") -> ExperimentSpec:
+    """Parse spec source text (``format`` is ``"toml"`` or ``"json"``)."""
+    if format == "toml":
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError(f"invalid TOML: {exc}") from exc
+    elif format == "json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON: {exc}") from exc
+    else:
+        raise SpecError(f"unknown spec format {format!r}; use 'toml' or 'json'")
+    return parse_spec(data, name=name)
+
+
+def load_spec(path: Union[str, Path]) -> ExperimentSpec:
+    """Load and validate one spec file.
+
+    Raises :class:`~repro.config.schema.SpecError` when the file does not
+    exist, has an unsupported extension, is not valid TOML/JSON, or fails
+    schema validation — always with a message naming the file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        format = "toml"
+    elif suffix == ".json":
+        format = "json"
+    else:
+        raise SpecError(
+            f"unsupported spec extension {suffix!r} for {path}; use .toml or .json"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise SpecError(f"{path}: not valid UTF-8 text ({exc})") from exc
+    except OSError as exc:
+        raise SpecError(f"{path}: cannot read spec file ({exc})") from exc
+    try:
+        return parse_spec_text(text, format=format, name=path.stem)
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from exc

@@ -1,0 +1,294 @@
+"""Execute a parsed experiment spec and package the results.
+
+:func:`run_spec` is the single entry point behind ``repro run``: it
+dispatches on the experiment kind, drives the corresponding harness
+(:func:`repro.experiments.runner.run_grid`,
+:func:`repro.experiments.comparison.figure6_experiment`,
+:func:`repro.experiments.comparison.congested_moments_experiment` or
+:func:`repro.experiments.vesta.vesta_experiment`) and returns a
+:class:`SpecRunResult` carrying three synchronized views of the outcome:
+
+* ``payload`` — a JSON-serializable dict (spec echo + per-cell records +
+  averages), the round-trip artefact a spec fully determines;
+* ``records`` — flat per-cell rows for CSV;
+* ``text`` — the aligned plain-text tables printed to the terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.config.build import build_cases, build_grid_scenarios, build_platform
+from repro.config.schema import SpecError
+from repro.config.spec import (
+    CongestedMomentsSpec,
+    ExperimentSpec,
+    Figure6Spec,
+    GridSpec,
+    OutputSpec,
+    VestaSpec,
+)
+from repro.experiments.comparison import (
+    congested_moments_experiment,
+    figure6_experiment,
+)
+from repro.experiments.reporting import (
+    format_table,
+    grid_records,
+    write_csv,
+    write_json,
+)
+from repro.experiments.runner import run_grid
+from repro.experiments.vesta import vesta_experiment
+
+__all__ = ["SpecRunResult", "run_spec", "write_result"]
+
+
+@dataclass
+class SpecRunResult:
+    """Everything one spec run produced (see module docstring)."""
+
+    spec: ExperimentSpec
+    payload: dict
+    records: list[dict]
+    text: str
+
+    def write(self, path: Optional[str] = None, format: Optional[str] = None) -> Optional[Path]:
+        """Write the results to disk; see :func:`write_result`."""
+        return write_result(self, path=path, format=format)
+
+
+def _spec_echo(spec: ExperimentSpec) -> dict:
+    """The reproducibility header of every payload."""
+    return {
+        "name": spec.name,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "max_time": spec.max_time,
+    }
+
+
+def _averages_rows(averages: dict[str, dict[str, float]]) -> list[list[object]]:
+    return [
+        [
+            scheduler,
+            metrics["system_efficiency"],
+            metrics["dilation"],
+            metrics["upper_limit"],
+        ]
+        for scheduler, metrics in averages.items()
+    ]
+
+
+_AVERAGES_HEADERS = ["Scheduler", "SysEfficiency (%)", "Dilation", "Upper limit (%)"]
+
+
+# ---------------------------------------------------------------------- #
+def _run_grid_spec(spec: ExperimentSpec, body: GridSpec) -> SpecRunResult:
+    scenarios = build_grid_scenarios(body, spec.seed)
+    cases = build_cases(body)
+    grid = run_grid(scenarios, cases, max_time=spec.max_time, workers=spec.workers)
+    records = grid_records(grid)
+    averages = grid.averages()
+    payload = {
+        "experiment": _spec_echo(spec),
+        "platform": build_platform(body.platform).name,
+        "n_scenarios": len(scenarios),
+        "n_cells": len(records),
+        "cells": records,
+        "averages": averages,
+    }
+    if any(entry.platform is not None for entry in body.scenarios):
+        # Per-entry platform overrides: the single grid-level name above
+        # would misattribute those cells, so record the real machine per
+        # scenario.  (Keyed on overrides, not on name differences — an
+        # override may coincidentally reuse the grid platform's name.)
+        payload["scenario_platforms"] = {
+            s.label: s.platform.name for s in scenarios
+        }
+    text = format_table(
+        _AVERAGES_HEADERS,
+        _averages_rows(averages),
+        title=f"{spec.name}: averages over {len(scenarios)} scenario(s)",
+    )
+    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+
+
+def _run_figure6_spec(spec: ExperimentSpec, body: Figure6Spec) -> SpecRunResult:
+    platform = build_platform(body.platform) if body.platform is not None else None
+    records: list[dict] = []
+    panels_payload: dict[str, dict] = {}
+    blocks: list[str] = []
+    for panel in body.panels:
+        result = figure6_experiment(
+            panel,
+            n_repetitions=body.n_repetitions,
+            schedulers=body.schedulers,
+            platform=platform,
+            rng=spec.seed,
+            workers=spec.workers,
+            max_time=spec.max_time,
+        )
+        averages = {
+            scheduler: {
+                "system_efficiency": avg.system_efficiency,
+                "dilation": avg.dilation,
+                "upper_limit": avg.upper_limit,
+            }
+            for scheduler, avg in result.averages.items()
+        }
+        panels_payload[panel] = averages
+        for scheduler, metrics in averages.items():
+            records.append({"panel": panel, "scheduler": scheduler, **metrics})
+        blocks.append(
+            format_table(
+                _AVERAGES_HEADERS,
+                _averages_rows(averages),
+                title=f"Figure 6 — {panel} ({body.n_repetitions} mixes)",
+            )
+        )
+    payload = {
+        "experiment": _spec_echo(spec),
+        "n_repetitions": body.n_repetitions,
+        "panels": panels_payload,
+        "cells": records,
+    }
+    return SpecRunResult(
+        spec=spec, payload=payload, records=records, text="\n".join(blocks)
+    )
+
+
+def _run_congested_spec(
+    spec: ExperimentSpec, body: CongestedMomentsSpec
+) -> SpecRunResult:
+    result = congested_moments_experiment(
+        body.machine,
+        n_moments=body.n_moments,
+        schedulers=body.schedulers,
+        rng=spec.seed,
+        priority_only=body.priority_only,
+        workers=spec.workers,
+        max_time=spec.max_time,
+    )
+    records = grid_records(result.grid)
+    averages = result.grid.averages()
+    payload = {
+        "experiment": _spec_echo(spec),
+        "machine": body.machine,
+        "n_moments": len(result.grid.scenarios()),
+        "baseline": result.baseline_label,
+        "mean_upper_limit": result.mean_upper_limit(),
+        "cells": records,
+        "averages": averages,
+    }
+    text = format_table(
+        _AVERAGES_HEADERS,
+        _averages_rows(averages),
+        title=(
+            f"Congested moments on {body.machine} "
+            f"({len(result.grid.scenarios())} moments; "
+            f"baseline {result.baseline_label} runs with burst buffers)"
+        ),
+    )
+    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+
+
+def _run_vesta_spec(spec: ExperimentSpec, body: VestaSpec) -> SpecRunResult:
+    if spec.max_time != float("inf"):
+        # Vesta cells are overhead-scored against their full execution
+        # (score_with_overhead rebuilds outcomes from the complete original
+        # parameters), so a truncation horizon would yield misleading
+        # numbers.  Reject it rather than silently ignore it; the cells are
+        # small enough to always run to completion.
+        raise SpecError(
+            "max_time is not supported for 'vesta' experiments: cells are "
+            "overhead-scored on complete runs — remove experiment.max_time "
+            "(or the --max-time override)"
+        )
+    result = vesta_experiment(
+        scenarios=body.scenarios,
+        configurations=body.configurations,
+        rng=spec.seed,
+        workers=spec.workers,
+    )
+    records = [
+        {
+            "scenario": case.scenario,
+            "configuration": case.configuration,
+            "system_efficiency": case.summary.system_efficiency,
+            "dilation": case.summary.dilation,
+            "upper_limit": case.summary.upper_limit,
+            "makespan": case.makespan,
+        }
+        for case in result.cases
+    ]
+    payload = {
+        "experiment": _spec_echo(spec),
+        "scenarios": list(body.scenarios),
+        "configurations": list(body.configurations),
+        "cells": records,
+    }
+    rows = [
+        [r["scenario"], r["configuration"], r["system_efficiency"], r["dilation"]]
+        for r in records
+    ]
+    text = format_table(
+        ["Node mix", "Configuration", "SysEfficiency (%)", "Dilation"],
+        rows,
+        title=f"{spec.name}: Vesta / modified-IOR emulation (Figure 15 grid)",
+    )
+    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+
+
+# ---------------------------------------------------------------------- #
+def run_spec(spec: ExperimentSpec) -> SpecRunResult:
+    """Run one experiment spec to completion.
+
+    The spec's own ``seed`` / ``workers`` / ``max_time`` are honoured; apply
+    CLI-level overrides first via
+    :meth:`~repro.config.spec.ExperimentSpec.with_overrides`.
+    """
+    body = spec.body
+    if isinstance(body, GridSpec):
+        return _run_grid_spec(spec, body)
+    if isinstance(body, Figure6Spec):
+        return _run_figure6_spec(spec, body)
+    if isinstance(body, CongestedMomentsSpec):
+        return _run_congested_spec(spec, body)
+    if isinstance(body, VestaSpec):
+        return _run_vesta_spec(spec, body)
+    raise SpecError(f"experiment kind {spec.kind!r} has no runner")
+
+
+def write_result(
+    result: SpecRunResult,
+    *,
+    path: Optional[str] = None,
+    format: Optional[str] = None,
+) -> Optional[Path]:
+    """Write a run's results to disk.
+
+    ``path`` / ``format`` override the spec's ``[output]`` table; with
+    neither an ``[output]`` table nor an explicit path, nothing is written
+    and ``None`` is returned.  The format is picked in order: explicit
+    ``format`` argument; the spec's ``[output].format`` — but only when the
+    spec's own path is used (a ``path`` override switches to its suffix, so
+    ``--out cells.csv`` never receives JSON); else the target suffix
+    (``.csv`` selects CSV, anything else JSON).
+    """
+    output = result.spec.output
+    target = path or (output.path if output else None)
+    if target is None:
+        return None
+    chosen = format
+    if chosen is None and path is None and output is not None:
+        chosen = output.format
+    if chosen is None:
+        chosen = "csv" if str(target).lower().endswith(".csv") else "json"
+    if chosen == "csv":
+        return write_csv(result.records, target)
+    if chosen == "json":
+        return write_json(result.payload, target)
+    raise SpecError(f"unknown output format {chosen!r}; use 'json' or 'csv'")

@@ -1,0 +1,261 @@
+"""Low-level spec validation: typed key extraction with path-aware errors.
+
+Declarative specs arrive as nested mappings (parsed from TOML or JSON, or
+built directly as Python dicts).  Everything in this module exists to turn a
+malformed spec into an error message that names the exact key that is wrong
+— ``scenarios[2].io_ratio must be a number, got 'lots'`` — instead of a bare
+``KeyError`` three stack frames deep inside a builder.
+
+:class:`Section` wraps one table of the spec together with its path.  Typed
+getters (:meth:`Section.get_str`, :meth:`Section.get_float`, ...) consume
+keys as they validate them; :meth:`Section.finish` then rejects any key that
+was never consumed, so typos (``scheduler`` for ``schedulers``) fail loudly
+with the list of keys that *would* have been accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.utils.validation import ValidationError
+
+__all__ = ["SpecError", "Section"]
+
+
+class SpecError(ValidationError):
+    """Raised when a declarative scenario/experiment spec is malformed.
+
+    The message always starts with the spec path of the offending key
+    (``experiment.kind``, ``scenarios[0].apps[1].work``, ...) so the error
+    can be traced straight back to the line of the spec file.
+    """
+
+
+def _type_name(value: object) -> str:
+    return type(value).__name__
+
+
+class Section:
+    """One table of a spec, with typed key extraction and unknown-key checks.
+
+    Parameters
+    ----------
+    data:
+        The mapping to validate.
+    where:
+        Spec path of this table, used as the prefix of every error message
+        (e.g. ``"scenarios[0]"``; the empty string denotes the spec root).
+    """
+
+    def __init__(self, data: Mapping[str, Any], where: str = "") -> None:
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"{where or 'spec'} must be a table/mapping, got {_type_name(data)}"
+            )
+        self._data = data
+        self._where = where
+        self._consumed: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def where(self) -> str:
+        """Spec path of this table."""
+        return self._where
+
+    def path(self, key: str) -> str:
+        """Spec path of one key inside this table."""
+        return f"{self._where}.{key}" if self._where else key
+
+    def has(self, key: str) -> bool:
+        """Whether the key is present (does not consume it)."""
+        return key in self._data
+
+    def has_value(self, key: str) -> bool:
+        """Whether the key is present with a non-null value (not consumed).
+
+        JSON null counts as absent, matching how every getter treats it.
+        """
+        return self._data.get(key) is not None
+
+    def error(self, message: str) -> SpecError:
+        """A :class:`SpecError` prefixed with this table's path."""
+        prefix = f"{self._where}: " if self._where else ""
+        return SpecError(f"{prefix}{message}")
+
+    # ------------------------------------------------------------------ #
+    def _take(self, key: str, default: Any, required: bool) -> Any:
+        self._consumed.add(key)
+        # A JSON null is treated exactly like an absent key (TOML cannot
+        # express null at all): it must not bypass required/type/bounds
+        # checks by short-circuiting the getters' `value is None` paths.
+        if self._data.get(key) is not None:
+            return self._data[key]
+        if required:
+            raise SpecError(f"missing required key {self.path(key)!r}")
+        return default
+
+    def get_str(
+        self,
+        key: str,
+        default: Optional[str] = None,
+        *,
+        required: bool = False,
+        choices: Optional[Sequence[str]] = None,
+    ) -> Optional[str]:
+        """A string value, optionally restricted to ``choices``."""
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            raise SpecError(
+                f"{self.path(key)} must be a string, got {_type_name(value)}"
+            )
+        if choices is not None and value not in choices:
+            raise SpecError(
+                f"{self.path(key)} must be one of {sorted(choices)}, got {value!r}"
+            )
+        return value
+
+    def get_bool(
+        self, key: str, default: Optional[bool] = None, *, required: bool = False
+    ) -> Optional[bool]:
+        """A boolean value (``true``/``false`` in TOML)."""
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        if not isinstance(value, bool):
+            raise SpecError(
+                f"{self.path(key)} must be a boolean, got {_type_name(value)}"
+            )
+        return value
+
+    def get_int(
+        self,
+        key: str,
+        default: Optional[int] = None,
+        *,
+        required: bool = False,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+    ) -> Optional[int]:
+        """An integer value within optional inclusive bounds."""
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SpecError(
+                f"{self.path(key)} must be an integer, got {value!r}"
+            )
+        if minimum is not None and value < minimum:
+            raise SpecError(f"{self.path(key)} must be >= {minimum}, got {value}")
+        if maximum is not None and value > maximum:
+            raise SpecError(f"{self.path(key)} must be <= {maximum}, got {value}")
+        return value
+
+    def get_float(
+        self,
+        key: str,
+        default: Optional[float] = None,
+        *,
+        required: bool = False,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+        positive: bool = False,
+        allow_inf: bool = False,
+    ) -> Optional[float]:
+        """A numeric value (int or float) within optional bounds.
+
+        NaN is always rejected (every bound comparison is vacuously false on
+        NaN, so it would silently defeat validation); infinities only pass
+        with ``allow_inf`` (meaningful for e.g. an unbounded ``max_time``).
+        The ``default`` is trusted as-is.
+        """
+        present = self._data.get(key) is not None
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        if not present:
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(
+                f"{self.path(key)} must be a number, got {value!r}"
+            )
+        value = float(value)
+        if value != value:
+            raise SpecError(f"{self.path(key)} must not be NaN")
+        if not allow_inf and value in (float("inf"), float("-inf")):
+            raise SpecError(f"{self.path(key)} must be finite, got {value}")
+        if positive and value <= 0:
+            raise SpecError(f"{self.path(key)} must be > 0, got {value}")
+        if minimum is not None and value < minimum:
+            raise SpecError(f"{self.path(key)} must be >= {minimum}, got {value}")
+        if maximum is not None and value > maximum:
+            raise SpecError(f"{self.path(key)} must be <= {maximum}, got {value}")
+        return value
+
+    def get_str_list(
+        self,
+        key: str,
+        default: Optional[Sequence[str]] = None,
+        *,
+        required: bool = False,
+        non_empty: bool = False,
+        unique: bool = False,
+    ) -> Optional[list[str]]:
+        """A list of strings; ``unique`` rejects duplicate entries.
+
+        Results keyed by these strings (panels, scheduler averages, node
+        mixes) silently collapse on duplicates, so list keys that feed such
+        indexes should pass ``unique=True``.
+        """
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        if isinstance(value, str) or not isinstance(value, Sequence):
+            raise SpecError(
+                f"{self.path(key)} must be a list of strings, got {value!r}"
+            )
+        out: list[str] = []
+        for i, item in enumerate(value):
+            if not isinstance(item, str):
+                raise SpecError(
+                    f"{self.path(key)}[{i}] must be a string, got {_type_name(item)}"
+                )
+            if unique and item in out:
+                raise SpecError(
+                    f"{self.path(key)}[{i}] duplicates {item!r}; entries "
+                    "must be unique"
+                )
+            out.append(item)
+        if non_empty and not out:
+            raise SpecError(f"{self.path(key)} must not be empty")
+        return out
+
+    # ------------------------------------------------------------------ #
+    def subsection(self, key: str, *, required: bool = False) -> Optional["Section"]:
+        """A nested table, or ``None`` when absent and not required."""
+        value = self._take(key, None, required)
+        if value is None:
+            return None
+        return Section(value, self.path(key))
+
+    def sections(self, key: str, *, required: bool = False) -> list["Section"]:
+        """An array of tables (``[[key]]`` in TOML); empty when absent."""
+        value = self._take(key, None, required)
+        if value is None:
+            return []
+        if isinstance(value, (str, Mapping)) or not isinstance(value, Sequence):
+            raise SpecError(
+                f"{self.path(key)} must be an array of tables "
+                f"(use [[{key}]] in TOML), got {_type_name(value)}"
+            )
+        return [Section(item, f"{self.path(key)}[{i}]") for i, item in enumerate(value)]
+
+    def finish(self) -> None:
+        """Reject keys that no getter consumed (typos, unsupported options)."""
+        unknown = sorted(set(self._data) - self._consumed)
+        if unknown:
+            expected = sorted(self._consumed)
+            raise self.error(
+                f"unknown key(s) {unknown}; expected keys are {expected}"
+            )

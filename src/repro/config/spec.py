@@ -1,0 +1,630 @@
+"""Declarative experiment specs: the parsed, validated form of a spec file.
+
+A spec fully determines a reproducible run: the platform, the application
+scenarios (with every random draw pinned by seeds), the scheduler list, the
+truncation horizon and the output destination.  ``docs/scenarios.md``
+documents every key with worked examples; the short version is::
+
+    [experiment]
+    kind = "grid"              # grid | figure6 | congested-moments | vesta
+    seed = 42
+    max_time = 2000.0          # optional truncation horizon (seconds)
+
+    [platform]
+    preset = "intrepid"
+
+    [[scenarios]]
+    kind = "mix"               # mix | figure6 | congested | ior | apps
+    small = 20
+    large = 3
+    io_ratio = 0.2
+
+    [schedulers]
+    names = ["FairShare", "MaxSysEff", "MinDilation"]
+
+Determinism contract (asserted by ``tests/test_config_spec.py``): for a
+``grid`` experiment with entries ``e_0 .. e_{n-1}``,
+
+* every entry gets one child generator from
+  ``spawn_rngs(experiment.seed, n)``, in declaration order;
+* an entry with ``repetitions = R`` builds its scenarios from
+  ``spawn_rngs(entry.seed, R)`` when the entry pins its own ``seed``
+  (any value >= 0, including 0), else from ``spawn_rngs(child_i, R)`` —
+  so inserting or reordering entries never perturbs a pinned entry.
+
+A spec-driven grid is therefore cell-for-cell identical to the equivalent
+hand-built :func:`repro.experiments.runner.run_grid` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Union
+
+from repro.config.schema import Section, SpecError
+from repro.core.platform import vesta as vesta_platform
+from repro.experiments.comparison import (
+    FIGURE6_SCENARIOS,
+    FIGURE6_SCHEDULERS,
+    TABLE_SCHEDULERS,
+)
+from repro.experiments.vesta import VESTA_CONFIGURATIONS
+from repro.online.registry import make_scheduler
+from repro.workload.ior import VESTA_SCENARIOS, parse_scenario
+
+__all__ = [
+    "SpecError",
+    "check_scheduler_name",
+    "EXPERIMENT_KINDS",
+    "SCENARIO_KINDS",
+    "PlatformSpec",
+    "BurstBufferTable",
+    "AppSpec",
+    "ScenarioEntry",
+    "SchedulerCaseSpec",
+    "OutputSpec",
+    "GridSpec",
+    "Figure6Spec",
+    "CongestedMomentsSpec",
+    "VestaSpec",
+    "ExperimentSpec",
+    "parse_spec",
+]
+
+#: Experiment kinds understood by ``repro run``.
+EXPERIMENT_KINDS: tuple[str, ...] = (
+    "grid",
+    "figure6",
+    "congested-moments",
+    "vesta",
+)
+
+#: Scenario-entry kinds accepted inside a ``grid`` experiment.
+SCENARIO_KINDS: tuple[str, ...] = ("mix", "figure6", "congested", "ior", "apps")
+
+_PLATFORM_PRESETS: tuple[str, ...] = ("intrepid", "mira", "vesta", "generic")
+
+
+# ---------------------------------------------------------------------- #
+# Platform
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BurstBufferTable:
+    """Explicit burst-buffer description for ``generic`` platforms.
+
+    All three attributes are in the paper's units: ``capacity`` in bytes,
+    the two bandwidths in bytes/s.
+    """
+
+    capacity: float
+    ingest_bandwidth: float
+    drain_bandwidth: float
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Declarative platform description.
+
+    Either a named preset (``intrepid`` / ``mira`` / ``vesta`` — the
+    machines of the paper's evaluation) or a fully ``generic`` platform with
+    explicit ``processors`` / ``node_bandwidth`` (bytes/s) /
+    ``system_bandwidth`` (bytes/s).  ``scale`` shrinks or grows the machine
+    uniformly (see :meth:`repro.core.platform.Platform.scaled`), which is
+    how truncated-depth specs keep full-machine physics at laptop cost.
+    """
+
+    preset: str = "intrepid"
+    processors: Optional[int] = None
+    node_bandwidth: Optional[float] = None
+    system_bandwidth: Optional[float] = None
+    name: Optional[str] = None
+    scale: Optional[float] = None
+    burst_buffer: Optional[BurstBufferTable] = None
+
+
+def _parse_burst_buffer(section: Optional[Section]) -> Optional[BurstBufferTable]:
+    if section is None:
+        return None
+    table = BurstBufferTable(
+        capacity=section.get_float("capacity", required=True, positive=True),
+        ingest_bandwidth=section.get_float(
+            "ingest_bandwidth", required=True, positive=True
+        ),
+        drain_bandwidth=section.get_float(
+            "drain_bandwidth", required=True, positive=True
+        ),
+    )
+    section.finish()
+    return table
+
+
+def _parse_platform(section: Optional[Section]) -> Optional[PlatformSpec]:
+    if section is None:
+        return None
+    # Without an explicit preset, the table means "the default machine
+    # (Intrepid), tweaked" — unless it carries explicit sizes, which only a
+    # generic platform accepts.  A scale-only table must not demand generic
+    # keys.
+    has_sizes = any(
+        section.has_value(k)
+        for k in ("processors", "node_bandwidth", "system_bandwidth")
+    )
+    preset = section.get_str(
+        "preset",
+        "generic" if has_sizes else "intrepid",
+        choices=_PLATFORM_PRESETS,
+    )
+    spec = PlatformSpec(
+        preset=preset,
+        processors=section.get_int("processors", minimum=1),
+        node_bandwidth=section.get_float("node_bandwidth", positive=True),
+        system_bandwidth=section.get_float("system_bandwidth", positive=True),
+        name=section.get_str("name"),
+        scale=section.get_float("scale", positive=True),
+        burst_buffer=_parse_burst_buffer(section.subsection("burst_buffer")),
+    )
+    if preset == "generic":
+        for key in ("processors", "node_bandwidth", "system_bandwidth"):
+            if getattr(spec, key) is None:
+                raise SpecError(
+                    f"{section.path(key)} is required for a 'generic' platform"
+                )
+    else:
+        for key in ("processors", "node_bandwidth", "system_bandwidth"):
+            if getattr(spec, key) is not None:
+                raise SpecError(
+                    f"{section.path(key)} cannot be combined with "
+                    f"preset {preset!r}; use preset = 'generic' for custom sizes"
+                )
+    section.finish()
+    return spec
+
+
+# ---------------------------------------------------------------------- #
+# Scenario entries (grid experiments)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AppSpec:
+    """One explicitly described periodic application (``kind = "apps"``).
+
+    ``work`` is seconds of compute per instance; ``io_volume`` is bytes
+    written per instance; ``release`` is the release time in seconds
+    (staggered releases are a scenario shape the paper never explores).
+    """
+
+    name: str
+    processors: int
+    work: float
+    io_volume: float
+    instances: int = 1
+    release: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One ``[[scenarios]]`` entry of a grid experiment.
+
+    The ``kind`` selects the generator; only the fields relevant to that
+    kind are set (the parser rejects the rest).  ``repetitions`` replicates
+    the entry with independent random streams; ``seed`` pins the entry's
+    randomness independently of its position in the spec.
+    """
+
+    kind: str
+    label: Optional[str] = None
+    seed: Optional[int] = None
+    repetitions: int = 1
+    platform: Optional[PlatformSpec] = None
+    # kind == "mix" / "congested"
+    small: int = 0
+    large: int = 0
+    very_large: int = 0
+    io_ratio: float = 0.2
+    fit_to_platform: bool = True
+    # kind == "congested"
+    congestion_factor: float = 1.5
+    # kind == "figure6"
+    panel: Optional[str] = None
+    # kind == "ior"
+    mix: Optional[str] = None
+    iterations: Optional[int] = None
+    compute_time: Optional[float] = None
+    write_per_node: Optional[float] = None
+    jitter: float = 0.0
+    # kind == "apps"
+    apps: tuple[AppSpec, ...] = ()
+
+
+def _parse_app(section: Section) -> AppSpec:
+    app = AppSpec(
+        name=section.get_str("name", required=True),
+        processors=section.get_int("processors", required=True, minimum=1),
+        work=section.get_float("work", required=True, minimum=0.0),
+        io_volume=section.get_float("io_volume", required=True, minimum=0.0),
+        instances=section.get_int("instances", 1, minimum=1),
+        release=section.get_float("release", 0.0, minimum=0.0),
+    )
+    section.finish()
+    return app
+
+
+def _parse_scenario_entry(section: Section) -> ScenarioEntry:
+    kind = section.get_str("kind", required=True, choices=SCENARIO_KINDS)
+    entry = ScenarioEntry(
+        kind=kind,
+        label=section.get_str("label"),
+        seed=section.get_int("seed", minimum=0),
+        repetitions=section.get_int("repetitions", 1, minimum=1),
+        platform=_parse_platform(section.subsection("platform")),
+    )
+    if kind in ("mix", "congested"):
+        entry = replace(
+            entry,
+            small=section.get_int("small", 0, minimum=0),
+            large=section.get_int("large", 0, minimum=0),
+            very_large=section.get_int("very_large", 0, minimum=0),
+            io_ratio=section.get_float("io_ratio", 0.2, minimum=0.0, maximum=10.0),
+        )
+        if entry.small + entry.large + entry.very_large <= 0:
+            raise section.error(
+                "a mix needs at least one application: set small, large "
+                "and/or very_large"
+            )
+        if kind == "mix":
+            entry = replace(
+                entry,
+                fit_to_platform=section.get_bool("fit_to_platform", True),
+            )
+        else:
+            entry = replace(
+                entry,
+                congestion_factor=section.get_float(
+                    "congestion_factor", 1.5, positive=True
+                ),
+            )
+    elif kind == "figure6":
+        entry = replace(
+            entry,
+            panel=section.get_str("panel", required=True, choices=FIGURE6_SCENARIOS),
+        )
+    elif kind == "ior":
+        mix = section.get_str("mix", required=True)
+        try:
+            parse_scenario(mix)
+        except Exception as exc:
+            raise SpecError(f"{section.path('mix')}: {exc}") from exc
+        entry = replace(
+            entry,
+            mix=mix,
+            iterations=section.get_int("iterations", minimum=1),
+            compute_time=section.get_float("compute_time", positive=True),
+            write_per_node=section.get_float("write_per_node", positive=True),
+            jitter=section.get_float("jitter", 0.0, minimum=0.0, maximum=0.9),
+        )
+    elif kind == "apps":
+        app_sections = section.sections("apps", required=True)
+        if not app_sections:
+            raise section.error("kind 'apps' needs at least one [[scenarios.apps]]")
+        entry = replace(entry, apps=tuple(_parse_app(s) for s in app_sections))
+    section.finish()
+    return entry
+
+
+# ---------------------------------------------------------------------- #
+# Schedulers / output
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SchedulerCaseSpec:
+    """One scheduler column of the grid.
+
+    ``name`` is resolved through :func:`repro.online.registry.make_scheduler`
+    (validated at parse time so a typo fails before anything runs).  With
+    ``burst_buffer = true`` the case runs on the platform's burst-buffer
+    configuration, which must exist.
+    """
+
+    name: str
+    burst_buffer: bool = False
+    label: Optional[str] = None
+
+
+def check_scheduler_name(name: str, where: str) -> str:
+    """Resolve ``name`` through the scheduler registry, or raise SpecError.
+
+    ``where`` names the spec path (or CLI flag) carried by the error.
+    KeyError means an unknown name (the registry message lists the valid
+    ones); ValueError/ValidationError means a recognized pattern with bad
+    parameters, e.g. ``MinMax-1.5`` (gamma must be <= 1).
+    """
+    try:
+        make_scheduler(name)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SpecError(f"{where}: {message}") from exc
+    return name
+
+
+def _parse_schedulers(section: Optional[Section], where: str) -> tuple[SchedulerCaseSpec, ...]:
+    if section is None:
+        raise SpecError(
+            f"missing required table {where!r} (set {where}.names = [...] "
+            "or add [[" + where + ".cases]] entries)"
+        )
+    cases: list[SchedulerCaseSpec] = []
+    names = section.get_str_list("names", [])
+    for i, name in enumerate(names):
+        check_scheduler_name(name, f"{section.path('names')}[{i}]")
+        cases.append(SchedulerCaseSpec(name=name))
+    for case_section in section.sections("cases"):
+        name = case_section.get_str("name", required=True)
+        check_scheduler_name(name, case_section.path("name"))
+        cases.append(
+            SchedulerCaseSpec(
+                name=name,
+                burst_buffer=case_section.get_bool("burst_buffer", False),
+                label=case_section.get_str("label"),
+            )
+        )
+        case_section.finish()
+    if not cases:
+        raise section.error("at least one scheduler is required")
+    section.finish()
+    return tuple(cases)
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Where and how to dump results (overridable from the CLI).
+
+    ``format`` is ``"json"``, ``"csv"``, or ``None`` — meaning "infer from
+    the path suffix" (``.csv`` selects CSV, anything else JSON).
+    """
+
+    path: str
+    format: Optional[str] = None
+
+
+def _parse_output(section: Optional[Section]) -> Optional[OutputSpec]:
+    if section is None:
+        return None
+    path = section.get_str("path", required=True)
+    if not path.strip():
+        raise SpecError(f"{section.path('path')} must be a non-empty file path")
+    out = OutputSpec(
+        path=path,
+        format=section.get_str("format", choices=("json", "csv")),
+    )
+    section.finish()
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Experiment bodies
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GridSpec:
+    """Body of a ``grid`` experiment: scenarios × scheduler cases."""
+
+    platform: PlatformSpec
+    scenarios: tuple[ScenarioEntry, ...]
+    cases: tuple[SchedulerCaseSpec, ...]
+
+
+@dataclass(frozen=True)
+class Figure6Spec:
+    """Body of a ``figure6`` experiment (one or more panels)."""
+
+    panels: tuple[str, ...]
+    n_repetitions: int = 20
+    schedulers: tuple[str, ...] = FIGURE6_SCHEDULERS
+    platform: Optional[PlatformSpec] = None
+
+
+@dataclass(frozen=True)
+class CongestedMomentsSpec:
+    """Body of a ``congested-moments`` experiment (Tables 1–2 campaigns)."""
+
+    machine: str = "intrepid"
+    n_moments: Optional[int] = None
+    schedulers: tuple[str, ...] = TABLE_SCHEDULERS
+    priority_only: bool = False
+
+
+@dataclass(frozen=True)
+class VestaSpec:
+    """Body of a ``vesta`` experiment (the Figure 15 grid)."""
+
+    scenarios: tuple[str, ...] = VESTA_SCENARIOS
+    configurations: tuple[str, ...] = VESTA_CONFIGURATIONS
+
+
+ExperimentBody = Union[GridSpec, Figure6Spec, CongestedMomentsSpec, VestaSpec]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A fully parsed experiment: common knobs plus a kind-specific body."""
+
+    name: str
+    kind: str
+    body: ExperimentBody
+    seed: int = 0
+    workers: Optional[int] = None
+    max_time: float = float("inf")
+    output: Optional[OutputSpec] = None
+
+    def with_overrides(
+        self,
+        *,
+        seed: Optional[int] = None,
+        workers: Optional[int] = None,
+        max_time: Optional[float] = None,
+        output: Optional[OutputSpec] = None,
+    ) -> "ExperimentSpec":
+        """Copy with CLI-level overrides applied (``None`` keeps the spec value).
+
+        Overrides bypass :func:`parse_spec`, so its bounds are re-enforced
+        here (raising :class:`SpecError`) — a ``--seed -1`` must fail the
+        same way for every caller, not surface as a deep numpy error.
+        """
+        spec = self
+        if seed is not None:
+            if seed < 0:
+                raise SpecError(f"seed must be >= 0, got {seed}")
+            spec = replace(spec, seed=seed)
+        if workers is not None:
+            if workers < 0:
+                raise SpecError(f"workers must be >= 0, got {workers}")
+            spec = replace(spec, workers=workers)
+        if max_time is not None:
+            if max_time != max_time or max_time <= 0:
+                raise SpecError(f"max_time must be > 0, got {max_time}")
+            spec = replace(spec, max_time=max_time)
+        if output is not None:
+            spec = replace(spec, output=output)
+        return spec
+
+
+# ---------------------------------------------------------------------- #
+def _parse_grid_body(root: Section) -> GridSpec:
+    platform = _parse_platform(root.subsection("platform")) or PlatformSpec(
+        preset="intrepid"
+    )
+    scenario_sections = root.sections("scenarios", required=True)
+    if not scenario_sections:
+        raise SpecError(
+            "a grid experiment needs at least one [[scenarios]] entry"
+        )
+    scenarios = tuple(_parse_scenario_entry(s) for s in scenario_sections)
+    cases = _parse_schedulers(root.subsection("schedulers"), "schedulers")
+    return GridSpec(platform=platform, scenarios=scenarios, cases=cases)
+
+
+def _parse_figure6_body(root: Section) -> Figure6Spec:
+    section = root.subsection("figure6") or Section({}, "figure6")
+    panels = tuple(
+        section.get_str_list("panels", list(FIGURE6_SCENARIOS), non_empty=True,
+                             unique=True)
+    )
+    for i, panel in enumerate(panels):
+        if panel not in FIGURE6_SCENARIOS:
+            raise SpecError(
+                f"{section.path('panels')}[{i}] must be one of "
+                f"{sorted(FIGURE6_SCENARIOS)}, got {panel!r}"
+            )
+    schedulers = tuple(
+        section.get_str_list("schedulers", list(FIGURE6_SCHEDULERS),
+                             non_empty=True, unique=True)
+    )
+    for i, name in enumerate(schedulers):
+        check_scheduler_name(name, f"{section.path('schedulers')}[{i}]")
+    spec = Figure6Spec(
+        panels=panels,
+        n_repetitions=section.get_int("n_repetitions", 20, minimum=1),
+        schedulers=schedulers,
+        platform=_parse_platform(section.subsection("platform")),
+    )
+    section.finish()
+    return spec
+
+
+def _parse_congested_body(root: Section) -> CongestedMomentsSpec:
+    section = root.subsection("congested_moments") or Section({}, "congested_moments")
+    schedulers = tuple(
+        section.get_str_list("schedulers", list(TABLE_SCHEDULERS),
+                             non_empty=True, unique=True)
+    )
+    for i, name in enumerate(schedulers):
+        check_scheduler_name(name, f"{section.path('schedulers')}[{i}]")
+    spec = CongestedMomentsSpec(
+        machine=section.get_str("machine", "intrepid", choices=("intrepid", "mira")),
+        n_moments=section.get_int("n_moments", minimum=1),
+        schedulers=schedulers,
+        priority_only=section.get_bool("priority_only", False),
+    )
+    section.finish()
+    return spec
+
+
+def _parse_vesta_body(root: Section) -> VestaSpec:
+    section = root.subsection("vesta") or Section({}, "vesta")
+    scenarios = tuple(
+        section.get_str_list("scenarios", list(VESTA_SCENARIOS), non_empty=True,
+                             unique=True)
+    )
+    vesta_nodes = vesta_platform().total_processors
+    for i, mix in enumerate(scenarios):
+        try:
+            counts = parse_scenario(mix)
+        except Exception as exc:
+            raise SpecError(f"{section.path('scenarios')}[{i}]: {exc}") from exc
+        if sum(counts) > vesta_nodes:
+            # The vesta experiment always runs on the Vesta machine; catch
+            # oversized mixes here so `repro validate` means "will run".
+            raise SpecError(
+                f"{section.path('scenarios')}[{i}]: mix {mix!r} needs "
+                f"{sum(counts)} nodes but Vesta has only {vesta_nodes}"
+            )
+    configurations = tuple(
+        section.get_str_list(
+            "configurations", list(VESTA_CONFIGURATIONS), non_empty=True,
+            unique=True,
+        )
+    )
+    for i, conf in enumerate(configurations):
+        if conf not in VESTA_CONFIGURATIONS:
+            raise SpecError(
+                f"{section.path('configurations')}[{i}] must be one of "
+                f"{sorted(VESTA_CONFIGURATIONS)}, got {conf!r}"
+            )
+    spec = VestaSpec(scenarios=scenarios, configurations=configurations)
+    section.finish()
+    return spec
+
+
+def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> ExperimentSpec:
+    """Validate a raw spec mapping into an :class:`ExperimentSpec`.
+
+    ``data`` is whatever ``tomllib.load`` / ``json.load`` produced (or a
+    hand-built dict — the quickstart command builds one inline).  Raises
+    :class:`SpecError` with the exact spec path on any malformed key.
+    """
+    root = Section(data, "")
+    experiment = root.subsection("experiment", required=True)
+    kind = experiment.get_str("kind", required=True, choices=EXPERIMENT_KINDS)
+    spec_name = experiment.get_str("name", name)
+    seed = experiment.get_int("seed", 0, minimum=0)
+    workers = experiment.get_int("workers", minimum=0)
+    max_time = experiment.get_float(
+        "max_time", float("inf"), positive=True, allow_inf=True
+    )
+    if kind == "vesta" and max_time != float("inf"):
+        # Vesta cells are overhead-scored on complete runs; truncating them
+        # would produce misleading numbers (see repro.config.run).
+        raise SpecError(
+            "experiment.max_time is not supported for kind 'vesta' "
+            "(cells are overhead-scored on complete runs)"
+        )
+    experiment.finish()
+
+    body: ExperimentBody
+    if kind == "grid":
+        body = _parse_grid_body(root)
+    elif kind == "figure6":
+        body = _parse_figure6_body(root)
+    elif kind == "congested-moments":
+        body = _parse_congested_body(root)
+    else:
+        body = _parse_vesta_body(root)
+
+    output = _parse_output(root.subsection("output"))
+    root.finish()
+    return ExperimentSpec(
+        name=spec_name,
+        kind=kind,
+        body=body,
+        seed=seed,
+        workers=workers,
+        max_time=max_time,
+        output=output,
+    )

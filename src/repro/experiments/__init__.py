@@ -29,8 +29,11 @@ from repro.experiments.reporting import (
     format_mapping,
     format_series,
     format_table,
+    grid_records,
     percent,
     ratio,
+    write_csv,
+    write_json,
 )
 from repro.experiments.runner import (
     CaseResult,
@@ -84,4 +87,7 @@ __all__ = [
     "format_mapping",
     "percent",
     "ratio",
+    "grid_records",
+    "write_json",
+    "write_csv",
 ]

@@ -108,6 +108,7 @@ def figure6_experiment(
     platform: Optional[Platform] = None,
     rng: RngLike = None,
     workers: int | None = None,
+    max_time: float = float("inf"),
 ) -> Figure6Result:
     """Reproduce one panel of Figure 6.
 
@@ -118,7 +119,9 @@ def figure6_experiment(
     ``workers`` fans the (mix × heuristic) grid out over processes (see
     :func:`repro.experiments.runner.run_grid`); every repetition's mix is
     generated from its own spawned seed *before* the grid runs, so results
-    are identical whatever the worker count.
+    are identical whatever the worker count.  ``max_time`` truncates every
+    cell at a simulated-time horizon (seconds); the default runs every mix
+    to completion.
     """
     if scenario not in FIGURE6_SCENARIOS:
         raise ValidationError(
@@ -133,7 +136,7 @@ def figure6_experiment(
         for i, rep_rng in enumerate(rngs)
     ]
     cases = [SchedulerCase(name=name) for name in schedulers]
-    grid = run_grid(scenarios, cases, workers=workers)
+    grid = run_grid(scenarios, cases, max_time=max_time, workers=workers)
     result = Figure6Result(scenario=scenario, n_repetitions=n_repetitions)
     for scheduler, metrics in grid.averages().items():
         result.averages[scheduler] = HeuristicAverages(
@@ -187,6 +190,7 @@ def congested_moments_experiment(
     rng: RngLike = None,
     priority_only: bool = False,
     workers: int | None = None,
+    max_time: float = float("inf"),
 ) -> CongestedMomentsResult:
     """Reproduce the congested-moment campaigns (Tables 1–2, Figures 8–13).
 
@@ -197,7 +201,8 @@ def congested_moments_experiment(
 
     ``workers`` parallelizes the (moment × scheduler) grid; the moments are
     generated up front from the seed, so the tables are identical whatever
-    the worker count.
+    the worker count.  ``max_time`` truncates every cell at a simulated-time
+    horizon (seconds).
     """
     if machine == "intrepid":
         moments = intrepid_congested_moments(n_moments or 56, rng)
@@ -219,5 +224,5 @@ def congested_moments_experiment(
             label=baseline,
         )
     )
-    grid = run_grid(moments, cases, workers=workers)
+    grid = run_grid(moments, cases, max_time=max_time, workers=workers)
     return CongestedMomentsResult(machine=machine, grid=grid, baseline_label=baseline)

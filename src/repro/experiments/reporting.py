@@ -3,13 +3,39 @@
 The benchmark harness prints the same rows/series the paper reports; these
 helpers keep that formatting in one place so every benchmark and example
 produces consistent, diff-able output.
+
+Two families of helpers live here:
+
+* **text** — :func:`format_table` / :func:`format_series` /
+  :func:`format_mapping`, aligned plain text for terminals and diffs;
+* **structured** — :func:`grid_records` flattens an
+  :class:`~repro.experiments.runner.ExperimentGrid` into one dict per cell,
+  and :func:`write_json` / :func:`write_csv` dump payloads to disk (the
+  ``repro run`` CLI's ``--out`` path ends up here).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_series", "format_mapping", "percent", "ratio"]
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us not)
+    from repro.experiments.runner import ExperimentGrid
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_mapping",
+    "percent",
+    "ratio",
+    "grid_records",
+    "write_json",
+    "write_csv",
+]
 
 
 def percent(value: float) -> str:
@@ -80,3 +106,105 @@ def format_mapping(
     items = sorted(mapping.items()) if sort else list(mapping.items())
     width = max((len(k) for k, _ in items), default=0)
     return "\n".join(f"{k.ljust(width)}  {v:.{precision}f}" for k, v in items) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# Structured output (JSON / CSV)
+# ---------------------------------------------------------------------- #
+def grid_records(grid: "ExperimentGrid") -> list[dict[str, object]]:
+    """Flatten a grid into one JSON/CSV-ready dict per cell.
+
+    Each record carries the cell coordinates (``scenario``, ``scheduler``)
+    and the full objective vector: ``system_efficiency`` and ``upper_limit``
+    as percentages (0–100, the paper's convention), ``dilation`` as a ratio
+    (>= 1), ``makespan`` in seconds and the simulator's ``n_events``.
+    """
+    return [
+        {
+            "scenario": case.scenario_label,
+            "scheduler": case.scheduler_label,
+            "system_efficiency": case.system_efficiency,
+            "dilation": case.dilation,
+            "upper_limit": case.upper_limit,
+            "makespan": case.makespan,
+            "n_events": case.n_events,
+        }
+        for case in grid.cases
+    ]
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of numpy scalars / non-finite floats for JSON."""
+    if isinstance(value, float):
+        if value != value:
+            return None
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonable(value.item())
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _writable(path: Union[str, Path]) -> Path:
+    """Create the parent directory, wrapping OSError for friendly reporting.
+
+    A bad output path must surface as a :class:`ValidationError` (which the
+    CLI turns into ``error: ...`` + exit 2), not a raw traceback that
+    discards a completed run's results.
+    """
+    path = Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ValidationError(f"cannot write results to {path}: {exc}") from exc
+    return path
+
+
+def write_json(payload: Mapping[str, object], path: Union[str, Path]) -> Path:
+    """Dump a result payload to a JSON file (parent dirs created).
+
+    Non-finite floats — legal in Python, illegal in strict JSON — are
+    rewritten: NaN becomes ``null``, infinities become the strings
+    ``"inf"`` / ``"-inf"``.  An unwritable path raises
+    :class:`~repro.utils.validation.ValidationError`.
+    """
+    path = _writable(path)
+    try:
+        path.write_text(
+            json.dumps(_jsonable(dict(payload)), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    except OSError as exc:
+        raise ValidationError(f"cannot write results to {path}: {exc}") from exc
+    return path
+
+
+def write_csv(
+    records: Sequence[Mapping[str, object]], path: Union[str, Path]
+) -> Path:
+    """Dump flat records (as produced by :func:`grid_records`) to a CSV file.
+
+    The header is the union of keys across records, in first-appearance
+    order, so heterogeneous record lists stay loadable.  An unwritable path
+    raises :class:`~repro.utils.validation.ValidationError`.
+    """
+    path = _writable(path)
+    fieldnames: list[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    try:
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            for record in records:
+                writer.writerow({k: record.get(k, "") for k in fieldnames})
+    except OSError as exc:
+        raise ValidationError(f"cannot write results to {path}: {exc}") from exc
+    return path

@@ -121,7 +121,12 @@ class SchedulerCase:
 
 @dataclass(frozen=True)
 class CaseResult:
-    """Objectives of one (scenario, scheduler) cell."""
+    """Objectives of one (scenario, scheduler) cell.
+
+    ``makespan`` is in seconds of simulated time; ``n_events`` counts the
+    discrete events the engine processed (each one triggers a scheduler
+    reallocation).
+    """
 
     scenario_label: str
     scheduler_label: str
@@ -131,14 +136,17 @@ class CaseResult:
 
     @property
     def system_efficiency(self) -> float:
+        """SysEfficiency as a percentage (0–100, the paper's convention)."""
         return self.summary.system_efficiency
 
     @property
     def dilation(self) -> float:
+        """Worst per-application slowdown (ratio >= 1; 1 = no slowdown)."""
         return self.summary.dilation
 
     @property
     def upper_limit(self) -> float:
+        """Upper limit of SysEfficiency as a percentage (congestion-free bound)."""
         return self.summary.upper_limit
 
 
@@ -149,6 +157,7 @@ class ExperimentGrid:
     cases: list[CaseResult] = field(default_factory=list)
 
     def add(self, result: CaseResult) -> None:
+        """Append one cell (cells keep submission order)."""
         self.cases.append(result)
 
     # ------------------------------------------------------------------ #

@@ -28,7 +28,6 @@ like with like.
 
 from __future__ import annotations
 
-import json
 import platform as _platform
 import time
 from typing import Callable, Mapping, Optional, Sequence
@@ -50,6 +49,7 @@ __all__ = [
     "cell_horizon",
     "measure_cell",
     "run_scaling_suite",
+    "run_bench_cli",
     "write_bench_json",
 ]
 
@@ -246,9 +246,70 @@ def run_scaling_suite(
     }
 
 
+def run_bench_cli(
+    *,
+    out: str = "BENCH_engine.json",
+    scale: int = 1,
+    scheduler: str = "MaxSysEff",
+    include_reference: bool = True,
+    progress: Optional[Callable[[str], None]] = print,
+    error: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Shared driver behind ``repro bench`` and ``benchmarks/run_bench.py``.
+
+    Runs the scaling suite (event budget ``4000 * scale``; ``scale`` and
+    ``scheduler`` are validated up front, raising ``ValidationError``),
+    writes the JSON payload to ``out``, and returns the process exit
+    status: 0 on success, 1 when any cell's ``identical`` flag is false —
+    the optimized engine diverged from the reference timeline, a
+    correctness regression.  ``error`` receives the mismatch report
+    (defaults to stderr).
+    """
+    import sys
+
+    if error is None:
+        error = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    if scale < 1:
+        raise ValidationError(f"scale must be >= 1, got {scale}")
+    try:
+        make_scheduler(scheduler)
+    except (KeyError, ValueError) as exc:
+        # Fail before the (slow) suite runs, with a friendly message both
+        # entry points (`repro bench`, benchmarks/run_bench.py) can print.
+        message = exc.args[0] if exc.args else str(exc)
+        raise ValidationError(f"scheduler: {message}") from exc
+    payload = run_scaling_suite(
+        scheduler=scheduler,
+        events_budget=4000 * scale,
+        include_reference=include_reference,
+        progress=progress,
+    )
+    path = write_bench_json(payload, out)
+    if progress is not None:
+        progress(f"wrote {path}")
+    if include_reference:
+        broken = [
+            f"{c['n_apps']}x{c['n_instances']}"
+            for c in payload["cells"]
+            if not c["identical"]
+        ]
+        if broken:
+            error(
+                f"ENGINE MISMATCH on cells: {', '.join(broken)} — the "
+                "optimized engine no longer reproduces the reference timeline"
+            )
+            return 1
+    return 0
+
+
 def write_bench_json(payload: Mapping, path: str = "BENCH_engine.json") -> str:
-    """Serialize a suite payload to ``path`` (pretty-printed) and return it."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=False)
-        fh.write("\n")
-    return path
+    """Serialize a suite payload to ``path`` (pretty-printed) and return it.
+
+    Delegates to :func:`repro.experiments.reporting.write_json`: parent
+    directories are created (a fresh checkout can write straight to e.g.
+    ``perf/BENCH_engine.json`` without losing a finished run) and
+    non-finite floats are made strict-JSON safe.
+    """
+    from repro.experiments.reporting import write_json
+
+    return str(write_json(payload, path))

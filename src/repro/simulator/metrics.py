@@ -155,17 +155,25 @@ class ApplicationRecord:
 
 @dataclass(frozen=True)
 class BurstBufferStats:
-    """Aggregate burst-buffer behaviour over one run."""
+    """Aggregate burst-buffer behaviour over one run.
+
+    Attributes
+    ----------
+    total_absorbed:
+        Bytes the buffer ingested from applications over the whole run.
+    total_drained:
+        Bytes destaged from the buffer to the parallel file system.
+    final_level:
+        Bytes still resident in the buffer when the run ended.
+    time_full:
+        Seconds the buffer spent completely full (writes spilling straight
+        to the shared back-end).
+    """
 
     total_absorbed: float
     total_drained: float
     final_level: float
     time_full: float
-
-    @property
-    def absorbed_fraction(self) -> float:
-        """Fraction of absorbed bytes among absorbed + spilled is tracked upstream."""
-        return self.total_absorbed
 
 
 @dataclass

@@ -1,0 +1,228 @@
+"""Smoke tests for the ``repro`` command line (:mod:`repro.cli`).
+
+Two layers:
+
+* in-process calls to :func:`repro.cli.main` (fast, covers argument wiring
+  and exit codes);
+* real ``subprocess`` invocations of ``python -m repro`` (covers the
+  ``__main__`` entry point and the console-script code path end to end).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+TINY_GRID = """
+[experiment]
+name = "tiny"
+kind = "grid"
+seed = 5
+max_time = 500.0
+
+[platform]
+preset = "generic"
+processors = 100
+node_bandwidth = 1.0e6
+system_bandwidth = 2.0e7
+
+[[scenarios]]
+kind = "mix"
+small = 3
+io_ratio = 0.2
+
+[schedulers]
+names = ["FairShare", "MaxSysEff"]
+"""
+
+
+@pytest.fixture
+def tiny_spec(tmp_path) -> Path:
+    path = tmp_path / "tiny.toml"
+    path.write_text(TINY_GRID)
+    return path
+
+
+def run_module(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    """Invoke ``python -m repro ...`` exactly like a user would."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC if not existing else SRC + os.pathsep + existing
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=120,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# In-process
+# ---------------------------------------------------------------------- #
+class TestMain:
+    def test_run_writes_output_and_prints_table(self, tiny_spec, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        rc = main(["run", str(tiny_spec), "--out", str(out)])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "SysEfficiency" in captured.out
+        assert out.exists()
+        payload = json.loads(out.read_text())
+        assert payload["experiment"]["name"] == "tiny"
+        assert payload["cells"]
+
+    def test_run_quiet_suppresses_table(self, tiny_spec, capsys):
+        rc = main(["run", str(tiny_spec), "--quiet"])
+        assert rc == 0
+        assert "SysEfficiency" not in capsys.readouterr().out
+
+    def test_run_overrides_applied(self, tiny_spec, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["run", str(tiny_spec), "--quiet", "--out", str(a)]) == 0
+        assert main(
+            ["run", str(tiny_spec), "--quiet", "--seed", "6", "--out", str(b)]
+        ) == 0
+        cells_a = json.loads(a.read_text())["cells"]
+        cells_b = json.loads(b.read_text())["cells"]
+        assert cells_a != cells_b  # a different seed draws different mixes
+
+    def test_run_csv_format(self, tiny_spec, tmp_path):
+        out = tmp_path / "cells.csv"
+        rc = main(["run", str(tiny_spec), "--quiet", "--out", str(out),
+                   "--format", "csv"])
+        assert rc == 0
+        assert out.read_text().startswith("scenario,")
+
+    def test_validate_good_spec(self, tiny_spec, capsys):
+        assert main(["validate", str(tiny_spec)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_runs_build_time_checks(self, tmp_path, capsys):
+        """validate must reject specs that parse but can never run."""
+        bad = tmp_path / "dup.toml"
+        bad.write_text(
+            TINY_GRID + '\n[[scenarios]]\nkind = "mix"\nsmall = 2\n'
+            'label = "mix-0"\n'  # collides with the first entry's default label
+        )
+        assert main(["validate", str(bad)]) == 2
+        assert "duplicate scenario label" in capsys.readouterr().err
+
+    def test_validate_bad_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[experiment]\nkind = "nope"\n')
+        assert main(["validate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "experiment.kind" in err and "nope" in err
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "ghost.toml")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_out_of_range_overrides_exit_2(self, tiny_spec, capsys):
+        """Overrides bypass parse_spec; with_overrides re-checks their bounds."""
+        assert main(["run", str(tiny_spec), "--seed", "-1"]) == 2
+        assert "seed must be >= 0" in capsys.readouterr().err
+        assert main(["run", str(tiny_spec), "--max-time", "0"]) == 2
+        assert "max_time must be > 0" in capsys.readouterr().err
+        assert main(["run", str(tiny_spec), "--max-time", "nan"]) == 2
+        assert "max_time must be > 0" in capsys.readouterr().err
+        assert main(["run", str(tiny_spec), "--workers", "-2"]) == 2
+        assert "workers must be >= 0" in capsys.readouterr().err
+
+    def test_format_without_output_target_exits_2(self, tiny_spec, capsys):
+        """--format must not be silently ignored when nothing is written."""
+        assert main(["run", str(tiny_spec), "--format", "csv"]) == 2
+        assert "--format" in capsys.readouterr().err
+
+    def test_bench_unknown_scheduler_exits_2(self, capsys):
+        assert main(["bench", "--scheduler", "MaxSysEfficiency"]) == 2
+        err = capsys.readouterr().err
+        assert "MaxSysEfficiency" in err and "MaxSysEff" in err
+
+    def test_bench_rejects_non_positive_scale(self, capsys):
+        assert main(["bench", "--scale", "0"]) == 2
+        assert "scale must be >= 1" in capsys.readouterr().err
+
+    def test_list_commands(self, capsys):
+        assert main(["list", "schedulers"]) == 0
+        assert "MaxSysEff" in capsys.readouterr().out
+        assert main(["list", "categories"]) == 0
+        assert "very_large" in capsys.readouterr().out
+        assert main(["list", "experiments"]) == 0
+        assert "congested-moments" in capsys.readouterr().out
+
+    def test_list_specs_reads_bundled_library(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["list", "specs"]) == 0
+        out = capsys.readouterr().out
+        assert "figure6.toml" in out
+        assert "INVALID" not in out
+
+    def test_list_specs_falls_back_to_repo_library_from_other_cwd(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        """`repro list specs` must work outside the repo root (installed use)."""
+        monkeypatch.chdir(tmp_path)
+        assert main(["list", "specs"]) == 0
+        assert "figure6.toml" in capsys.readouterr().out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "FairShare" in out and "MinDilation" in out
+
+
+# ---------------------------------------------------------------------- #
+# Subprocess (python -m repro)
+# ---------------------------------------------------------------------- #
+class TestSubprocess:
+    def test_version(self):
+        proc = run_module("--version")
+        assert proc.returncode == 0
+        assert __version__ in proc.stdout
+
+    def test_help_mentions_subcommands(self):
+        proc = run_module("--help")
+        assert proc.returncode == 0
+        for command in ("run", "quickstart", "bench", "list"):
+            assert command in proc.stdout
+
+    def test_run_spec_end_to_end(self, tiny_spec, tmp_path):
+        out = tmp_path / "out.json"
+        proc = run_module("run", str(tiny_spec), "--out", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "tiny" in proc.stdout
+        assert json.loads(out.read_text())["experiment"]["seed"] == 5
+
+    def test_bad_spec_reports_path_on_stderr(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[experiment]\n")  # missing required 'kind'
+        proc = run_module("run", str(bad))
+        assert proc.returncode == 2
+        assert "experiment.kind" in proc.stderr
+
+    def test_figure6_example_spec_truncated(self, tmp_path):
+        """The README quickstart command, at reduced depth."""
+        out = tmp_path / "figure6.json"
+        proc = run_module(
+            "run", "examples/specs/figure6.toml",
+            "--max-time", "500", "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["experiment"]["kind"] == "figure6"
+        assert payload["panels"]["10large-20"]
