@@ -12,18 +12,23 @@ system and never rely on the repetition pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.platform import Platform, intrepid
 from repro.core.scenario import Scenario
 from repro.experiments.runner import SchedulerCase, run_grid
-from repro.utils.rng import RngLike, spawn_rngs
+from repro.utils.rng import RngLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_in_range
 from repro.workload.generator import apply_sensibility, figure6_mix
 
-__all__ = ["SensitivityPoint", "SensitivityStudy", "sensitivity_study"]
+__all__ = [
+    "SensitivityPoint",
+    "SensitivityStudy",
+    "sensitivity_study",
+    "derive_streams",
+]
 
 #: The heuristics plotted in Figure 7.
 FIGURE7_SCHEDULERS: tuple[str, ...] = ("MinDilation", "MaxSysEff", "MinMax-0.5")
@@ -68,6 +73,31 @@ class SensitivityStudy:
         return float(max(abs(v - baseline) / abs(baseline) for v in series))
 
 
+def derive_streams(
+    rng: RngLike, n_repetitions: int, n_levels: int
+) -> tuple[list[np.random.Generator], list[list[np.random.Generator]]]:
+    """Disjoint random streams for the Figure 7 sweep.
+
+    Returns ``(mix_rngs, perturb_rngs)`` where ``mix_rngs[rep]`` generates
+    repetition ``rep``'s base mix and ``perturb_rngs[level][rep]`` perturbs
+    that mix at one sensibility level.  All ``n_repetitions * (1 + n_levels)``
+    generators are spawned from a *single* coerced generator, so:
+
+    * perturbation streams never replay the mix streams (spawning twice from
+      the same integer seed would — the pre-fix bug correlated Figure 7's
+      perturbations with its mix generation, undermining the insensitivity
+      claim);
+    * each (level, repetition) pair owns a fresh generator, making every
+      level's perturbation a pure function of (seed, level index, repetition)
+      instead of depending on how many draws earlier levels consumed from a
+      shared stateful stream.
+    """
+    base = as_rng(rng)
+    mix_rngs = spawn_rngs(base, n_repetitions)
+    perturb_rngs = [spawn_rngs(base, n_repetitions) for _ in range(n_levels)]
+    return mix_rngs, perturb_rngs
+
+
 def sensitivity_study(
     sensibilities_percent: Sequence[float] = (0, 5, 10, 15, 20, 25, 30),
     *,
@@ -77,6 +107,9 @@ def sensitivity_study(
     platform: Optional[Platform] = None,
     rng: RngLike = None,
     perturb_io: bool = False,
+    max_time: float = float("inf"),
+    workers: int | None = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> SensitivityStudy:
     """Run the Figure 7 sweep.
 
@@ -87,21 +120,31 @@ def sensitivity_study(
     perturb_io:
         Also perturb the I/O volumes (the paper notes the conclusion is the
         same).
+    max_time, workers:
+        Passed to :func:`repro.experiments.runner.run_grid` for every level's
+        grid: a simulated-time truncation horizon and the worker-process
+        count.
+    progress:
+        Optional callback receiving one human-readable line per completed
+        sensibility level (long sweeps otherwise stay silent to the end).
     """
     platform = platform or intrepid()
     cases = [SchedulerCase(name=name) for name in schedulers]
+    levels = [float(s) for s in sensibilities_percent]
+    for sensibility in levels:
+        check_in_range("sensibility", sensibility, 0.0, 99.0)
     # The base mixes are generated once and shared by every sensibility level,
     # so the sweep isolates the effect of the perturbation (the paper's x axis)
-    # from the randomness of the mix itself.
-    mix_rngs = spawn_rngs(rng, n_repetitions)
+    # from the randomness of the mix itself.  Perturbation streams are spawned
+    # per (level, repetition), disjoint from the mix streams — see
+    # :func:`derive_streams`.
+    mix_rngs, perturb_rngs = derive_streams(rng, n_repetitions, len(levels))
     base_mixes = [
         figure6_mix(scenario, platform, mix_rng, label=f"{scenario}-rep{i}")
         for i, mix_rng in enumerate(mix_rngs)
     ]
-    perturb_rngs = spawn_rngs(rng, n_repetitions)
     points: list[SensitivityPoint] = []
-    for sensibility in sensibilities_percent:
-        check_in_range("sensibility", sensibility, 0.0, 99.0)
+    for level, sensibility in enumerate(levels):
         fraction = sensibility / 100.0
         scenarios: list[Scenario] = []
         for i, base in enumerate(base_mixes):
@@ -110,7 +153,7 @@ def sensitivity_study(
                     app,
                     sensibility_work=fraction,
                     sensibility_io=fraction if perturb_io else 0.0,
-                    rng=perturb_rngs[i],
+                    rng=perturb_rngs[level][i],
                 )
                 for app in base.applications
             )
@@ -119,7 +162,7 @@ def sensitivity_study(
                     f"sens{sensibility:g}-rep{i}"
                 )
             )
-        grid = run_grid(scenarios, cases)
+        grid = run_grid(scenarios, cases, max_time=max_time, workers=workers)
         averages = grid.averages()
         points.append(
             SensitivityPoint(
@@ -130,4 +173,9 @@ def sensitivity_study(
                 dilation={s: averages[s]["dilation"] for s in schedulers},
             )
         )
+        if progress is not None:
+            progress(
+                f"sensibility {sensibility:g}%: level {level + 1}/{len(levels)} "
+                f"done ({len(scenarios)} mixes x {len(cases)} heuristics)"
+            )
     return SensitivityStudy(points=points, schedulers=tuple(schedulers))

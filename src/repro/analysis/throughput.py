@@ -46,10 +46,14 @@ class ThroughputDecreaseStudy:
     decreases: tuple[float, ...]
     bin_edges: tuple[float, ...]
     histogram: tuple[int, ...]
+    #: The caller's requested application count.  Batches are integral, so
+    #: the measured count is ``n_batches * applications_per_batch`` — report
+    #: both honestly instead of pretending the request was met exactly.
+    n_applications_requested: int = 0
 
     @property
     def n_applications(self) -> int:
-        """Number of applications measured."""
+        """Number of applications actually measured."""
         return len(self.decreases)
 
     @property
@@ -81,6 +85,7 @@ def throughput_decrease_study(
     interference: Optional[InterferenceModel] = None,
     rng: RngLike = None,
     bin_width: float = 10.0,
+    max_time: float = float("inf"),
 ) -> ThroughputDecreaseStudy:
     """Replay ~``n_applications`` applications under congestion (Figure 1).
 
@@ -90,7 +95,9 @@ def throughput_decrease_study(
     application duration — on the real machine jobs start at different
     times, so I/O phases only sometimes collide — and the throughput
     decrease of every application is measured against its dedicated-mode
-    bandwidth ``min(beta b, B)``.
+    bandwidth ``min(beta b, B)``.  ``max_time`` truncates each batch's
+    simulation at that horizon (decreases are then measured on the I/O
+    completed so far).
     """
     if n_applications <= 0:
         raise ValidationError("n_applications must be positive")
@@ -101,10 +108,16 @@ def throughput_decrease_study(
     platform = platform or intrepid()
     n_batches = max(1, int(round(n_applications / applications_per_batch)))
     rngs = spawn_rngs(rng, n_batches)
+    # 80/20 small/large split, clamped so every batch holds exactly
+    # `applications_per_batch` applications with at least one of each
+    # category (rounding used to inflate a 2-app batch to 3).
+    n_small = min(
+        applications_per_batch - 1,
+        max(1, int(round(applications_per_batch * 0.8))),
+    )
+    n_large = applications_per_batch - n_small
     decreases: list[float] = []
     for index, batch_rng in enumerate(rngs):
-        n_small = max(2, int(round(applications_per_batch * 0.8)))
-        n_large = max(1, applications_per_batch - n_small)
         scenario = generate_mix(
             MixSpec(n_small=n_small, n_large=n_large),
             platform,
@@ -127,7 +140,7 @@ def throughput_decrease_study(
             if interference is not None
             else FairShare()
         )
-        result = simulate(scenario, scheduler, SimulatorConfig())
+        result = simulate(scenario, scheduler, SimulatorConfig(max_time=max_time))
         decreases.extend(
             100.0 * d for d in result.throughput_decreases().values()
         )
@@ -138,4 +151,5 @@ def throughput_decrease_study(
         decreases=tuple(values.tolist()),
         bin_edges=tuple(edges.tolist()),
         histogram=tuple(int(h) for h in histogram),
+        n_applications_requested=int(n_applications),
     )

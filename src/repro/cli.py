@@ -98,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress the result tables on stdout"
     )
+    run.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream per-cell/per-level status lines to stderr while the "
+            "experiment runs (long campaigns are otherwise silent until done)"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     validate = sub.add_parser(
@@ -184,7 +192,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = spec.with_overrides(
         seed=args.seed, workers=args.workers, max_time=args.max_time
     )
-    result = run_spec(spec)
+    progress = None
+    if args.progress:
+        # Status goes to stderr so piped/redirected stdout stays a clean
+        # artefact (tables or nothing with --quiet).  A broken stderr pipe
+        # must not abort an hours-long run before its artefact is written.
+        def progress(message: str) -> None:
+            try:
+                print(message, file=sys.stderr, flush=True)
+            except OSError:
+                pass
+
+    result = run_spec(spec, progress=progress)
     # Persist before printing: a BrokenPipeError from stdout (`... | head`)
     # must never discard the artefact of a completed run.
     written = write_result(result, path=args.out, format=args.format)
@@ -196,16 +215,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.config import build_cases, build_grid_scenarios
-    from repro.config.spec import GridSpec
+    from repro.config import (
+        build_cases,
+        build_grid_scenarios,
+        build_periodic_setup,
+        build_platform,
+    )
+    from repro.config.spec import AnalysisSpec, GridSpec, PeriodicSpec
 
     spec = load_spec(args.spec)
     # Parsing alone misses the deterministic build-time checks (duplicate
-    # labels, burst-buffer platform constraints); run them too, so exit 0
-    # really means "repro run will accept this spec".
+    # labels, burst-buffer platform constraints, periodic application
+    # construction); run them too, so exit 0 really means "repro run will
+    # accept this spec".
     if isinstance(spec.body, GridSpec):
         build_grid_scenarios(spec.body, spec.seed)
         build_cases(spec.body)
+    elif isinstance(spec.body, PeriodicSpec):
+        build_periodic_setup(spec.body, spec.seed)
+    elif isinstance(spec.body, AnalysisSpec):
+        build_platform(spec.body.platform)
     print(f"OK: {args.spec} — experiment {spec.name!r}, kind {spec.kind!r}")
     return 0
 
@@ -291,6 +320,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "congested-moments": "Intrepid/Mira congested-moment campaigns "
                                  "(Tables 1-2, Figures 8-13)",
             "vesta": "Vesta / modified-IOR emulation (Figures 14-16)",
+            "periodic": "Section 3.2 periodic heuristics + (1+eps) period "
+                        "sweep, compared against the online schedulers",
+            "analysis": "figure-level studies: throughput decrease (Fig 1), "
+                        "workload characterization (Fig 5), sensibility "
+                        "(Fig 7)",
         }
         print("Experiment kinds accepted by [experiment].kind:")
         for kind in EXPERIMENT_KINDS:

@@ -30,21 +30,29 @@ from repro.config.build import (
     build_cases,
     build_entry_scenarios,
     build_grid_scenarios,
+    build_periodic_setup,
     build_platform,
 )
 from repro.config.loader import load_spec, parse_spec_text
-from repro.config.run import SpecRunResult, run_spec, write_result
+from repro.config.run import ProgressCallback, SpecRunResult, run_spec, write_result
 from repro.config.schema import Section, SpecError
 from repro.config.spec import (
+    ANALYSIS_FIGURES,
     EXPERIMENT_KINDS,
+    PERIODIC_HEURISTICS,
     SCENARIO_KINDS,
+    AnalysisSpec,
     AppSpec,
     BurstBufferTable,
     CongestedMomentsSpec,
     ExperimentSpec,
+    Figure1Spec,
+    Figure5Spec,
     Figure6Spec,
+    Figure7Spec,
     GridSpec,
     OutputSpec,
+    PeriodicSpec,
     PlatformSpec,
     ScenarioEntry,
     SchedulerCaseSpec,
@@ -68,6 +76,13 @@ __all__ = [
     "Figure6Spec",
     "CongestedMomentsSpec",
     "VestaSpec",
+    "PeriodicSpec",
+    "AnalysisSpec",
+    "Figure1Spec",
+    "Figure5Spec",
+    "Figure7Spec",
+    "PERIODIC_HEURISTICS",
+    "ANALYSIS_FIGURES",
     "ExperimentSpec",
     "check_scheduler_name",
     "parse_spec",
@@ -78,7 +93,9 @@ __all__ = [
     "build_entry_scenarios",
     "build_grid_scenarios",
     "build_cases",
+    "build_periodic_setup",
     "SpecRunResult",
+    "ProgressCallback",
     "run_spec",
     "write_result",
 ]

@@ -19,6 +19,7 @@ from repro.config.spec import (
     AppSpec,
     ExperimentSpec,
     GridSpec,
+    PeriodicSpec,
     PlatformSpec,
     ScenarioEntry,
     SchedulerCaseSpec,
@@ -27,6 +28,7 @@ from repro.core.application import Application
 from repro.core.platform import BurstBufferSpec, Platform, generic, intrepid, mira, vesta
 from repro.core.scenario import Scenario
 from repro.experiments.runner import SchedulerCase
+from repro.periodic.period_search import minimum_period
 from repro.utils.rng import spawn_rngs
 from repro.workload.congested import CongestedMomentSpec, generate_congested_moment
 from repro.workload.generator import MixSpec, figure6_mix, generate_mix
@@ -43,6 +45,7 @@ __all__ = [
     "build_entry_scenarios",
     "build_grid_scenarios",
     "build_cases",
+    "build_periodic_setup",
 ]
 
 _PRESETS = {"intrepid": intrepid, "mira": mira, "vesta": vesta}
@@ -222,6 +225,61 @@ def build_grid_scenarios(grid: GridSpec, seed: int) -> list[Scenario]:
             labels.add(scenario.label)
             scenarios.append(scenario)
     return scenarios
+
+
+def build_periodic_setup(
+    body: PeriodicSpec, seed: int
+) -> tuple[Platform, list[Application]]:
+    """Platform and application set of a ``periodic`` experiment.
+
+    Explicit ``[[periodic.apps]]`` tables build deterministically; a
+    generated mix draws from ``spawn_rngs(experiment.seed, 1)[0]`` (one child
+    stream, mirroring the grid contract), so the same spec always schedules
+    the same applications.
+
+    An explicit ``max_period`` below the application set's minimum period
+    is rejected here — this helper backs both ``repro validate`` and
+    ``repro run``, so validation really means the sweep will start.
+    """
+    platform = build_platform(body.platform)
+    if body.apps:
+        applications = [_build_app(a) for a in body.apps]
+        # In the paper's model the applications jointly own dedicated
+        # processors for the whole steady state, so the set must fit the
+        # machine.  The generated-mix path is safe by construction
+        # (generate_mix partitions the platform); explicit apps are not,
+        # and with online = [] no Scenario would ever check the budget —
+        # the heuristics would score a physically impossible machine.
+        used = sum(app.processors for app in applications)
+        if used > platform.total_processors:
+            raise SpecError(
+                f"periodic.apps use {used} processors but platform "
+                f"{platform.name!r} only has {platform.total_processors}"
+            )
+    else:
+        (mix_rng,) = spawn_rngs(seed, 1)
+        scenario = generate_mix(
+            MixSpec(
+                n_small=body.small,
+                n_large=body.large,
+                n_very_large=body.very_large,
+            ),
+            platform,
+            body.io_ratio,
+            mix_rng,
+            label="periodic-mix",
+            fit_to_platform=body.fit_to_platform,
+        )
+        applications = list(scenario.applications)
+    if body.max_period is not None:
+        t_min = minimum_period(platform, applications)
+        if body.max_period < t_min:
+            raise SpecError(
+                f"periodic.max_period ({body.max_period:g}) is smaller than "
+                f"the application set's minimum period ({t_min:g}) — the "
+                "(1+eps) sweep could not evaluate a single period length"
+            )
+    return platform, applications
 
 
 def build_cases(grid: GridSpec) -> list[SchedulerCase]:

@@ -4,8 +4,10 @@
 dispatches on the experiment kind, drives the corresponding harness
 (:func:`repro.experiments.runner.run_grid`,
 :func:`repro.experiments.comparison.figure6_experiment`,
-:func:`repro.experiments.comparison.congested_moments_experiment` or
-:func:`repro.experiments.vesta.vesta_experiment`) and returns a
+:func:`repro.experiments.comparison.congested_moments_experiment`,
+:func:`repro.experiments.vesta.vesta_experiment`,
+:func:`repro.periodic.period_search.search_period` for ``periodic`` specs,
+or the :mod:`repro.analysis` studies for ``analysis`` specs) and returns a
 :class:`SpecRunResult` carrying three synchronized views of the outcome:
 
 * ``payload`` — a JSON-serializable dict (spec echo + per-cell records +
@@ -18,18 +20,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.config.build import build_cases, build_grid_scenarios, build_platform
+from repro.analysis.sensitivity import sensitivity_study
+from repro.analysis.throughput import throughput_decrease_study
+from repro.analysis.usage import characterize
+from repro.config.build import (
+    build_cases,
+    build_grid_scenarios,
+    build_periodic_setup,
+    build_platform,
+)
 from repro.config.schema import SpecError
 from repro.config.spec import (
+    ANALYSIS_FIGURES,
+    PERIODIC_HEURISTIC_TABLE,
+    AnalysisSpec,
     CongestedMomentsSpec,
     ExperimentSpec,
     Figure6Spec,
     GridSpec,
     OutputSpec,
+    PeriodicSpec,
     VestaSpec,
 )
+from repro.core.scenario import Scenario
 from repro.experiments.comparison import (
     congested_moments_experiment,
     figure6_experiment,
@@ -37,13 +52,23 @@ from repro.experiments.comparison import (
 from repro.experiments.reporting import (
     format_table,
     grid_records,
+    percent,
+    ratio,
     write_csv,
     write_json,
 )
-from repro.experiments.runner import run_grid
+from repro.experiments.runner import SchedulerCase, run_grid
 from repro.experiments.vesta import vesta_experiment
+from repro.periodic.period_search import search_period
+from repro.utils.rng import spawn_rngs
+from repro.workload.darshan import generate_records
 
-__all__ = ["SpecRunResult", "run_spec", "write_result"]
+__all__ = ["SpecRunResult", "ProgressCallback", "run_spec", "write_result"]
+
+#: Signature of the optional live-status callback threaded from the CLI
+#: (``repro run --progress``) down to the experiment harnesses: it receives
+#: one human-readable line per completed cell / level / study.
+ProgressCallback = Callable[[str], None]
 
 
 @dataclass
@@ -71,12 +96,14 @@ def _spec_echo(spec: ExperimentSpec) -> dict:
 
 
 def _averages_rows(averages: dict[str, dict[str, float]]) -> list[list[object]]:
+    # Pre-format through the percent/ratio helpers: a truncated run can leave
+    # a NaN/inf dilation, which must render as "-"/"inf", not as ":.2f" noise.
     return [
         [
             scheduler,
-            metrics["system_efficiency"],
-            metrics["dilation"],
-            metrics["upper_limit"],
+            percent(metrics["system_efficiency"]),
+            ratio(metrics["dilation"]),
+            percent(metrics["upper_limit"]),
         ]
         for scheduler, metrics in averages.items()
     ]
@@ -86,10 +113,15 @@ _AVERAGES_HEADERS = ["Scheduler", "SysEfficiency (%)", "Dilation", "Upper limit 
 
 
 # ---------------------------------------------------------------------- #
-def _run_grid_spec(spec: ExperimentSpec, body: GridSpec) -> SpecRunResult:
+def _run_grid_spec(
+    spec: ExperimentSpec,
+    body: GridSpec,
+    progress: Optional[ProgressCallback] = None,
+) -> SpecRunResult:
     scenarios = build_grid_scenarios(body, spec.seed)
     cases = build_cases(body)
-    grid = run_grid(scenarios, cases, max_time=spec.max_time, workers=spec.workers)
+    grid = run_grid(scenarios, cases, max_time=spec.max_time,
+                    workers=spec.workers, progress=progress)
     records = grid_records(grid)
     averages = grid.averages()
     payload = {
@@ -116,12 +148,16 @@ def _run_grid_spec(spec: ExperimentSpec, body: GridSpec) -> SpecRunResult:
     return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
 
 
-def _run_figure6_spec(spec: ExperimentSpec, body: Figure6Spec) -> SpecRunResult:
+def _run_figure6_spec(
+    spec: ExperimentSpec,
+    body: Figure6Spec,
+    progress: Optional[ProgressCallback] = None,
+) -> SpecRunResult:
     platform = build_platform(body.platform) if body.platform is not None else None
     records: list[dict] = []
     panels_payload: dict[str, dict] = {}
     blocks: list[str] = []
-    for panel in body.panels:
+    for i, panel in enumerate(body.panels):
         result = figure6_experiment(
             panel,
             n_repetitions=body.n_repetitions,
@@ -130,7 +166,10 @@ def _run_figure6_spec(spec: ExperimentSpec, body: Figure6Spec) -> SpecRunResult:
             rng=spec.seed,
             workers=spec.workers,
             max_time=spec.max_time,
+            progress=progress,
         )
+        if progress is not None:
+            progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
         averages = {
             scheduler: {
                 "system_efficiency": avg.system_efficiency,
@@ -161,7 +200,9 @@ def _run_figure6_spec(spec: ExperimentSpec, body: Figure6Spec) -> SpecRunResult:
 
 
 def _run_congested_spec(
-    spec: ExperimentSpec, body: CongestedMomentsSpec
+    spec: ExperimentSpec,
+    body: CongestedMomentsSpec,
+    progress: Optional[ProgressCallback] = None,
 ) -> SpecRunResult:
     result = congested_moments_experiment(
         body.machine,
@@ -171,6 +212,7 @@ def _run_congested_spec(
         priority_only=body.priority_only,
         workers=spec.workers,
         max_time=spec.max_time,
+        progress=progress,
     )
     records = grid_records(result.grid)
     averages = result.grid.averages()
@@ -195,7 +237,11 @@ def _run_congested_spec(
     return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
 
 
-def _run_vesta_spec(spec: ExperimentSpec, body: VestaSpec) -> SpecRunResult:
+def _run_vesta_spec(
+    spec: ExperimentSpec,
+    body: VestaSpec,
+    progress: Optional[ProgressCallback] = None,
+) -> SpecRunResult:
     if spec.max_time != float("inf"):
         # Vesta cells are overhead-scored against their full execution
         # (score_with_overhead rebuilds outcomes from the complete original
@@ -212,6 +258,7 @@ def _run_vesta_spec(spec: ExperimentSpec, body: VestaSpec) -> SpecRunResult:
         configurations=body.configurations,
         rng=spec.seed,
         workers=spec.workers,
+        progress=progress,
     )
     records = [
         {
@@ -231,7 +278,8 @@ def _run_vesta_spec(spec: ExperimentSpec, body: VestaSpec) -> SpecRunResult:
         "cells": records,
     }
     rows = [
-        [r["scenario"], r["configuration"], r["system_efficiency"], r["dilation"]]
+        [r["scenario"], r["configuration"], percent(r["system_efficiency"]),
+         ratio(r["dilation"])]
         for r in records
     ]
     text = format_table(
@@ -242,23 +290,419 @@ def _run_vesta_spec(spec: ExperimentSpec, body: VestaSpec) -> SpecRunResult:
     return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
 
 
+def _run_periodic_spec(
+    spec: ExperimentSpec,
+    body: PeriodicSpec,
+    progress: Optional[ProgressCallback] = None,
+) -> SpecRunResult:
+    if spec.max_time != float("inf"):
+        # Parse-time rejection covers the spec file; this covers a CLI
+        # --max-time override.  A horizon could only truncate the online
+        # half, silently skewing the periodic-vs-online comparison.
+        raise SpecError(
+            "max_time is not supported for 'periodic' experiments: a "
+            "steady-state schedule has no horizon, so truncation would "
+            "only distort the online comparison — remove experiment."
+            "max_time (or the --max-time override)"
+        )
+    platform, applications = build_periodic_setup(body, spec.seed)
+    records: list[dict] = []
+    rows: list[list[object]] = []
+    periodic_payload: dict[str, dict] = {}
+    for key in body.heuristics:
+        heuristic_cls, objective = PERIODIC_HEURISTIC_TABLE[key]
+        heuristic = heuristic_cls()
+        result = search_period(
+            heuristic,
+            platform,
+            applications,
+            objective=objective,
+            epsilon=body.epsilon,
+            max_period=body.max_period,
+            max_period_factor=body.max_period_factor,
+        )
+        summary = result.best_schedule.summary()
+        counts = result.best_schedule.instances_per_application()
+        periodic_payload[key] = {
+            "heuristic": heuristic.name,
+            "objective": objective,
+            "best_period": result.best_period,
+            "system_efficiency": summary.system_efficiency,
+            "dilation": summary.dilation,
+            "n_instances_per_period": sum(counts.values()),
+            "complete": result.best_schedule.is_complete(),
+            "sweep": [
+                {
+                    "period": point.period,
+                    "system_efficiency": point.system_efficiency,
+                    "dilation": point.dilation,
+                    "complete": point.complete,
+                }
+                for point in result.sweep
+            ],
+        }
+        records.append(
+            {
+                "mode": "periodic",
+                "scheduler": heuristic.name,
+                "objective": objective,
+                "system_efficiency": summary.system_efficiency,
+                "dilation": summary.dilation,
+                "period": result.best_period,
+            }
+        )
+        rows.append(
+            [
+                f"{heuristic.name} (periodic)",
+                percent(summary.system_efficiency),
+                ratio(summary.dilation),
+                ratio(result.best_period),
+            ]
+        )
+        if progress is not None:
+            progress(
+                f"periodic {key}: swept {len(result.sweep)} periods, "
+                f"best T = {result.best_period:.6g} s"
+            )
+
+    online_payload: dict[str, dict] = {}
+    if body.online:
+        scenario = Scenario(
+            platform=platform,
+            applications=tuple(applications),
+            label=f"{spec.name}-apps",
+            metadata={"kind": "periodic"},
+        )
+        cases = [SchedulerCase(name=name) for name in body.online]
+        # No max_time: the guard above pins it to inf, and the online half
+        # must structurally run to completion to stay comparable with the
+        # steady-state schedules.
+        grid = run_grid(
+            [scenario],
+            cases,
+            workers=spec.workers,
+            progress=progress,
+        )
+        for case in grid.cases:
+            online_payload[case.scheduler_label] = {
+                "system_efficiency": case.system_efficiency,
+                "dilation": case.dilation,
+                "upper_limit": case.upper_limit,
+                "makespan": case.makespan,
+            }
+            records.append(
+                {
+                    "mode": "online",
+                    "scheduler": case.scheduler_label,
+                    "system_efficiency": case.system_efficiency,
+                    "dilation": case.dilation,
+                    "makespan": case.makespan,
+                }
+            )
+            rows.append(
+                [
+                    f"{case.scheduler_label} (online)",
+                    percent(case.system_efficiency),
+                    ratio(case.dilation),
+                    "-",
+                ]
+            )
+
+    payload = {
+        "experiment": _spec_echo(spec),
+        "platform": platform.name,
+        "n_applications": len(applications),
+        "applications": [
+            {
+                "name": app.name,
+                "processors": app.processors,
+                "work": app.instances[0].work,
+                "io_volume": app.instances[0].io_volume,
+                "instances": app.n_instances,
+            }
+            for app in applications
+        ],
+        "periodic": periodic_payload,
+        "online": online_payload,
+    }
+    text = format_table(
+        ["Case", "SysEfficiency (%)", "Dilation", "Best period T (s)"],
+        rows,
+        title=(
+            f"{spec.name}: Section 3.2 periodic heuristics vs online "
+            f"({len(applications)} applications on {platform.name})"
+        ),
+    )
+    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+
+
+_FigureOutcome = tuple[dict, list[dict], str]
+
+
+def _analysis_figure1(
+    spec: ExperimentSpec,
+    body: AnalysisSpec,
+    platform,
+    rng,
+    progress: Optional[ProgressCallback],
+) -> _FigureOutcome:
+    """Figure 1: the throughput-decrease replay."""
+    f1 = body.figure1
+    study = throughput_decrease_study(
+        f1.n_applications,
+        platform=platform,
+        applications_per_batch=f1.applications_per_batch,
+        io_ratio=f1.io_ratio,
+        release_spread=f1.release_spread,
+        rng=rng,
+        bin_width=f1.bin_width,
+        max_time=spec.max_time,
+    )
+    fragment = {
+        "n_applications_requested": study.n_applications_requested,
+        "n_applications": study.n_applications,
+        "mean_decrease": study.mean_decrease,
+        "max_decrease": study.max_decrease,
+        "fraction_above_30pct": study.fraction_above(30.0),
+        "bin_edges": list(study.bin_edges),
+        "histogram": list(study.histogram),
+    }
+    records: list[dict] = []
+    rows: list[list[object]] = []
+    for lo, hi, count in zip(
+        study.bin_edges[:-1], study.bin_edges[1:], study.histogram
+    ):
+        records.append(
+            {"figure": "figure1", "bin_start": lo, "bin_end": hi, "count": count}
+        )
+        rows.append([f"{lo:g}-{hi:g}", str(count)])
+    block = format_table(
+        ["Decrease bin (%)", "Applications"],
+        rows,
+        title=(
+            f"Figure 1 — I/O throughput decrease "
+            f"({study.n_applications} applications, "
+            f"max {study.max_decrease:.1f}%)"
+        ),
+    )
+    if progress is not None:
+        progress(
+            f"figure1: {study.n_applications} applications measured, "
+            f"worst decrease {study.max_decrease:.1f}%"
+        )
+    return fragment, records, block
+
+
+def _analysis_figure5(
+    spec: ExperimentSpec,
+    body: AnalysisSpec,
+    platform,
+    rng,
+    progress: Optional[ProgressCallback],
+) -> _FigureOutcome:
+    """Figure 5: the synthetic-Darshan workload characterization."""
+    f5 = body.figure5
+    usage = characterize(
+        generate_records(
+            f5.n_jobs,
+            platform,
+            rng,
+            duration_days=f5.duration_days,
+            coverage=f5.coverage,
+        ),
+        duration_days=f5.duration_days,
+    )
+    fragment = {
+        "n_jobs": f5.n_jobs,
+        "duration_days": f5.duration_days,
+        "daily_node_hours": {
+            c.value: v for c, v in usage.daily_node_hours.items()
+        },
+        "io_time_percent": {
+            c.value: v for c, v in usage.io_time_percent.items()
+        },
+        "job_counts": {c.value: n for c, n in usage.job_counts.items()},
+        "dominant_category": usage.dominant_category().value,
+    }
+    records: list[dict] = []
+    rows: list[list[object]] = []
+    for category, node_hours in usage.daily_node_hours.items():
+        records.append(
+            {
+                "figure": "figure5",
+                "category": category.value,
+                "daily_node_hours": node_hours,
+                "io_time_percent": usage.io_time_percent[category],
+                "job_count": usage.job_counts[category],
+            }
+        )
+        rows.append(
+            [
+                category.value,
+                ratio(node_hours),
+                percent(usage.io_time_percent[category]),
+                str(usage.job_counts[category]),
+            ]
+        )
+    block = format_table(
+        ["Category", "Node-hours/day", "I/O time (%)", "Jobs"],
+        rows,
+        title=(
+            f"Figure 5 — workload characterization "
+            f"({f5.n_jobs} synthetic Darshan jobs)"
+        ),
+    )
+    if progress is not None:
+        progress(
+            f"figure5: {f5.n_jobs} jobs characterized, dominant "
+            f"category {usage.dominant_category().value}"
+        )
+    return fragment, records, block
+
+
+def _analysis_figure7(
+    spec: ExperimentSpec,
+    body: AnalysisSpec,
+    platform,
+    rng,
+    progress: Optional[ProgressCallback],
+) -> _FigureOutcome:
+    """Figure 7: the sensibility (periodicity) sweep."""
+    f7 = body.figure7
+    study = sensitivity_study(
+        f7.sensibilities,
+        schedulers=f7.schedulers,
+        scenario=f7.scenario,
+        n_repetitions=f7.n_repetitions,
+        platform=platform,
+        rng=rng,
+        perturb_io=f7.perturb_io,
+        max_time=spec.max_time,
+        workers=spec.workers,
+        progress=progress,
+    )
+    fragment = {
+        "scenario": f7.scenario,
+        "n_repetitions": f7.n_repetitions,
+        "perturb_io": f7.perturb_io,
+        "sensibilities_percent": study.sensibilities(),
+        "series": {
+            scheduler: {
+                "system_efficiency": study.series(
+                    scheduler, "system_efficiency"
+                ),
+                "dilation": study.series(scheduler, "dilation"),
+            }
+            for scheduler in study.schedulers
+        },
+        "max_relative_variation": {
+            scheduler: study.max_relative_variation(
+                scheduler, "system_efficiency"
+            )
+            for scheduler in study.schedulers
+        },
+    }
+    records: list[dict] = []
+    rows: list[list[object]] = []
+    for point in study.points:
+        for scheduler in study.schedulers:
+            records.append(
+                {
+                    "figure": "figure7",
+                    "sensibility_percent": point.sensibility_percent,
+                    "scheduler": scheduler,
+                    "system_efficiency": point.system_efficiency[scheduler],
+                    "dilation": point.dilation[scheduler],
+                }
+            )
+            rows.append(
+                [
+                    f"{point.sensibility_percent:g}",
+                    scheduler,
+                    percent(point.system_efficiency[scheduler]),
+                    ratio(point.dilation[scheduler]),
+                ]
+            )
+    block = format_table(
+        ["Sensibility (%)", "Scheduler", "SysEfficiency (%)", "Dilation"],
+        rows,
+        title=(
+            f"Figure 7 — sensibility sweep on {f7.scenario} "
+            f"({f7.n_repetitions} mixes per level)"
+        ),
+    )
+    if progress is not None:
+        progress(
+            f"figure7: {len(study.points)} sensibility levels x "
+            f"{len(study.schedulers)} heuristics done"
+        )
+    return fragment, records, block
+
+
+_ANALYSIS_RUNNERS = {
+    "figure1": _analysis_figure1,
+    "figure5": _analysis_figure5,
+    "figure7": _analysis_figure7,
+}
+
+
+def _run_analysis_spec(
+    spec: ExperimentSpec,
+    body: AnalysisSpec,
+    progress: Optional[ProgressCallback] = None,
+) -> SpecRunResult:
+    platform = build_platform(body.platform)
+    # Fixed seed slots: figure N always consumes child stream N of the
+    # experiment seed, so deselecting one figure never shifts the others.
+    slots = dict(zip(ANALYSIS_FIGURES, spawn_rngs(spec.seed, len(ANALYSIS_FIGURES))))
+    records: list[dict] = []
+    figures_payload: dict[str, dict] = {}
+    blocks: list[str] = []
+    for figure in body.figures:
+        fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
+            spec, body, platform, slots[figure], progress
+        )
+        figures_payload[figure] = fragment
+        records.extend(figure_records)
+        blocks.append(block)
+
+    payload = {
+        "experiment": _spec_echo(spec),
+        "platform": platform.name,
+        "figures": figures_payload,
+        "cells": records,
+    }
+    return SpecRunResult(
+        spec=spec, payload=payload, records=records, text="\n".join(blocks)
+    )
+
+
 # ---------------------------------------------------------------------- #
-def run_spec(spec: ExperimentSpec) -> SpecRunResult:
+def run_spec(
+    spec: ExperimentSpec, progress: Optional[ProgressCallback] = None
+) -> SpecRunResult:
     """Run one experiment spec to completion.
 
     The spec's own ``seed`` / ``workers`` / ``max_time`` are honoured; apply
     CLI-level overrides first via
-    :meth:`~repro.config.spec.ExperimentSpec.with_overrides`.
+    :meth:`~repro.config.spec.ExperimentSpec.with_overrides`.  ``progress``
+    (the CLI's ``--progress`` flag) receives one human-readable line per
+    completed grid cell / sweep level / figure study; it never affects
+    results.
     """
     body = spec.body
     if isinstance(body, GridSpec):
-        return _run_grid_spec(spec, body)
+        return _run_grid_spec(spec, body, progress)
     if isinstance(body, Figure6Spec):
-        return _run_figure6_spec(spec, body)
+        return _run_figure6_spec(spec, body, progress)
     if isinstance(body, CongestedMomentsSpec):
-        return _run_congested_spec(spec, body)
+        return _run_congested_spec(spec, body, progress)
     if isinstance(body, VestaSpec):
-        return _run_vesta_spec(spec, body)
+        return _run_vesta_spec(spec, body, progress)
+    if isinstance(body, PeriodicSpec):
+        return _run_periodic_spec(spec, body, progress)
+    if isinstance(body, AnalysisSpec):
+        return _run_analysis_spec(spec, body, progress)
     raise SpecError(f"experiment kind {spec.kind!r} has no runner")
 
 

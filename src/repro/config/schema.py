@@ -231,6 +231,60 @@ class Section:
             raise SpecError(f"{self.path(key)} must not be empty")
         return out
 
+    def get_float_list(
+        self,
+        key: str,
+        default: Optional[Sequence[float]] = None,
+        *,
+        required: bool = False,
+        non_empty: bool = False,
+        unique: bool = False,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ) -> Optional[list[float]]:
+        """A list of numbers (ints or floats) within optional bounds.
+
+        NaN entries are always rejected (bound checks are vacuously false on
+        NaN); ``unique`` rejects duplicates, which matters for lists that key
+        result payloads (e.g. sensibility levels).
+        """
+        value = self._take(key, default, required)
+        if value is None:
+            return None
+        # Defaults run through the same validation as spec values (matching
+        # get_str_list): they are tiny lists, and an invalid code-authored
+        # default should fail fast, not slip through.
+        if isinstance(value, (str, Mapping)) or not isinstance(value, Sequence):
+            raise SpecError(
+                f"{self.path(key)} must be a list of numbers, got {value!r}"
+            )
+        out: list[float] = []
+        for i, item in enumerate(value):
+            if isinstance(item, bool) or not isinstance(item, (int, float)):
+                raise SpecError(
+                    f"{self.path(key)}[{i}] must be a number, got {item!r}"
+                )
+            item = float(item)
+            if item != item:
+                raise SpecError(f"{self.path(key)}[{i}] must not be NaN")
+            if minimum is not None and item < minimum:
+                raise SpecError(
+                    f"{self.path(key)}[{i}] must be >= {minimum}, got {item:g}"
+                )
+            if maximum is not None and item > maximum:
+                raise SpecError(
+                    f"{self.path(key)}[{i}] must be <= {maximum}, got {item:g}"
+                )
+            if unique and item in out:
+                raise SpecError(
+                    f"{self.path(key)}[{i}] duplicates {item:g}; entries "
+                    "must be unique"
+                )
+            out.append(item)
+        if non_empty and not out:
+            raise SpecError(f"{self.path(key)} must not be empty")
+        return out
+
     # ------------------------------------------------------------------ #
     def subsection(self, key: str, *, required: bool = False) -> Optional["Section"]:
         """A nested table, or ``None`` when absent and not required."""

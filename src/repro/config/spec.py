@@ -7,6 +7,7 @@ documents every key with worked examples; the short version is::
 
     [experiment]
     kind = "grid"              # grid | figure6 | congested-moments | vesta
+                               #   | periodic | analysis
     seed = 42
     max_time = 2000.0          # optional truncation horizon (seconds)
 
@@ -43,6 +44,7 @@ from typing import Mapping, Optional, Union
 
 from repro.config.schema import Section, SpecError
 from repro.core.platform import vesta as vesta_platform
+from repro.analysis.sensitivity import FIGURE7_SCHEDULERS
 from repro.experiments.comparison import (
     FIGURE6_SCENARIOS,
     FIGURE6_SCHEDULERS,
@@ -50,6 +52,7 @@ from repro.experiments.comparison import (
 )
 from repro.experiments.vesta import VESTA_CONFIGURATIONS
 from repro.online.registry import make_scheduler
+from repro.periodic.heuristics import InsertInScheduleCong, InsertInScheduleThrou
 from repro.workload.ior import VESTA_SCENARIOS, parse_scenario
 
 __all__ = [
@@ -57,6 +60,8 @@ __all__ = [
     "check_scheduler_name",
     "EXPERIMENT_KINDS",
     "SCENARIO_KINDS",
+    "PERIODIC_HEURISTICS",
+    "ANALYSIS_FIGURES",
     "PlatformSpec",
     "BurstBufferTable",
     "AppSpec",
@@ -67,6 +72,11 @@ __all__ = [
     "Figure6Spec",
     "CongestedMomentsSpec",
     "VestaSpec",
+    "PeriodicSpec",
+    "Figure1Spec",
+    "Figure5Spec",
+    "Figure7Spec",
+    "AnalysisSpec",
     "ExperimentSpec",
     "parse_spec",
 ]
@@ -77,7 +87,25 @@ EXPERIMENT_KINDS: tuple[str, ...] = (
     "figure6",
     "congested-moments",
     "vesta",
+    "periodic",
+    "analysis",
 )
+
+#: Section 3.2.3 heuristics accepted by ``[periodic].heuristics``: name ->
+#: (heuristic class, period-sweep objective).  Single source of truth — the
+#: parser validates against its keys and the runner instantiates from it,
+#: so a new heuristic cannot pass ``repro validate`` yet crash ``repro run``.
+PERIODIC_HEURISTIC_TABLE: dict[str, tuple[type, str]] = {
+    "throughput": (InsertInScheduleThrou, "system_efficiency"),
+    "congestion": (InsertInScheduleCong, "dilation"),
+}
+
+#: The accepted ``[periodic].heuristics`` names, in canonical order.
+PERIODIC_HEURISTICS: tuple[str, ...] = tuple(PERIODIC_HEURISTIC_TABLE)
+
+#: Figure studies accepted by ``[analysis].figures``, in the fixed seed-slot
+#: order of the determinism contract.
+ANALYSIS_FIGURES: tuple[str, ...] = ("figure1", "figure5", "figure7")
 
 #: Scenario-entry kinds accepted inside a ``grid`` experiment.
 SCENARIO_KINDS: tuple[str, ...] = ("mix", "figure6", "congested", "ior", "apps")
@@ -438,7 +466,90 @@ class VestaSpec:
     configurations: tuple[str, ...] = VESTA_CONFIGURATIONS
 
 
-ExperimentBody = Union[GridSpec, Figure6Spec, CongestedMomentsSpec, VestaSpec]
+@dataclass(frozen=True)
+class PeriodicSpec:
+    """Body of a ``periodic`` experiment (Section 3.2).
+
+    The application set comes either from explicit ``[[periodic.apps]]``
+    tables or from a generated category mix (``small`` / ``large`` /
+    ``very_large`` / ``io_ratio`` — the Figure 6 generator, seeded by the
+    experiment seed).  Each selected heuristic runs the ``(1 + epsilon)``
+    period sweep of :func:`repro.periodic.period_search.search_period` for
+    its natural objective; ``online`` lists the online schedulers the same
+    applications are simulated under for the steady-state-vs-online
+    comparison (empty list: periodic only).
+    """
+
+    heuristics: tuple[str, ...] = PERIODIC_HEURISTICS
+    online: tuple[str, ...] = ("MaxSysEff", "MinDilation")
+    epsilon: float = 0.1
+    max_period: Optional[float] = None
+    max_period_factor: float = 10.0
+    platform: Optional[PlatformSpec] = None
+    apps: tuple[AppSpec, ...] = ()
+    small: int = 0
+    large: int = 0
+    very_large: int = 0
+    io_ratio: float = 0.2
+    fit_to_platform: bool = True
+
+
+@dataclass(frozen=True)
+class Figure1Spec:
+    """``[analysis.figure1]`` — the throughput-decrease replay."""
+
+    n_applications: int = 400
+    applications_per_batch: int = 6
+    io_ratio: float = 0.15
+    release_spread: float = 2.0
+    bin_width: float = 10.0
+
+
+@dataclass(frozen=True)
+class Figure5Spec:
+    """``[analysis.figure5]`` — the synthetic-Darshan characterization."""
+
+    n_jobs: int = 400
+    duration_days: float = 365.0
+    coverage: float = 0.5
+
+
+@dataclass(frozen=True)
+class Figure7Spec:
+    """``[analysis.figure7]`` — the sensibility (periodicity) sweep."""
+
+    sensibilities: tuple[float, ...] = (0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0)
+    schedulers: tuple[str, ...] = FIGURE7_SCHEDULERS
+    scenario: str = "10large-20"
+    n_repetitions: int = 5
+    perturb_io: bool = False
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Body of an ``analysis`` experiment (Figures 1, 5 and 7).
+
+    ``figures`` selects which studies run; each study's random stream comes
+    from a *fixed* slot of ``spawn_rngs(experiment.seed, 3)`` (figure1 = 0,
+    figure5 = 1, figure7 = 2), so deselecting one figure never perturbs the
+    others' results.
+    """
+
+    figures: tuple[str, ...] = ANALYSIS_FIGURES
+    platform: Optional[PlatformSpec] = None
+    figure1: Figure1Spec = Figure1Spec()
+    figure5: Figure5Spec = Figure5Spec()
+    figure7: Figure7Spec = Figure7Spec()
+
+
+ExperimentBody = Union[
+    GridSpec,
+    Figure6Spec,
+    CongestedMomentsSpec,
+    VestaSpec,
+    PeriodicSpec,
+    AnalysisSpec,
+]
 
 
 @dataclass(frozen=True)
@@ -582,6 +693,158 @@ def _parse_vesta_body(root: Section) -> VestaSpec:
     return spec
 
 
+def _parse_periodic_body(root: Section) -> PeriodicSpec:
+    section = root.subsection("periodic", required=True)
+    heuristics = tuple(
+        section.get_str_list(
+            "heuristics", list(PERIODIC_HEURISTICS), non_empty=True, unique=True
+        )
+    )
+    for i, name in enumerate(heuristics):
+        if name not in PERIODIC_HEURISTICS:
+            raise SpecError(
+                f"{section.path('heuristics')}[{i}] must be one of "
+                f"{sorted(PERIODIC_HEURISTICS)}, got {name!r}"
+            )
+    online = tuple(
+        section.get_str_list("online", ["MaxSysEff", "MinDilation"], unique=True)
+    )
+    for i, name in enumerate(online):
+        check_scheduler_name(name, f"{section.path('online')}[{i}]")
+
+    app_sections = section.sections("apps")
+    apps = tuple(_parse_app(s) for s in app_sections)
+    for i, app in enumerate(apps):
+        if app.release != 0.0:
+            raise SpecError(
+                f"{section.path('apps')}[{i}].release must be 0 for a "
+                "periodic experiment: a steady-state schedule has no "
+                "release times"
+            )
+        if any(other.name == app.name for other in apps[:i]):
+            raise SpecError(
+                f"{section.path('apps')}[{i}].name duplicates {app.name!r}; "
+                "periodic schedules need distinct application names"
+            )
+    spec = PeriodicSpec(
+        heuristics=heuristics,
+        online=online,
+        epsilon=section.get_float("epsilon", 0.1, positive=True),
+        max_period=section.get_float("max_period", positive=True),
+        max_period_factor=section.get_float(
+            "max_period_factor", 10.0, minimum=1.0
+        ),
+        platform=_parse_platform(section.subsection("platform")),
+        apps=apps,
+        small=section.get_int("small", 0, minimum=0),
+        large=section.get_int("large", 0, minimum=0),
+        very_large=section.get_int("very_large", 0, minimum=0),
+        io_ratio=section.get_float("io_ratio", 0.2, minimum=0.0, maximum=10.0),
+        fit_to_platform=section.get_bool("fit_to_platform", True),
+    )
+    n_mix = spec.small + spec.large + spec.very_large
+    if apps and n_mix > 0:
+        raise section.error(
+            "give either explicit [[periodic.apps]] tables or a generated "
+            "mix (small/large/very_large), not both"
+        )
+    if not apps and n_mix <= 0:
+        raise section.error(
+            "a periodic experiment needs applications: add [[periodic.apps]] "
+            "tables or set small/large/very_large counts"
+        )
+    section.finish()
+    return spec
+
+
+def _parse_analysis_body(root: Section) -> AnalysisSpec:
+    section = root.subsection("analysis") or Section({}, "analysis")
+    figures = tuple(
+        section.get_str_list(
+            "figures", list(ANALYSIS_FIGURES), non_empty=True, unique=True
+        )
+    )
+    for i, figure in enumerate(figures):
+        if figure not in ANALYSIS_FIGURES:
+            raise SpecError(
+                f"{section.path('figures')}[{i}] must be one of "
+                f"{sorted(ANALYSIS_FIGURES)}, got {figure!r}"
+            )
+
+    fig1_section = section.subsection("figure1")
+    figure1 = Figure1Spec()
+    if fig1_section is not None:
+        figure1 = Figure1Spec(
+            n_applications=fig1_section.get_int("n_applications", 400, minimum=1),
+            applications_per_batch=fig1_section.get_int(
+                "applications_per_batch", 6, minimum=2
+            ),
+            io_ratio=fig1_section.get_float(
+                "io_ratio", 0.15, minimum=0.0, maximum=10.0
+            ),
+            release_spread=fig1_section.get_float(
+                "release_spread", 2.0, minimum=0.0
+            ),
+            bin_width=fig1_section.get_float("bin_width", 10.0, positive=True),
+        )
+        fig1_section.finish()
+
+    fig5_section = section.subsection("figure5")
+    figure5 = Figure5Spec()
+    if fig5_section is not None:
+        figure5 = Figure5Spec(
+            n_jobs=fig5_section.get_int("n_jobs", 400, minimum=1),
+            duration_days=fig5_section.get_float(
+                "duration_days", 365.0, positive=True
+            ),
+            coverage=fig5_section.get_float(
+                "coverage", 0.5, minimum=0.0, maximum=1.0
+            ),
+        )
+        fig5_section.finish()
+
+    fig7_section = section.subsection("figure7")
+    figure7 = Figure7Spec()
+    if fig7_section is not None:
+        schedulers = tuple(
+            fig7_section.get_str_list(
+                "schedulers", list(FIGURE7_SCHEDULERS), non_empty=True,
+                unique=True,
+            )
+        )
+        for i, name in enumerate(schedulers):
+            check_scheduler_name(name, f"{fig7_section.path('schedulers')}[{i}]")
+        figure7 = Figure7Spec(
+            sensibilities=tuple(
+                fig7_section.get_float_list(
+                    "sensibilities",
+                    list(Figure7Spec().sensibilities),
+                    non_empty=True,
+                    unique=True,
+                    minimum=0.0,
+                    maximum=99.0,
+                )
+            ),
+            schedulers=schedulers,
+            scenario=fig7_section.get_str(
+                "scenario", "10large-20", choices=FIGURE6_SCENARIOS
+            ),
+            n_repetitions=fig7_section.get_int("n_repetitions", 5, minimum=1),
+            perturb_io=fig7_section.get_bool("perturb_io", False),
+        )
+        fig7_section.finish()
+
+    spec = AnalysisSpec(
+        figures=figures,
+        platform=_parse_platform(section.subsection("platform")),
+        figure1=figure1,
+        figure5=figure5,
+        figure7=figure7,
+    )
+    section.finish()
+    return spec
+
+
 def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> ExperimentSpec:
     """Validate a raw spec mapping into an :class:`ExperimentSpec`.
 
@@ -605,6 +868,15 @@ def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> Exper
             "experiment.max_time is not supported for kind 'vesta' "
             "(cells are overhead-scored on complete runs)"
         )
+    if kind == "periodic" and max_time != float("inf"):
+        # A steady-state period has no horizon, so max_time could only
+        # truncate the online half — the comparison table would silently
+        # pit full periodic schedules against truncated online runs.
+        raise SpecError(
+            "experiment.max_time is not supported for kind 'periodic' "
+            "(a steady-state schedule has no horizon; truncating only the "
+            "online half would skew the periodic-vs-online comparison)"
+        )
     experiment.finish()
 
     body: ExperimentBody
@@ -614,6 +886,10 @@ def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> Exper
         body = _parse_figure6_body(root)
     elif kind == "congested-moments":
         body = _parse_congested_body(root)
+    elif kind == "periodic":
+        body = _parse_periodic_body(root)
+    elif kind == "analysis":
+        body = _parse_analysis_body(root)
     else:
         body = _parse_vesta_body(root)
 

@@ -14,7 +14,7 @@ Two experiment shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Optional, Sequence
+from typing import Callable, Literal, Optional, Sequence
 
 import numpy as np
 
@@ -109,6 +109,7 @@ def figure6_experiment(
     rng: RngLike = None,
     workers: int | None = None,
     max_time: float = float("inf"),
+    progress: Optional[Callable[[str], None]] = None,
 ) -> Figure6Result:
     """Reproduce one panel of Figure 6.
 
@@ -136,7 +137,8 @@ def figure6_experiment(
         for i, rep_rng in enumerate(rngs)
     ]
     cases = [SchedulerCase(name=name) for name in schedulers]
-    grid = run_grid(scenarios, cases, max_time=max_time, workers=workers)
+    grid = run_grid(scenarios, cases, max_time=max_time, workers=workers,
+                    progress=progress)
     result = Figure6Result(scenario=scenario, n_repetitions=n_repetitions)
     for scheduler, metrics in grid.averages().items():
         result.averages[scheduler] = HeuristicAverages(
@@ -191,6 +193,7 @@ def congested_moments_experiment(
     priority_only: bool = False,
     workers: int | None = None,
     max_time: float = float("inf"),
+    progress: Optional[Callable[[str], None]] = None,
 ) -> CongestedMomentsResult:
     """Reproduce the congested-moment campaigns (Tables 1–2, Figures 8–13).
 
@@ -224,5 +227,6 @@ def congested_moments_experiment(
             label=baseline,
         )
     )
-    grid = run_grid(moments, cases, max_time=max_time, workers=workers)
+    grid = run_grid(moments, cases, max_time=max_time, workers=workers,
+                    progress=progress)
     return CongestedMomentsResult(machine=machine, grid=grid, baseline_label=baseline)

@@ -39,16 +39,21 @@ __all__ = [
 
 
 def percent(value: float) -> str:
-    """Format a 0–100 efficiency value the way the paper's tables do."""
-    return f"{value:.2f}"
+    """Format a 0–100 efficiency value the way the paper's tables do.
+
+    A truncated run can produce a non-finite efficiency; it renders exactly
+    like :func:`ratio` (``-`` for NaN, ``inf``/``-inf`` spelled out) instead
+    of pushing ``nan`` through the ``:.2f`` float path.
+    """
+    return ratio(value)
 
 
 def ratio(value: float) -> str:
     """Format a dilation value."""
     if value != value:  # NaN
         return "-"
-    if value == float("inf"):
-        return "inf"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
     return f"{value:.2f}"
 
 
@@ -61,8 +66,9 @@ def format_table(
     """Render an aligned plain-text table.
 
     ``rows`` may contain strings or numbers; numbers are formatted with two
-    decimals.  The result always ends with a newline so benchmarks can print
-    it directly.
+    decimals (non-finite ones through :func:`ratio`, so a NaN dilation from a
+    truncated run prints as ``-`` rather than ``nan``).  The result always
+    ends with a newline so benchmarks can print it directly.
     """
     if not headers:
         raise ValueError("format_table needs at least one header")
@@ -73,7 +79,7 @@ def format_table(
                 f"row {row!r} has {len(row)} cells, expected {len(headers)}"
             )
         rendered_rows.append(
-            [c if isinstance(c, str) else f"{float(c):.2f}" for c in row]
+            [c if isinstance(c, str) else ratio(float(c)) for c in row]
         )
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows

@@ -65,7 +65,11 @@ def resolve_workers(workers: int | None) -> int:
 
 
 def map_parallel(
-    fn: Callable[[_T], _R], items: Sequence[_T], *, workers: int | None = None
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    workers: int | None = None,
+    progress: Optional[Callable[[int, _T, _R], None]] = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -73,12 +77,27 @@ def map_parallel(
     callers observe exactly the serial semantics.  ``fn`` and the items must
     be picklable (module-level function, plain-data arguments) when
     ``workers`` implies more than one process.
+
+    ``progress(index, item, result)`` is invoked in the caller's process as
+    each result is collected, in submission order — in parallel runs that is
+    as the ordered result stream drains, so long grids report cells as they
+    finish instead of staying silent until the pool joins.
     """
     n_workers = resolve_workers(workers)
+    results: list[_R] = []
     if n_workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        for index, item in enumerate(items):
+            result = fn(item)
+            if progress is not None:
+                progress(index, item, result)
+            results.append(result)
+        return results
     with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+        for index, result in enumerate(pool.map(fn, items)):
+            if progress is not None:
+                progress(index, items[index], result)
+            results.append(result)
+    return results
 
 
 @dataclass(frozen=True)
@@ -262,6 +281,7 @@ def run_grid(
     *,
     max_time: float = float("inf"),
     workers: int | None = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ExperimentGrid:
     """Run every scenario under every scheduler case.
 
@@ -277,6 +297,11 @@ def run_grid(
         and deterministic — scenario randomness is fixed when the scenarios
         are built — and results are collected in submission order, so the
         grid is identical whatever the worker count.
+    progress:
+        Optional callback receiving one human-readable line per completed
+        cell (``cell 3/9: mixA x MaxSysEff ...``), so long campaigns stream
+        status instead of staying silent until the grid finishes.  Called in
+        the driving process only; it does not affect results.
     """
     if not scenarios:
         raise ValidationError("run_grid needs at least one scenario")
@@ -285,7 +310,24 @@ def run_grid(
     cells = [
         (scenario, case, max_time) for scenario in scenarios for case in cases
     ]
+
+    on_cell = None
+    if progress is not None:
+        n_cells = len(cells)
+
+        def on_cell(index: int, cell, result: CaseResult) -> None:
+            from repro.experiments.reporting import percent, ratio
+
+            progress(
+                f"cell {index + 1}/{n_cells}: {result.scenario_label} x "
+                f"{result.scheduler_label} — SysEff "
+                f"{percent(result.system_efficiency)}%, dilation "
+                f"{ratio(result.dilation)}"
+            )
+
     grid = ExperimentGrid()
-    for result in map_parallel(_run_grid_cell, cells, workers=workers):
+    for result in map_parallel(
+        _run_grid_cell, cells, workers=workers, progress=on_cell
+    ):
         grid.add(result)
     return grid

@@ -28,7 +28,7 @@ configuration) and Figure 16 (per-application dilation in the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.objectives import (
     ApplicationOutcome,
@@ -235,6 +235,7 @@ def vesta_experiment(
     overhead: OverheadModel = DEFAULT_OVERHEAD,
     rng: RngLike = 0,
     workers: int | None = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> VestaExperimentResult:
     """The full Figure 15 grid.
 
@@ -244,6 +245,7 @@ def vesta_experiment(
     scenario from that seed, so the grid is identical whatever the worker
     count; a live ``Generator`` is accepted only in serial runs (where its
     state advances across cells exactly as before) and rejected otherwise.
+    ``progress`` receives one line per completed cell, in submission order.
     """
     _check_parallel_rng(rng, workers)
     cells = [
@@ -251,8 +253,21 @@ def vesta_experiment(
         for scenario in scenarios
         for configuration in configurations
     ]
+
+    on_cell = None
+    if progress is not None:
+        n_cells = len(cells)
+
+        def on_cell(index: int, cell, case: VestaCase) -> None:
+            progress(
+                f"cell {index + 1}/{n_cells}: {case.scenario} x "
+                f"{case.configuration} done"
+            )
+
     result = VestaExperimentResult()
-    result.cases.extend(map_parallel(_run_vesta_cell, cells, workers=workers))
+    result.cases.extend(
+        map_parallel(_run_vesta_cell, cells, workers=workers, progress=on_cell)
+    )
     return result
 
 

@@ -125,7 +125,10 @@ def search_period(
             )
         )
         score = _score(summary.system_efficiency, summary.dilation, complete, objective)
-        if score > best_score:
+        # `best_schedule is None` keeps the first sweep point even when every
+        # score is -inf (e.g. no period admits a complete schedule under the
+        # dilation objective) — the sweep must always return *a* schedule.
+        if best_schedule is None or score > best_score:
             best_score = score
             best_schedule = schedule
             best_period = period

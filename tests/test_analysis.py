@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.analysis.sensitivity import FIGURE7_SCHEDULERS, sensitivity_study
+from repro.analysis.sensitivity import (
+    FIGURE7_SCHEDULERS,
+    derive_streams,
+    sensitivity_study,
+)
 from repro.analysis.throughput import throughput_decrease_study
 from repro.analysis.usage import characterize, daily_usage, io_time_percentage
 from repro.core.platform import generic
@@ -45,6 +50,28 @@ class TestThroughputStudy:
             throughput_decrease_study(n_applications=10, applications_per_batch=1)
         with pytest.raises(ValidationError):
             throughput_decrease_study(n_applications=10, release_spread=-1.0)
+
+    @pytest.mark.parametrize("batch", [2, 3, 4, 6, 10])
+    def test_batches_respect_requested_size(self, batch):
+        """Regression: applications_per_batch=2 used to yield 3-app batches
+        (n_small=max(2, round(1.6))=2 plus n_large=max(1, 0)=1), silently
+        inflating the measured application count."""
+        n = 2 * batch
+        study = throughput_decrease_study(
+            n, applications_per_batch=batch, rng=0, release_spread=0.0
+        )
+        assert study.n_applications == n
+        assert study.n_applications_requested == n
+
+    def test_actual_count_reported_honestly(self):
+        """Rounding to whole batches is reported, not papered over."""
+        study = throughput_decrease_study(
+            10, applications_per_batch=6, rng=0, release_spread=0.0
+        )
+        assert study.n_applications_requested == 10
+        # 10/6 rounds to 2 batches of exactly 6 applications each.
+        assert study.n_applications == 12
+        assert sum(study.histogram) == study.n_applications
 
 
 class TestUsage:
@@ -87,6 +114,52 @@ class TestUsage:
         pct = io_time_percentage(records)
         assert pct[Category.SMALL] == pytest.approx(10.0)
         assert pct[Category.VERY_LARGE] == pytest.approx(5.0)
+
+
+class TestSensitivityStreams:
+    """Regression suite for the correlated-RNG bug.
+
+    ``spawn_rngs(rng, n)`` was called twice with the same integer seed, so
+    the perturbation generators replayed the exact streams the mixes were
+    generated from; and each repetition's single perturbation generator was
+    consumed statefully across sensibility levels.
+    """
+
+    def _draws(self, generator: np.random.Generator) -> tuple[float, ...]:
+        return tuple(generator.uniform(size=8).tolist())
+
+    def test_perturbation_streams_differ_from_mix_streams(self):
+        mix_rngs, perturb_rngs = derive_streams(123, 3, 4)
+        mix_draws = {self._draws(r) for r in mix_rngs}
+        for level_rngs in perturb_rngs:
+            for generator in level_rngs:
+                assert self._draws(generator) not in mix_draws
+
+    def test_every_level_and_repetition_gets_its_own_stream(self):
+        _, perturb_rngs = derive_streams(7, 3, 4)
+        draws = [
+            self._draws(generator)
+            for level_rngs in perturb_rngs
+            for generator in level_rngs
+        ]
+        assert len(set(draws)) == len(draws) == 12
+
+    def test_streams_are_a_pure_function_of_the_seed(self):
+        first = derive_streams(42, 2, 3)
+        second = derive_streams(42, 2, 3)
+        for a, b in zip(first[0], second[0]):
+            assert self._draws(a) == self._draws(b)
+        for level_a, level_b in zip(first[1], second[1]):
+            for a, b in zip(level_a, level_b):
+                assert self._draws(a) == self._draws(b)
+
+    def test_study_deterministic_under_integer_seed(self):
+        kwargs = dict(
+            schedulers=("MaxSysEff",), n_repetitions=2, rng=11, max_time=4000.0
+        )
+        a = sensitivity_study((0, 20), **kwargs)
+        b = sensitivity_study((0, 20), **kwargs)
+        assert a.points == b.points
 
 
 class TestSensitivity:

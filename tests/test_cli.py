@@ -163,7 +163,24 @@ class TestMain:
         assert main(["list", "categories"]) == 0
         assert "very_large" in capsys.readouterr().out
         assert main(["list", "experiments"]) == 0
-        assert "congested-moments" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "congested-moments" in out
+        # The ISSUE 3 kinds must be advertised for discoverability.
+        assert "periodic" in out
+        assert "analysis" in out
+
+    def test_run_progress_streams_to_stderr(self, tiny_spec, capsys):
+        assert main(["run", str(tiny_spec), "--progress", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        # The tiny grid is 1 scenario x 2 schedulers; status goes to stderr
+        # only, so --quiet still leaves stdout a clean artefact.
+        lines = [l for l in captured.err.splitlines() if l.startswith("cell ")]
+        assert len(lines) == 2
+        assert captured.out.strip() == ""
+
+    def test_run_without_progress_keeps_stderr_clean(self, tiny_spec, capsys):
+        assert main(["run", str(tiny_spec)]) == 0
+        assert capsys.readouterr().err == ""
 
     def test_list_specs_reads_bundled_library(self, capsys, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)

@@ -41,19 +41,21 @@ EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
 def test_spec_library_is_non_empty():
     """The bundled library must keep covering the documented experiments."""
     names = {path.stem for path in SPEC_FILES}
-    assert {"figure6", "congested_moments", "vesta"} <= names
-    assert len(SPEC_FILES) >= 6
+    assert {
+        "figure6", "congested_moments", "vesta", "periodic", "analysis_figures",
+    } <= names
+    assert len(SPEC_FILES) >= 8
 
 
 @pytest.mark.parametrize("spec_path", SPEC_FILES, ids=lambda p: p.name)
 def test_spec_runs_truncated(spec_path, tmp_path):
     spec = load_spec(spec_path)
     # Clamp depth, run serially, and redirect any configured output into the
-    # test sandbox so smoke runs never litter the working tree.  Vesta
-    # experiments reject truncation (they are overhead-scored on complete
-    # runs) and are already test-sized.
+    # test sandbox so smoke runs never litter the working tree.  Vesta and
+    # periodic experiments reject truncation (overhead-scored complete runs
+    # / steady states with no horizon) and are already test-sized.
     overrides = {"workers": 1}
-    if spec.kind != "vesta":
+    if spec.kind not in ("vesta", "periodic"):
         overrides["max_time"] = min(spec.max_time, SMOKE_MAX_TIME)
     spec = spec.with_overrides(**overrides)
     result = run_spec(spec)

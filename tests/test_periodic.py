@@ -225,6 +225,22 @@ class TestPeriodSearch:
                 InsertInScheduleCong(), PLATFORM, [app(work=500.0)], max_period=10.0
             )
 
+    def test_all_incomplete_sweep_still_returns_a_schedule(self):
+        """Regression: with the dilation objective every incomplete schedule
+        scores -inf, which used to tie the -inf best-score sentinel so no
+        schedule was ever selected (AssertionError at the end of the sweep).
+        Three machine-filling applications can never all fit in one period
+        at max_period_factor=1.0."""
+        apps = [app(f"app-{i}", procs=100, work=100.0, vol=1e8, n=2)
+                for i in range(3)]
+        result = search_period(
+            InsertInScheduleCong(), PLATFORM, apps,
+            objective="dilation", max_period_factor=1.0,
+        )
+        assert result.best_schedule is not None
+        assert not result.best_schedule.is_complete()
+        assert result.best_point.period == result.best_period
+
     def test_best_system_efficiency_not_worse_than_first_point(self):
         apps = [app("a", procs=30, work=100.0, vol=3e8, n=2),
                 app("b", procs=30, work=150.0, vol=3e8, n=2)]
