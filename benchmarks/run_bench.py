@@ -1,16 +1,19 @@
 #!/usr/bin/env python
-"""One-command engine-scaling benchmark: write ``BENCH_engine.json``.
+"""One-command benchmark suite: write ``BENCH_engine.json`` + ``BENCH_grid.json``.
 
-CI perf-job entry point — runs the scaling suite of
-:mod:`repro.experiments.scaling` at scale 1 (or ``--scale N``) without any
-pytest machinery and writes the machine-readable payload:
+CI perf-job entry point — runs the engine-scaling suite of
+:mod:`repro.experiments.scaling` and the end-to-end experiment benchmark of
+:mod:`repro.experiments.grid_bench` at scale 1 (or ``--scale N``) without
+any pytest machinery and writes both machine-readable payloads:
 
     PYTHONPATH=src python benchmarks/run_bench.py
     PYTHONPATH=src python benchmarks/run_bench.py --scale 4 --out perf/BENCH_engine.json
 
-Exit status is non-zero when the optimized and reference engines disagree on
-any cell's timeline (event count / makespan) — a correctness regression, not
-just a slow run — so a CI job fails loudly on the thing that matters most.
+Exit status is non-zero when any ``identical`` flag goes false — the
+optimized engine disagreeing with the reference timeline, a pooled spec run
+disagreeing with the serial one, or a warm-started period sweep disagreeing
+with the naive sweep.  All are correctness regressions, not just slow runs,
+so a CI job fails loudly on the thing that matters most.
 """
 
 from __future__ import annotations
@@ -20,17 +23,26 @@ import sys
 
 
 def main(argv: list[str] | None = None) -> int:
+    # The flag set deliberately mirrors `repro bench` (src/repro/cli.py)
+    # instead of sharing a builder: this script must finish parsing — and
+    # print its friendly PYTHONPATH hint — before anything from `repro` is
+    # importable, so keep the two blocks in sync by hand.
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
         default="BENCH_engine.json",
-        help="output path for the JSON payload (default: %(default)s)",
+        help="output path for the engine payload (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--grid-out",
+        default="BENCH_grid.json",
+        help="output path for the experiment-grid payload (default: %(default)s)",
     )
     parser.add_argument(
         "--scale",
         type=int,
         default=1,
-        help="event-budget multiplier, like REPRO_BENCH_SCALE (default: 1)",
+        help="benchmark-size multiplier, like REPRO_BENCH_SCALE (default: 1)",
     )
     parser.add_argument(
         "--scheduler",
@@ -40,7 +52,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-reference",
         action="store_true",
-        help="time only the optimized engine (fast smoke run, no speedups)",
+        help=(
+            "time only the optimized engine — no speedups; combine with "
+            "--engine-only for a fast smoke run"
+        ),
+    )
+    half = parser.add_mutually_exclusive_group()
+    half.add_argument(
+        "--engine-only",
+        action="store_true",
+        help="skip the experiment-grid benchmark (BENCH_grid.json)",
+    )
+    half.add_argument(
+        "--grid-only",
+        action="store_true",
+        help="skip the engine-scaling benchmark (BENCH_engine.json)",
     )
     args = parser.parse_args(argv)
 
@@ -62,6 +88,8 @@ def main(argv: list[str] | None = None) -> int:
             scale=args.scale,
             scheduler=args.scheduler,
             include_reference=not args.no_reference,
+            grid_out=None if args.engine_only else args.grid_out,
+            include_engine=not args.grid_only,
         )
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -33,6 +33,11 @@ setup(
     license="MIT",
     python_requires=">=3.11",
     install_requires=["numpy"],
+    extras_require={
+        # The tier-1 suite hard-imports both (tests/test_properties.py and
+        # tests/test_allocation_invariants.py fuzz the core invariants).
+        "test": ["pytest", "hypothesis"],
+    },
     package_dir={"": "src"},
     packages=find_packages("src"),
     entry_points={

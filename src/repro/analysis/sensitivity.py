@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.platform import Platform, intrepid
 from repro.core.scenario import Scenario
-from repro.experiments.runner import SchedulerCase, run_grid
+from repro.experiments.runner import ExperimentExecutor, SchedulerCase, run_grid
 from repro.utils.rng import RngLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_in_range
 from repro.workload.generator import apply_sensibility, figure6_mix
@@ -110,6 +110,7 @@ def sensitivity_study(
     max_time: float = float("inf"),
     workers: int | None = None,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SensitivityStudy:
     """Run the Figure 7 sweep.
 
@@ -127,6 +128,12 @@ def sensitivity_study(
     progress:
         Optional callback receiving one human-readable line per completed
         sensibility level (long sweeps otherwise stay silent to the end).
+    executor:
+        Caller-owned :class:`~repro.experiments.runner.ExperimentExecutor`
+        shared by every level's grid — the sweep runs many small grids, so
+        reusing one pool instead of spawning one per level is the difference
+        between paying process start-up once and paying it ``n_levels``
+        times.
     """
     platform = platform or intrepid()
     cases = [SchedulerCase(name=name) for name in schedulers]
@@ -162,7 +169,8 @@ def sensitivity_study(
                     f"sens{sensibility:g}-rep{i}"
                 )
             )
-        grid = run_grid(scenarios, cases, max_time=max_time, workers=workers)
+        grid = run_grid(scenarios, cases, max_time=max_time, workers=workers,
+                        executor=executor)
         averages = grid.averages()
         points.append(
             SensitivityPoint(

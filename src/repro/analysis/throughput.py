@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.platform import Platform, intrepid
+from repro.experiments.runner import ExperimentExecutor, map_parallel
 from repro.online.baselines import FairShare
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.interference import InterferenceModel
@@ -28,7 +29,22 @@ from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import ValidationError
 from repro.workload.generator import MixSpec, generate_mix
 
-__all__ = ["ThroughputDecreaseStudy", "throughput_decrease_study"]
+__all__ = [
+    "ThroughputDecreaseStudy",
+    "figure1_batch_count",
+    "throughput_decrease_study",
+]
+
+
+def figure1_batch_count(n_applications: int, applications_per_batch: int) -> int:
+    """Number of simulated batches for a requested application count.
+
+    Batches are integral, so the request is rounded to the nearest whole
+    batch (at least one).  Exposed so consumers that need the study's work
+    breakdown — e.g. the grid benchmark's cells/sec denominator — stay in
+    lockstep with the batching rule here.
+    """
+    return max(1, int(round(n_applications / applications_per_batch)))
 
 
 @dataclass(frozen=True)
@@ -75,6 +91,42 @@ class ThroughputDecreaseStudy:
         )
 
 
+def _run_figure1_batch(shared: tuple, batch: tuple[int, np.random.Generator]) -> list[float]:
+    """One Figure 1 batch: build the staggered mix, simulate, measure.
+
+    Module-level and driven by a self-contained ``(index, generator)`` item
+    so batches fan out over an :class:`ExperimentExecutor` — each batch owns
+    a spawned generator, so a worker replays exactly the draws the serial
+    loop would have made.
+    """
+    platform, n_small, n_large, io_ratio, release_spread, interference, max_time = shared
+    index, batch_rng = batch
+    scenario = generate_mix(
+        MixSpec(n_small=n_small, n_large=n_large),
+        platform,
+        io_ratio,
+        batch_rng,
+        label=f"figure1-batch-{index:03d}",
+    )
+    if release_spread > 0:
+        typical_duration = float(
+            np.mean([app.total_work for app in scenario.applications])
+        )
+        window = release_spread * typical_duration
+        staggered = tuple(
+            app.with_release_time(float(batch_rng.uniform(0.0, window)))
+            for app in scenario.applications
+        )
+        scenario = scenario.with_applications(staggered)
+    scheduler = (
+        FairShare(interference=interference)
+        if interference is not None
+        else FairShare()
+    )
+    result = simulate(scenario, scheduler, SimulatorConfig(max_time=max_time))
+    return [100.0 * d for d in result.throughput_decreases().values()]
+
+
 def throughput_decrease_study(
     n_applications: int = 400,
     *,
@@ -86,6 +138,8 @@ def throughput_decrease_study(
     rng: RngLike = None,
     bin_width: float = 10.0,
     max_time: float = float("inf"),
+    workers: int | None = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> ThroughputDecreaseStudy:
     """Replay ~``n_applications`` applications under congestion (Figure 1).
 
@@ -98,6 +152,11 @@ def throughput_decrease_study(
     bandwidth ``min(beta b, B)``.  ``max_time`` truncates each batch's
     simulation at that horizon (decreases are then measured on the I/O
     completed so far).
+
+    Batches are mutually independent (each owns one spawned generator), so
+    ``workers`` / ``executor`` fan them out over processes exactly like a
+    grid — results are collected in batch order and are identical to the
+    serial loop.
     """
     if n_applications <= 0:
         raise ValidationError("n_applications must be positive")
@@ -106,7 +165,7 @@ def throughput_decrease_study(
     if release_spread < 0:
         raise ValidationError("release_spread must be >= 0")
     platform = platform or intrepid()
-    n_batches = max(1, int(round(n_applications / applications_per_batch)))
+    n_batches = figure1_batch_count(n_applications, applications_per_batch)
     rngs = spawn_rngs(rng, n_batches)
     # 80/20 small/large split, clamped so every batch holds exactly
     # `applications_per_batch` applications with at least one of each
@@ -116,34 +175,20 @@ def throughput_decrease_study(
         max(1, int(round(applications_per_batch * 0.8))),
     )
     n_large = applications_per_batch - n_small
+    shared = (
+        platform, n_small, n_large, io_ratio, release_spread, interference,
+        max_time,
+    )
+    batch_results = map_parallel(
+        _run_figure1_batch,
+        list(enumerate(rngs)),
+        workers=workers,
+        executor=executor,
+        shared=shared,
+    )
     decreases: list[float] = []
-    for index, batch_rng in enumerate(rngs):
-        scenario = generate_mix(
-            MixSpec(n_small=n_small, n_large=n_large),
-            platform,
-            io_ratio,
-            batch_rng,
-            label=f"figure1-batch-{index:03d}",
-        )
-        if release_spread > 0:
-            typical_duration = float(
-                np.mean([app.total_work for app in scenario.applications])
-            )
-            window = release_spread * typical_duration
-            staggered = tuple(
-                app.with_release_time(float(batch_rng.uniform(0.0, window)))
-                for app in scenario.applications
-            )
-            scenario = scenario.with_applications(staggered)
-        scheduler = (
-            FairShare(interference=interference)
-            if interference is not None
-            else FairShare()
-        )
-        result = simulate(scenario, scheduler, SimulatorConfig(max_time=max_time))
-        decreases.extend(
-            100.0 * d for d in result.throughput_decreases().values()
-        )
+    for batch_decreases in batch_results:
+        decreases.extend(batch_decreases)
     values = np.asarray(decreases, dtype=float)
     edges = np.arange(0.0, 100.0 + bin_width, bin_width)
     histogram, _ = np.histogram(values, bins=edges)

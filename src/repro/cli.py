@@ -132,23 +132,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the engine-scaling benchmark (writes BENCH_engine.json)",
+        help="run the benchmarks (writes BENCH_engine.json + BENCH_grid.json)",
         description=(
             "Time the optimized event-heap engine against the preserved seed "
-            "engine on identical windows and write the machine-readable "
-            "trajectory payload.  Equivalent to benchmarks/run_bench.py."
+            "engine, and the pooled end-to-end spec runs against serial "
+            "ones, writing both machine-readable trajectory payloads.  "
+            "Equivalent to benchmarks/run_bench.py."
         ),
     )
     bench.add_argument(
         "--out",
         default="BENCH_engine.json",
-        help="output path for the JSON payload (default: %(default)s)",
+        help="output path for the engine payload (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--grid-out",
+        default="BENCH_grid.json",
+        help="output path for the experiment-grid payload (default: %(default)s)",
     )
     bench.add_argument(
         "--scale",
         type=int,
         default=1,
-        help="event-budget multiplier, like REPRO_BENCH_SCALE (default: 1)",
+        help="benchmark-size multiplier, like REPRO_BENCH_SCALE (default: 1)",
     )
     bench.add_argument(
         "--scheduler",
@@ -158,7 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-reference",
         action="store_true",
-        help="time only the optimized engine (fast smoke run, no speedups)",
+        help=(
+            "time only the optimized engine — no speedups; combine with "
+            "--engine-only for a fast smoke run"
+        ),
+    )
+    bench_half = bench.add_mutually_exclusive_group()
+    bench_half.add_argument(
+        "--engine-only",
+        action="store_true",
+        help="skip the experiment-grid benchmark",
+    )
+    bench_half.add_argument(
+        "--grid-only",
+        action="store_true",
+        help="skip the engine-scaling benchmark",
     )
     bench.set_defaults(func=_cmd_bench)
 
@@ -292,6 +312,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scale=args.scale,
         scheduler=args.scheduler,
         include_reference=not args.no_reference,
+        grid_out=None if args.engine_only else args.grid_out,
+        include_engine=not args.grid_only,
     )
 
 

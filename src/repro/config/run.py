@@ -57,7 +57,7 @@ from repro.experiments.reporting import (
     write_csv,
     write_json,
 )
-from repro.experiments.runner import SchedulerCase, run_grid
+from repro.experiments.runner import ExperimentExecutor, SchedulerCase, run_grid
 from repro.experiments.vesta import vesta_experiment
 from repro.periodic.period_search import search_period
 from repro.utils.rng import spawn_rngs
@@ -117,11 +117,12 @@ def _run_grid_spec(
     spec: ExperimentSpec,
     body: GridSpec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     scenarios = build_grid_scenarios(body, spec.seed)
     cases = build_cases(body)
     grid = run_grid(scenarios, cases, max_time=spec.max_time,
-                    workers=spec.workers, progress=progress)
+                    progress=progress, executor=executor)
     records = grid_records(grid)
     averages = grid.averages()
     payload = {
@@ -152,6 +153,7 @@ def _run_figure6_spec(
     spec: ExperimentSpec,
     body: Figure6Spec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     platform = build_platform(body.platform) if body.platform is not None else None
     records: list[dict] = []
@@ -164,9 +166,9 @@ def _run_figure6_spec(
             schedulers=body.schedulers,
             platform=platform,
             rng=spec.seed,
-            workers=spec.workers,
             max_time=spec.max_time,
             progress=progress,
+            executor=executor,
         )
         if progress is not None:
             progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
@@ -203,6 +205,7 @@ def _run_congested_spec(
     spec: ExperimentSpec,
     body: CongestedMomentsSpec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     result = congested_moments_experiment(
         body.machine,
@@ -210,9 +213,9 @@ def _run_congested_spec(
         schedulers=body.schedulers,
         rng=spec.seed,
         priority_only=body.priority_only,
-        workers=spec.workers,
         max_time=spec.max_time,
         progress=progress,
+        executor=executor,
     )
     records = grid_records(result.grid)
     averages = result.grid.averages()
@@ -241,6 +244,7 @@ def _run_vesta_spec(
     spec: ExperimentSpec,
     body: VestaSpec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     if spec.max_time != float("inf"):
         # Vesta cells are overhead-scored against their full execution
@@ -257,8 +261,8 @@ def _run_vesta_spec(
         scenarios=body.scenarios,
         configurations=body.configurations,
         rng=spec.seed,
-        workers=spec.workers,
         progress=progress,
+        executor=executor,
     )
     records = [
         {
@@ -294,6 +298,7 @@ def _run_periodic_spec(
     spec: ExperimentSpec,
     body: PeriodicSpec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     if spec.max_time != float("inf"):
         # Parse-time rejection covers the spec file; this covers a CLI
@@ -380,8 +385,8 @@ def _run_periodic_spec(
         grid = run_grid(
             [scenario],
             cases,
-            workers=spec.workers,
             progress=progress,
+            executor=executor,
         )
         for case in grid.cases:
             online_payload[case.scheduler_label] = {
@@ -445,6 +450,7 @@ def _analysis_figure1(
     platform,
     rng,
     progress: Optional[ProgressCallback],
+    executor: Optional[ExperimentExecutor] = None,
 ) -> _FigureOutcome:
     """Figure 1: the throughput-decrease replay."""
     f1 = body.figure1
@@ -457,6 +463,7 @@ def _analysis_figure1(
         rng=rng,
         bin_width=f1.bin_width,
         max_time=spec.max_time,
+        executor=executor,
     )
     fragment = {
         "n_applications_requested": study.n_applications_requested,
@@ -499,6 +506,7 @@ def _analysis_figure5(
     platform,
     rng,
     progress: Optional[ProgressCallback],
+    executor: Optional[ExperimentExecutor] = None,
 ) -> _FigureOutcome:
     """Figure 5: the synthetic-Darshan workload characterization."""
     f5 = body.figure5
@@ -566,6 +574,7 @@ def _analysis_figure7(
     platform,
     rng,
     progress: Optional[ProgressCallback],
+    executor: Optional[ExperimentExecutor] = None,
 ) -> _FigureOutcome:
     """Figure 7: the sensibility (periodicity) sweep."""
     f7 = body.figure7
@@ -578,8 +587,8 @@ def _analysis_figure7(
         rng=rng,
         perturb_io=f7.perturb_io,
         max_time=spec.max_time,
-        workers=spec.workers,
         progress=progress,
+        executor=executor,
     )
     fragment = {
         "scenario": f7.scenario,
@@ -650,6 +659,7 @@ def _run_analysis_spec(
     spec: ExperimentSpec,
     body: AnalysisSpec,
     progress: Optional[ProgressCallback] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SpecRunResult:
     platform = build_platform(body.platform)
     # Fixed seed slots: figure N always consumes child stream N of the
@@ -660,7 +670,7 @@ def _run_analysis_spec(
     blocks: list[str] = []
     for figure in body.figures:
         fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
-            spec, body, platform, slots[figure], progress
+            spec, body, platform, slots[figure], progress, executor
         )
         figures_payload[figure] = fragment
         records.extend(figure_records)
@@ -691,18 +701,22 @@ def run_spec(
     results.
     """
     body = spec.body
-    if isinstance(body, GridSpec):
-        return _run_grid_spec(spec, body, progress)
-    if isinstance(body, Figure6Spec):
-        return _run_figure6_spec(spec, body, progress)
-    if isinstance(body, CongestedMomentsSpec):
-        return _run_congested_spec(spec, body, progress)
-    if isinstance(body, VestaSpec):
-        return _run_vesta_spec(spec, body, progress)
-    if isinstance(body, PeriodicSpec):
-        return _run_periodic_spec(spec, body, progress)
-    if isinstance(body, AnalysisSpec):
-        return _run_analysis_spec(spec, body, progress)
+    # One executor for the whole spec run: every harness below shares the
+    # same lazily-spawned pool (never spawned at all for serial specs), so
+    # a multi-study spec pays process start-up at most once.
+    with ExperimentExecutor(spec.workers) as executor:
+        if isinstance(body, GridSpec):
+            return _run_grid_spec(spec, body, progress, executor)
+        if isinstance(body, Figure6Spec):
+            return _run_figure6_spec(spec, body, progress, executor)
+        if isinstance(body, CongestedMomentsSpec):
+            return _run_congested_spec(spec, body, progress, executor)
+        if isinstance(body, VestaSpec):
+            return _run_vesta_spec(spec, body, progress, executor)
+        if isinstance(body, PeriodicSpec):
+            return _run_periodic_spec(spec, body, progress, executor)
+        if isinstance(body, AnalysisSpec):
+            return _run_analysis_spec(spec, body, progress, executor)
     raise SpecError(f"experiment kind {spec.kind!r} has no runner")
 
 

@@ -59,6 +59,21 @@ class BandwidthAllocation:
         """Allocation giving bandwidth to nobody."""
         return cls({})
 
+    @classmethod
+    def _from_positive(cls, gammas: dict[str, float]) -> "BandwidthAllocation":
+        """Wrap a dict of strictly positive float bandwidths without copying.
+
+        Fast path for the allocators in :mod:`repro.simulator.bandwidth`,
+        which build one allocation per scheduling event and guarantee by
+        construction what ``__post_init__`` would re-derive (str keys, float
+        values, every gamma > 0).  The allocation takes ownership of
+        ``gammas``; callers must not mutate it afterwards.  The result is
+        indistinguishable from ``BandwidthAllocation(gammas)``.
+        """
+        allocation = object.__new__(cls)
+        object.__setattr__(allocation, "per_processor_bandwidth", gammas)
+        return allocation
+
     def gamma(self, app_name: str) -> float:
         """Per-processor bandwidth of ``app_name`` (0.0 if not allocated)."""
         return self.per_processor_bandwidth.get(app_name, 0.0)

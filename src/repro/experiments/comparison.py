@@ -20,7 +20,12 @@ import numpy as np
 
 from repro.core.platform import Platform, intrepid, mira
 from repro.core.scenario import Scenario
-from repro.experiments.runner import ExperimentGrid, SchedulerCase, run_grid
+from repro.experiments.runner import (
+    ExperimentExecutor,
+    ExperimentGrid,
+    SchedulerCase,
+    run_grid,
+)
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import ValidationError
 from repro.workload.congested import (
@@ -110,6 +115,7 @@ def figure6_experiment(
     workers: int | None = None,
     max_time: float = float("inf"),
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> Figure6Result:
     """Reproduce one panel of Figure 6.
 
@@ -122,7 +128,8 @@ def figure6_experiment(
     generated from its own spawned seed *before* the grid runs, so results
     are identical whatever the worker count.  ``max_time`` truncates every
     cell at a simulated-time horizon (seconds); the default runs every mix
-    to completion.
+    to completion.  ``executor`` reuses a caller-owned pool (multi-panel
+    campaigns pass one executor to every panel).
     """
     if scenario not in FIGURE6_SCENARIOS:
         raise ValidationError(
@@ -138,7 +145,7 @@ def figure6_experiment(
     ]
     cases = [SchedulerCase(name=name) for name in schedulers]
     grid = run_grid(scenarios, cases, max_time=max_time, workers=workers,
-                    progress=progress)
+                    progress=progress, executor=executor)
     result = Figure6Result(scenario=scenario, n_repetitions=n_repetitions)
     for scheduler, metrics in grid.averages().items():
         result.averages[scheduler] = HeuristicAverages(
@@ -194,6 +201,7 @@ def congested_moments_experiment(
     workers: int | None = None,
     max_time: float = float("inf"),
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> CongestedMomentsResult:
     """Reproduce the congested-moment campaigns (Tables 1–2, Figures 8–13).
 
@@ -205,7 +213,7 @@ def congested_moments_experiment(
     ``workers`` parallelizes the (moment × scheduler) grid; the moments are
     generated up front from the seed, so the tables are identical whatever
     the worker count.  ``max_time`` truncates every cell at a simulated-time
-    horizon (seconds).
+    horizon (seconds).  ``executor`` reuses a caller-owned pool.
     """
     if machine == "intrepid":
         moments = intrepid_congested_moments(n_moments or 56, rng)
@@ -228,5 +236,5 @@ def congested_moments_experiment(
         )
     )
     grid = run_grid(moments, cases, max_time=max_time, workers=workers,
-                    progress=progress)
+                    progress=progress, executor=executor)
     return CongestedMomentsResult(machine=machine, grid=grid, baseline_label=baseline)

@@ -1,0 +1,326 @@
+"""End-to-end experiment-throughput benchmark: write ``BENCH_grid.json``.
+
+``BENCH_engine.json`` tracks the *simulator* hot path (events/sec of one
+run); this module tracks the *experiment* hot path — what a whole
+``repro run`` costs.  Two measurements:
+
+* **spec throughput** — each bundled benchmark spec
+  (``examples/specs/analysis_figures.toml`` and
+  ``examples/specs/periodic.toml``) is executed end to end twice: serially
+  (``workers=1``) and pooled (``workers=0`` — one persistent
+  :class:`~repro.experiments.runner.ExperimentExecutor` per run, one worker
+  per CPU).  The payload records wall-clock seconds and cells/sec for both,
+  the speedup, and an ``identical`` flag asserting the pooled payload is
+  byte-for-byte the serial one (same contract as
+  ``tests/test_experiment_executor.py``; a false flag fails the benchmark).
+* **period-sweep throughput** — the ``(1 + eps)`` period search of
+  Section 3.2 is run over the periodic spec's application set with the
+  warm start on and off, recording sweep-points/sec for both and an
+  ``identical`` flag comparing the two traces point for point.
+
+``--scale N`` deepens both measurements (more Figure 1 applications, more
+Figure 7 repetitions, a ``1/N`` finer sweep step) without touching the
+bundled spec files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform as _platform
+import time
+from pathlib import Path
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.config.build import build_periodic_setup
+from repro.config.loader import load_spec
+from repro.config.run import run_spec
+from repro.config.spec import (
+    PERIODIC_HEURISTIC_TABLE,
+    AnalysisSpec,
+    ExperimentSpec,
+    PeriodicSpec,
+)
+from repro.experiments.runner import resolve_workers
+from repro.periodic.period_search import search_period
+from repro.utils.validation import ValidationError, check_positive
+
+__all__ = [
+    "DEFAULT_BENCH_SPECS",
+    "bench_spec_path",
+    "scaled_spec",
+    "measure_spec_run",
+    "measure_period_sweep",
+    "run_grid_bench",
+    "grid_bench_broken",
+]
+
+#: The bundled specs the end-to-end benchmark replays (ISSUE 4 acceptance
+#: criterion): the analysis suite (Figures 1/5/7) and the periodic study.
+DEFAULT_BENCH_SPECS: tuple[str, ...] = ("analysis_figures", "periodic")
+
+
+def bench_spec_path(name: str) -> Path:
+    """Path of a bundled benchmark spec, whatever the CWD.
+
+    ``name`` is a spec stem from :data:`DEFAULT_BENCH_SPECS` or any path to
+    a spec file (paths pass through untouched).  Stems resolve against the
+    working directory first (an installed ``repro bench`` run from a
+    checkout still finds the spec library) and fall back to the source
+    tree next to this module; a clear error names both locations when
+    neither exists, since an installed package does not ship the
+    ``examples/`` directory.
+    """
+    candidate = Path(name)
+    if candidate.suffix or len(candidate.parts) > 1 or candidate.is_file():
+        return candidate
+    relative = Path("examples") / "specs" / f"{name}.toml"
+    if relative.is_file():
+        return relative
+    in_tree = Path(__file__).resolve().parents[3] / relative
+    if in_tree.is_file():
+        return in_tree
+    raise ValidationError(
+        f"bundled bench spec {name!r} not found (looked at ./{relative} and "
+        f"{in_tree}); run from a repository checkout or pass an explicit "
+        "spec path"
+    )
+
+
+def scaled_spec(spec: ExperimentSpec, scale: int) -> ExperimentSpec:
+    """A deepened copy of a bench spec (``scale=1`` returns it unchanged).
+
+    Scaling stays inside the spec dataclasses so the bundled files remain
+    the source of truth: ``analysis`` multiplies the Figure 1 application
+    count and the Figure 7 repetitions; ``periodic`` divides the sweep step
+    ``epsilon`` (a finer sweep, the regime the warm start targets).  Other
+    kinds scale by running unchanged — their cost is already proportional
+    to the spec contents.
+    """
+    check_positive("scale", scale)
+    if scale == 1:
+        return spec
+    body = spec.body
+    if isinstance(body, AnalysisSpec):
+        body = dataclasses.replace(
+            body,
+            figure1=dataclasses.replace(
+                body.figure1,
+                n_applications=body.figure1.n_applications * scale,
+            ),
+            figure7=dataclasses.replace(
+                body.figure7,
+                n_repetitions=body.figure7.n_repetitions * scale,
+            ),
+        )
+    elif isinstance(body, PeriodicSpec):
+        body = dataclasses.replace(body, epsilon=body.epsilon / scale)
+    return dataclasses.replace(spec, body=body)
+
+
+def _count_cells(spec: ExperimentSpec, payload: Mapping) -> int:
+    """Independent work units (simulations / schedule evaluations) of a run."""
+    body = spec.body
+    if isinstance(body, AnalysisSpec):
+        from repro.analysis.throughput import figure1_batch_count
+
+        cells = 0
+        if "figure1" in payload.get("figures", {}):
+            f1 = body.figure1
+            cells += figure1_batch_count(
+                f1.n_applications, f1.applications_per_batch
+            )
+        if "figure5" in payload.get("figures", {}):
+            cells += 1
+        if "figure7" in payload.get("figures", {}):
+            f7 = body.figure7
+            cells += (
+                len(f7.sensibilities) * f7.n_repetitions * len(f7.schedulers)
+            )
+        return cells
+    if isinstance(body, PeriodicSpec):
+        cells = sum(
+            len(entry.get("sweep", ()))
+            for entry in payload.get("periodic", {}).values()
+        )
+        cells += len(payload.get("online", {}))
+        return cells
+    return max(1, len(payload.get("cells", ())))
+
+
+def _timed_run(spec: ExperimentSpec) -> tuple[float, dict]:
+    start = time.perf_counter()
+    result = run_spec(spec)
+    return time.perf_counter() - start, result.payload
+
+
+def measure_spec_run(
+    name: str, *, scale: int = 1, workers: int = 0
+) -> dict:
+    """Serial-vs-pooled end-to-end timing of one bundled spec.
+
+    Returns a JSON-ready mapping with per-mode ``seconds`` / ``cells_per_sec``,
+    the ``speedup`` ratio, the resolved pooled worker count, and the
+    ``identical`` flag (byte-compared payloads).  Output tables are dropped
+    from both runs (the benchmark measures computation, not I/O paths).
+    """
+    spec = load_spec(bench_spec_path(name))
+    spec = dataclasses.replace(scaled_spec(spec, scale), output=None)
+    serial_spec = spec.with_overrides(workers=1)
+    pooled_spec = spec.with_overrides(workers=workers)
+
+    serial_seconds, serial_payload = _timed_run(serial_spec)
+    pooled_seconds, pooled_payload = _timed_run(pooled_spec)
+    n_cells = _count_cells(spec, serial_payload)
+    identical = json.dumps(serial_payload, sort_keys=True) == json.dumps(
+        pooled_payload, sort_keys=True
+    )
+    return {
+        "spec": name,
+        "kind": spec.kind,
+        "scale": scale,
+        "n_cells": n_cells,
+        "serial": {
+            "seconds": serial_seconds,
+            "cells_per_sec": n_cells / serial_seconds if serial_seconds > 0 else float("inf"),
+        },
+        "pooled": {
+            "workers": resolve_workers(pooled_spec.workers),
+            "seconds": pooled_seconds,
+            "cells_per_sec": n_cells / pooled_seconds if pooled_seconds > 0 else float("inf"),
+        },
+        "speedup": serial_seconds / pooled_seconds if pooled_seconds > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def measure_period_sweep(*, scale: int = 1, spec_name: str = "periodic") -> dict:
+    """Warm-started vs naive period sweep over the periodic spec's app set.
+
+    Both sweeps walk the identical period ladder; ``identical`` compares
+    their traces, best periods and placements exactly, and the throughput
+    unit is sweep-points/sec.
+    """
+    spec = load_spec(bench_spec_path(spec_name))
+    body = scaled_spec(spec, scale).body
+    if not isinstance(body, PeriodicSpec):
+        raise ValidationError(
+            f"spec {spec_name!r} is kind {spec.kind!r}, not 'periodic'"
+        )
+    platform, applications = build_periodic_setup(body, spec.seed)
+
+    entries = []
+    for key in body.heuristics:
+        heuristic_cls, objective = PERIODIC_HEURISTIC_TABLE[key]
+        kwargs = dict(
+            objective=objective,
+            epsilon=body.epsilon,
+            max_period=body.max_period,
+            max_period_factor=body.max_period_factor,
+        )
+        start = time.perf_counter()
+        warm = search_period(
+            heuristic_cls(), platform, applications, warm_start=True, **kwargs
+        )
+        warm_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive = search_period(
+            heuristic_cls(), platform, applications, warm_start=False, **kwargs
+        )
+        naive_seconds = time.perf_counter() - start
+        identical = (
+            warm.sweep == naive.sweep
+            and warm.best_period == naive.best_period
+            and sorted(
+                dataclasses.astuple(i) for i in warm.best_schedule.instances
+            )
+            == sorted(
+                dataclasses.astuple(i) for i in naive.best_schedule.instances
+            )
+        )
+        n_points = len(warm.sweep)
+        entries.append(
+            {
+                "heuristic": key,
+                "objective": objective,
+                "epsilon": body.epsilon,
+                "n_sweep_points": n_points,
+                "n_builds_warm": warm.n_builds,
+                "naive": {
+                    "seconds": naive_seconds,
+                    "sweep_points_per_sec": n_points / naive_seconds if naive_seconds > 0 else float("inf"),
+                },
+                "warm": {
+                    "seconds": warm_seconds,
+                    "sweep_points_per_sec": n_points / warm_seconds if warm_seconds > 0 else float("inf"),
+                },
+                "speedup": naive_seconds / warm_seconds if warm_seconds > 0 else float("inf"),
+                "identical": identical,
+            }
+        )
+    return {"spec": spec_name, "scale": scale, "sweeps": entries}
+
+
+def run_grid_bench(
+    specs: Sequence[str] = DEFAULT_BENCH_SPECS,
+    *,
+    scale: int = 1,
+    workers: int = 0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Measure every bench spec plus the period sweep; assemble the payload.
+
+    The payload is what ``BENCH_grid.json`` serializes.  Any cell or sweep
+    whose ``identical`` flag is false marks a determinism regression —
+    ``benchmarks/run_bench.py`` turns that into a non-zero exit status.
+    """
+    if not specs:
+        raise ValidationError("run_grid_bench needs at least one spec")
+    check_positive("scale", scale)
+    spec_entries = []
+    for name in specs:
+        entry = measure_spec_run(name, scale=scale, workers=workers)
+        spec_entries.append(entry)
+        if progress is not None:
+            progress(
+                f"{entry['spec']:<18} serial {entry['serial']['seconds']:6.2f}s, "
+                f"pooled {entry['pooled']['seconds']:6.2f}s "
+                f"({entry['pooled']['workers']} worker(s), "
+                f"speedup {entry['speedup']:.2f}x, "
+                f"identical={entry['identical']})"
+            )
+    sweep = measure_period_sweep(scale=scale)
+    if progress is not None:
+        for s in sweep["sweeps"]:
+            progress(
+                f"period sweep {s['heuristic']:<11} "
+                f"{s['n_sweep_points']:4d} points, "
+                f"{s['n_builds_warm']:4d} builds: "
+                f"naive {s['naive']['sweep_points_per_sec']:7.1f} pts/s, "
+                f"warm {s['warm']['sweep_points_per_sec']:7.1f} pts/s "
+                f"(speedup {s['speedup']:.2f}x, identical={s['identical']})"
+            )
+    return {
+        "benchmark": "experiment_grid",
+        "scale": scale,
+        "workers_requested": workers,
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "specs": spec_entries,
+        "period_sweep": sweep,
+    }
+
+
+def grid_bench_broken(payload: Mapping) -> list[str]:
+    """Names of entries whose ``identical`` flag is false (regressions)."""
+    broken = [
+        entry["spec"]
+        for entry in payload.get("specs", ())
+        if not entry.get("identical", True)
+    ]
+    broken.extend(
+        f"period-sweep:{entry['heuristic']}"
+        for entry in payload.get("period_sweep", {}).get("sweeps", ())
+        if not entry.get("identical", True)
+    )
+    return broken

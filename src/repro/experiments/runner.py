@@ -10,9 +10,20 @@ Grid cells are mutually independent — every scenario carries its own
 pre-generated applications (per-cell randomness is decided *before* the grid
 runs, when scenarios are built from seeds), and schedulers are constructed
 fresh inside each cell.  :func:`run_grid` therefore accepts ``workers=`` and
-fans the cells out over a :class:`concurrent.futures.ProcessPoolExecutor`;
-results are collected in submission order, so a parallel grid is
-cell-for-cell identical to a serial one, just faster.
+fans the cells out over worker processes; results are collected in
+submission order, so a parallel grid is cell-for-cell identical to a serial
+one, just faster.
+
+Pool reuse
+----------
+A paper campaign is a *fleet* of grids — the Figure 6 panels, the seven
+sensibility levels of Figure 7, the periodic-vs-online comparison — and
+spawning a fresh process pool per grid used to dominate small campaigns.
+:class:`ExperimentExecutor` owns one lazily-spawned pool that many
+``map_parallel`` / :func:`run_grid` calls share (``repro run`` drives a
+whole multi-study spec through a single executor), and dispatches work in
+contiguous chunks so a shared immutable payload (platform + scenarios) is
+serialized once per worker instead of once per cell.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ __all__ = [
     "SchedulerCase",
     "CaseResult",
     "ExperimentGrid",
+    "ExperimentExecutor",
     "run_case",
     "run_grid",
     "map_parallel",
@@ -45,6 +57,20 @@ __all__ = [
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Sentinel distinguishing "no shared payload" from a shared payload of None.
+_NO_SHARED = object()
+
+#: Without a shared payload, chunks this many times the worker count keep the
+#: pool load-balanced while still amortizing per-task dispatch overhead.
+_CHUNKS_PER_WORKER = 4
+
+#: With a shared payload *and* progress streaming, the payload travels with
+#: every chunk, so the chunk count is the payload-copy count: two per worker
+#: bounds the serialization overhead at 2x the quiet-map minimum while still
+#: draining progress in sub-grid bursts.  Payload copies stay O(workers) in
+#: every mode — never O(cells).
+_SHARED_CHUNKS_PER_WORKER = 2
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -64,40 +90,183 @@ def resolve_workers(workers: int | None) -> int:
     return workers
 
 
+def _run_plain_chunk(fn: Callable[[_T], _R], chunk: list[_T]) -> list[_R]:
+    """Worker-side adapter: run one contiguous chunk of plain items."""
+    return [fn(item) for item in chunk]
+
+
+def _run_shared_chunk(
+    fn: Callable[[object, _T], _R], shared: object, chunk: list[_T]
+) -> list[_R]:
+    """Worker-side adapter: run one chunk against a shared payload.
+
+    ``shared`` travels with the chunk submission, so it is serialized once
+    per chunk — and the executor sizes shared-payload dispatches at one
+    chunk per worker (a few when per-cell progress streaming is requested),
+    never once per cell.
+    """
+    return [fn(shared, item) for item in chunk]
+
+
+class ExperimentExecutor:
+    """Reusable worker pool behind ``map_parallel`` / ``run_grid``.
+
+    Context manager; the underlying :class:`ProcessPoolExecutor` is spawned
+    lazily on the first parallel map and reused by every subsequent call, so
+    a campaign of many small grids pays the process start-up cost once.
+    ``workers`` follows :func:`resolve_workers` (``None``/``1`` serial,
+    ``0`` one per CPU); with one worker every map runs inline and no pool is
+    ever spawned.
+
+    Determinism: results are always collected in submission order, and the
+    items are dispatched as contiguous chunks, so a map through an executor
+    is element-for-element identical to the serial loop whatever the worker
+    count (asserted by ``tests/test_experiment_executor.py``).
+    """
+
+    def __init__(self, workers: int | None = None):
+        self._n_workers = resolve_workers(workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    @property
+    def n_workers(self) -> int:
+        """Resolved worker-process count (1 = serial inline execution)."""
+        return self._n_workers
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ExperimentExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); further maps are an error."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ValidationError("ExperimentExecutor is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._n_workers)
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        fn: Callable[..., _R],
+        items: Sequence[_T],
+        *,
+        progress: Optional[Callable[[int, _T, _R], None]] = None,
+        shared: object = _NO_SHARED,
+    ) -> list[_R]:
+        """Map ``fn`` over ``items`` on the (shared) pool.
+
+        Without ``shared``, ``fn(item)`` is called per item.  With
+        ``shared``, ``fn(shared, item)`` is called instead and the payload
+        travels with the chunk submissions instead of with every cell — the
+        idiom for grids whose cells reference the same large immutable
+        platform/workload state.  A quiet shared map uses exactly one chunk
+        per worker (payload serialized once per worker); when ``progress``
+        is given, two chunks per worker are used instead, trading one extra
+        payload copy per worker for streaming granularity and load
+        balancing.  Either way the payload-copy count is O(workers), never
+        O(cells).  The flip side of static contiguous chunks is skew: a
+        quiet map whose expensive cells cluster in one chunk leaves the
+        other workers idle at the tail — pass ``progress`` (finer chunks)
+        or skip ``shared`` (pure load-balanced dispatch) for strongly
+        heterogeneous cell costs.
+
+        ``progress(index, item, result)`` fires in the caller's process in
+        submission order as results drain — one call per item, delivered as
+        each chunk completes.
+        """
+        if self._closed:
+            raise ValidationError("ExperimentExecutor is closed")
+        items = list(items)
+        has_shared = shared is not _NO_SHARED
+        n = len(items)
+        if self._n_workers <= 1 or n <= 1:
+            results: list[_R] = []
+            for index, item in enumerate(items):
+                result = fn(shared, item) if has_shared else fn(item)
+                if progress is not None:
+                    progress(index, item, result)
+                results.append(result)
+            return results
+
+        # Chunked dispatch.  Chunks are contiguous, so flattening the chunk
+        # results in submission order reproduces the serial output order.
+        if has_shared:
+            per_worker = 1 if progress is None else _SHARED_CHUNKS_PER_WORKER
+            n_chunks = min(self._n_workers * per_worker, n)
+        else:
+            n_chunks = min(self._n_workers * _CHUNKS_PER_WORKER, n)
+        base, extra = divmod(n, n_chunks)
+        pool = self._ensure_pool()
+        futures = []
+        start = 0
+        for i in range(n_chunks):
+            stop = start + base + (1 if i < extra else 0)
+            chunk = items[start:stop]
+            if has_shared:
+                futures.append(
+                    (start, pool.submit(_run_shared_chunk, fn, shared, chunk))
+                )
+            else:
+                futures.append((start, pool.submit(_run_plain_chunk, fn, chunk)))
+            start = stop
+
+        results = []
+        for chunk_start, future in futures:
+            for offset, result in enumerate(future.result()):
+                if progress is not None:
+                    index = chunk_start + offset
+                    progress(index, items[index], result)
+                results.append(result)
+        return results
+
+
 def map_parallel(
-    fn: Callable[[_T], _R],
+    fn: Callable[..., _R],
     items: Sequence[_T],
     *,
     workers: int | None = None,
     progress: Optional[Callable[[int, _T, _R], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    shared: object = _NO_SHARED,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Results come back in input order regardless of completion order, so
     callers observe exactly the serial semantics.  ``fn`` and the items must
-    be picklable (module-level function, plain-data arguments) when
-    ``workers`` implies more than one process.
+    be picklable (module-level function, plain-data arguments) when more
+    than one process is involved.
 
-    ``progress(index, item, result)`` is invoked in the caller's process as
-    each result is collected, in submission order — in parallel runs that is
-    as the ordered result stream drains, so long grids report cells as they
-    finish instead of staying silent until the pool joins.
+    ``executor`` reuses a caller-owned :class:`ExperimentExecutor` (its
+    worker count wins; ``workers`` is ignored) instead of spawning and
+    tearing down a pool for this one call.  ``shared`` switches to the
+    shared-payload calling convention ``fn(shared, item)`` — see
+    :meth:`ExperimentExecutor.map`.
+
+    ``progress(index, item, result)`` is invoked in the caller's process,
+    once per item in submission order — in parallel runs results drain as
+    each dispatched chunk completes, so long maps report in chunk-sized
+    bursts instead of staying silent until the pool joins.
     """
-    n_workers = resolve_workers(workers)
-    results: list[_R] = []
-    if n_workers <= 1 or len(items) <= 1:
-        for index, item in enumerate(items):
-            result = fn(item)
-            if progress is not None:
-                progress(index, item, result)
-            results.append(result)
-        return results
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
-        for index, result in enumerate(pool.map(fn, items)):
-            if progress is not None:
-                progress(index, items[index], result)
-            results.append(result)
-    return results
+    if executor is not None:
+        return executor.map(fn, items, progress=progress, shared=shared)
+    # Ephemeral pool for this one call: never spawn more workers than there
+    # are items (a persistent executor keeps its full size because later
+    # maps may be larger).
+    items = list(items)
+    n_workers = max(1, min(resolve_workers(workers), len(items)))
+    with ExperimentExecutor(n_workers) as pool:
+        return pool.map(fn, items, progress=progress, shared=shared)
 
 
 @dataclass(frozen=True)
@@ -267,12 +436,14 @@ def run_case(
     return case_result
 
 
-def _run_grid_cell(
-    cell: tuple[Scenario, SchedulerCase, float]
+def _run_grid_cell_shared(
+    shared: tuple[tuple[Scenario, ...], tuple[SchedulerCase, ...], float],
+    cell: tuple[int, int],
 ) -> CaseResult:
-    """Picklable adapter running one grid cell in a worker process."""
-    scenario, case, max_time = cell
-    return run_case(scenario, case, max_time=max_time)
+    """Shared-payload grid cell: the axes travel once per worker, not per cell."""
+    scenarios, cases, max_time = shared
+    i, j = cell
+    return run_case(scenarios[i], cases[j], max_time=max_time)
 
 
 def run_grid(
@@ -282,6 +453,7 @@ def run_grid(
     max_time: float = float("inf"),
     workers: int | None = None,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> ExperimentGrid:
     """Run every scenario under every scheduler case.
 
@@ -300,15 +472,23 @@ def run_grid(
     progress:
         Optional callback receiving one human-readable line per completed
         cell (``cell 3/9: mixA x MaxSysEff ...``), so long campaigns stream
-        status instead of staying silent until the grid finishes.  Called in
-        the driving process only; it does not affect results.
+        status instead of staying silent until the grid finishes (parallel
+        runs deliver the lines in chunk-sized bursts, in submission order).
+        Called in the driving process only; it does not affect results.
+    executor:
+        Reuse a caller-owned :class:`ExperimentExecutor` (``workers`` is
+        then ignored) so consecutive grids share one pool.  Either way the
+        grid axes are shipped to the workers as a per-chunk shared payload
+        (once per worker, a few times with progress streaming); the
+        per-cell messages are just index pairs.
     """
     if not scenarios:
         raise ValidationError("run_grid needs at least one scenario")
     if not cases:
         raise ValidationError("run_grid needs at least one scheduler case")
+    shared = (tuple(scenarios), tuple(cases), max_time)
     cells = [
-        (scenario, case, max_time) for scenario in scenarios for case in cases
+        (i, j) for i in range(len(scenarios)) for j in range(len(cases))
     ]
 
     on_cell = None
@@ -327,7 +507,12 @@ def run_grid(
 
     grid = ExperimentGrid()
     for result in map_parallel(
-        _run_grid_cell, cells, workers=workers, progress=on_cell
+        _run_grid_cell_shared,
+        cells,
+        workers=workers,
+        progress=on_cell,
+        executor=executor,
+        shared=shared,
     ):
         grid.add(result)
     return grid

@@ -254,16 +254,24 @@ def run_bench_cli(
     include_reference: bool = True,
     progress: Optional[Callable[[str], None]] = print,
     error: Optional[Callable[[str], None]] = None,
+    grid_out: Optional[str] = "BENCH_grid.json",
+    include_engine: bool = True,
 ) -> int:
     """Shared driver behind ``repro bench`` and ``benchmarks/run_bench.py``.
 
-    Runs the scaling suite (event budget ``4000 * scale``; ``scale`` and
-    ``scheduler`` are validated up front, raising ``ValidationError``),
-    writes the JSON payload to ``out``, and returns the process exit
-    status: 0 on success, 1 when any cell's ``identical`` flag is false —
-    the optimized engine diverged from the reference timeline, a
-    correctness regression.  ``error`` receives the mismatch report
-    (defaults to stderr).
+    Runs the engine-scaling suite (event budget ``4000 * scale``; ``scale``
+    and ``scheduler`` are validated up front, raising ``ValidationError``)
+    and the end-to-end grid benchmark
+    (:func:`repro.experiments.grid_bench.run_grid_bench` — serial vs pooled
+    spec runs plus the warm-vs-naive period sweep), writing ``out`` and
+    ``grid_out`` respectively.  ``grid_out=None`` skips the grid half;
+    ``include_engine=False`` skips the engine half.
+
+    Returns the process exit status: 0 on success, 1 when any ``identical``
+    flag in either payload is false — a determinism regression (the
+    optimized engine diverged from the reference timeline, a pooled run
+    diverged from serial, or the warm-started sweep diverged from the naive
+    one).  ``error`` receives the mismatch report (defaults to stderr).
     """
     import sys
 
@@ -278,28 +286,47 @@ def run_bench_cli(
         # entry points (`repro bench`, benchmarks/run_bench.py) can print.
         message = exc.args[0] if exc.args else str(exc)
         raise ValidationError(f"scheduler: {message}") from exc
-    payload = run_scaling_suite(
-        scheduler=scheduler,
-        events_budget=4000 * scale,
-        include_reference=include_reference,
-        progress=progress,
-    )
-    path = write_bench_json(payload, out)
-    if progress is not None:
-        progress(f"wrote {path}")
-    if include_reference:
-        broken = [
-            f"{c['n_apps']}x{c['n_instances']}"
-            for c in payload["cells"]
-            if not c["identical"]
-        ]
+
+    status = 0
+    if include_engine:
+        payload = run_scaling_suite(
+            scheduler=scheduler,
+            events_budget=4000 * scale,
+            include_reference=include_reference,
+            progress=progress,
+        )
+        path = write_bench_json(payload, out)
+        if progress is not None:
+            progress(f"wrote {path}")
+        if include_reference:
+            broken = [
+                f"{c['n_apps']}x{c['n_instances']}"
+                for c in payload["cells"]
+                if not c["identical"]
+            ]
+            if broken:
+                error(
+                    f"ENGINE MISMATCH on cells: {', '.join(broken)} — the "
+                    "optimized engine no longer reproduces the reference timeline"
+                )
+                status = 1
+
+    if grid_out is not None:
+        from repro.experiments.grid_bench import grid_bench_broken, run_grid_bench
+
+        grid_payload = run_grid_bench(scale=scale, progress=progress)
+        path = write_bench_json(grid_payload, grid_out)
+        if progress is not None:
+            progress(f"wrote {path}")
+        broken = grid_bench_broken(grid_payload)
         if broken:
             error(
-                f"ENGINE MISMATCH on cells: {', '.join(broken)} — the "
-                "optimized engine no longer reproduces the reference timeline"
+                f"GRID MISMATCH on: {', '.join(broken)} — a pooled or "
+                "warm-started run no longer reproduces the serial/naive "
+                "results"
             )
-            return 1
-    return 0
+            status = 1
+    return status
 
 
 def write_bench_json(payload: Mapping, path: str = "BENCH_engine.json") -> str:

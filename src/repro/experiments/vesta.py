@@ -42,7 +42,7 @@ from repro.experiments.overhead import (
     OverheadModel,
     scenario_overhead_fractions,
 )
-from repro.experiments.runner import map_parallel
+from repro.experiments.runner import ExperimentExecutor, map_parallel
 from repro.online.baselines import ior_scheduler
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
@@ -199,15 +199,20 @@ def run_vesta_case(
     )
 
 
-def _run_vesta_cell(
-    cell: tuple[str, str, OverheadModel, RngLike]
+def _run_vesta_cell_shared(
+    shared: tuple[OverheadModel, RngLike], cell: tuple[str, str]
 ) -> VestaCase:
-    """Picklable adapter running one Vesta grid cell in a worker process."""
-    scenario, configuration, overhead, rng = cell
+    """Shared-payload Vesta cell: overhead model + seed travel once per worker."""
+    overhead, rng = shared
+    scenario, configuration = cell
     return run_vesta_case(scenario, configuration, overhead=overhead, rng=rng)
 
 
-def _check_parallel_rng(rng: RngLike, workers: int | None) -> None:
+def _check_parallel_rng(
+    rng: RngLike,
+    workers: int | None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> None:
     """Refuse a live generator in a parallel run.
 
     A ``Generator``'s state advances across cells in a serial run; pickling
@@ -219,7 +224,10 @@ def _check_parallel_rng(rng: RngLike, workers: int | None) -> None:
 
     from repro.experiments.runner import resolve_workers
 
-    if resolve_workers(workers) > 1 and isinstance(rng, np.random.Generator):
+    n_workers = (
+        executor.n_workers if executor is not None else resolve_workers(workers)
+    )
+    if n_workers > 1 and isinstance(rng, np.random.Generator):
         raise ValidationError(
             "workers > 1 requires a seed-like rng (int, SeedSequence or "
             "None): a live numpy Generator cannot advance across worker "
@@ -236,6 +244,7 @@ def vesta_experiment(
     rng: RngLike = 0,
     workers: int | None = None,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> VestaExperimentResult:
     """The full Figure 15 grid.
 
@@ -246,10 +255,12 @@ def vesta_experiment(
     count; a live ``Generator`` is accepted only in serial runs (where its
     state advances across cells exactly as before) and rejected otherwise.
     ``progress`` receives one line per completed cell, in submission order.
+    ``executor`` reuses a caller-owned pool; the overhead model and seed
+    travel as one shared payload per worker.
     """
-    _check_parallel_rng(rng, workers)
+    _check_parallel_rng(rng, workers, executor)
     cells = [
-        (scenario, configuration, overhead, rng)
+        (scenario, configuration)
         for scenario in scenarios
         for configuration in configurations
     ]
@@ -266,14 +277,20 @@ def vesta_experiment(
 
     result = VestaExperimentResult()
     result.cases.extend(
-        map_parallel(_run_vesta_cell, cells, workers=workers, progress=on_cell)
+        map_parallel(
+            _run_vesta_cell_shared,
+            cells,
+            workers=workers,
+            progress=on_cell,
+            executor=executor,
+            shared=(overhead, rng),
+        )
     )
     return result
 
 
-def _build_ior_mix(cell: tuple[str, RngLike]) -> Scenario:
-    """Picklable adapter: build one jittered IOR mix in a worker process."""
-    name, rng = cell
+def _build_ior_mix_shared(rng: RngLike, name: str) -> Scenario:
+    """Picklable adapter: build one jittered IOR mix (seed sent per worker)."""
     return ior_scenario(name, vesta(), rng=rng)
 
 
@@ -283,6 +300,7 @@ def figure14_overheads(
     overhead: OverheadModel = DEFAULT_OVERHEAD,
     rng: RngLike = 0,
     workers: int | None = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> dict[str, float]:
     """Figure 14: relative execution-time overhead (%) per node mix.
 
@@ -290,10 +308,15 @@ def figure14_overheads(
     part; the overhead model itself is pure arithmetic, evaluated in batch
     afterwards).  Deterministic for seed-like ``rng``; a live ``Generator``
     is rejected in parallel runs, see :func:`vesta_experiment`.
+    ``executor`` reuses a caller-owned pool.
     """
-    _check_parallel_rng(rng, workers)
+    _check_parallel_rng(rng, workers, executor)
     built = map_parallel(
-        _build_ior_mix, [(name, rng) for name in scenarios], workers=workers
+        _build_ior_mix_shared,
+        list(scenarios),
+        workers=workers,
+        executor=executor,
+        shared=rng,
     )
     fractions = scenario_overhead_fractions(built, overhead=overhead)
     return {

@@ -45,7 +45,12 @@ class OnlineScheduler(abc.ABC):
     # ------------------------------------------------------------------ #
     def allocate(self, view: SystemView) -> BandwidthAllocation:
         """Favour candidates in priority order until the bandwidth runs out."""
-        ordered = list(self.order_candidates(view))
+        ordered = self.order_candidates(view)
+        if not isinstance(ordered, (list, tuple)):
+            # Re-iterable sequence required (checked below, then favoured);
+            # sorted() already hands back a fresh list, so the common path
+            # skips the copy.
+            ordered = list(ordered)
         self._check_ordering(view, ordered)
         return favor_in_order(
             ordered,
@@ -59,7 +64,9 @@ class OnlineScheduler(abc.ABC):
     # ------------------------------------------------------------------ #
     @staticmethod
     def _check_ordering(view: SystemView, ordered: Sequence[ApplicationView]) -> None:
-        candidate_names = {a.name for a in view.io_candidates()}
+        # The candidate-name set is memoized on the view, so this runs one
+        # O(n) membership sweep per event instead of rebuilding the set.
+        candidate_names = view.candidate_names()
         seen: set[str] = set()
         for app_view in ordered:
             if app_view.name not in candidate_names:

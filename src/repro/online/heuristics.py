@@ -24,7 +24,6 @@ simulations are reproducible.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.online.base import OnlineScheduler
@@ -34,10 +33,11 @@ from repro.utils.validation import check_in_range
 __all__ = ["RoundRobin", "MinDilation", "MaxSysEff", "MinMaxGamma"]
 
 
-# Every sort key below ends with the same deterministic tie-break pair,
-# inlined into a flat tuple: earlier I/O request first (inf when no request
-# is pending), then name.  The keys run once per candidate per event, so
-# they build one tuple instead of calling out to a shared helper.
+# Every sort key below ends with the same deterministic tie-break pair:
+# earlier I/O request first (inf when no request is pending), then name.
+# The pair is cached on the view (`ApplicationView.order_key`), and the
+# engine reuses views across events, so the tie-break is usually a dict
+# lookup rather than a rebuilt tuple.
 
 
 class RoundRobin(OnlineScheduler):
@@ -55,11 +55,7 @@ class RoundRobin(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (
-                a.last_io_end,
-                a.io_request_time if a.io_request_time is not None else math.inf,
-                a.name,
-            ),
+            key=lambda a: (a.last_io_end, *a.order_key),
         )
 
 
@@ -71,11 +67,7 @@ class MinDilation(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (
-                a.efficiency_ratio,
-                a.io_request_time if a.io_request_time is not None else math.inf,
-                a.name,
-            ),
+            key=lambda a: (a.efficiency_ratio, *a.order_key),
         )
 
 
@@ -107,11 +99,7 @@ class MaxSysEff(OnlineScheduler):
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
         return sorted(
             view.io_candidates(),
-            key=lambda a: (
-                -a.processors * a.achieved_efficiency,
-                a.io_request_time if a.io_request_time is not None else math.inf,
-                a.name,
-            ),
+            key=lambda a: (-a.processors * a.achieved_efficiency, *a.order_key),
         )
 
 
@@ -134,21 +122,16 @@ class MinMaxGamma(OnlineScheduler):
         self.name = f"MinMax-{self.gamma:g}"
 
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
-        candidates = list(view.io_candidates())
-        starved = [a for a in candidates if a.efficiency_ratio < self.gamma]
-        healthy = [a for a in candidates if a.efficiency_ratio >= self.gamma]
-        starved.sort(
-            key=lambda a: (
-                a.efficiency_ratio,
-                a.io_request_time if a.io_request_time is not None else math.inf,
-                a.name,
-            )
-        )
+        # Single partition pass (the ratio is computed once per candidate),
+        # then each side sorts on its own criterion.
+        starved: list[ApplicationView] = []
+        healthy: list[ApplicationView] = []
+        gamma = self.gamma
+        for a in view.io_candidates():
+            (starved if a.efficiency_ratio < gamma else healthy).append(a)
+        starved.sort(key=lambda a: (a.efficiency_ratio, *a.order_key))
         healthy.sort(
-            key=lambda a: (
-                -a.processors * a.achieved_efficiency,
-                a.io_request_time if a.io_request_time is not None else math.inf,
-                a.name,
-            )
+            key=lambda a: (-a.processors * a.achieved_efficiency, *a.order_key)
         )
-        return starved + healthy
+        starved.extend(healthy)
+        return starved

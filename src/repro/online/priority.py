@@ -43,10 +43,13 @@ class Priority(OnlineScheduler):
         self.name = f"Priority-{inner.name}"
 
     def order_candidates(self, view: SystemView) -> Sequence[ApplicationView]:
-        ordered = list(self.inner.order_candidates(view))
-        started = [a for a in ordered if a.io_started]
-        fresh = [a for a in ordered if not a.io_started]
-        return started + fresh
+        # Single stable partition pass over the inner ordering.
+        started: list[ApplicationView] = []
+        fresh: list[ApplicationView] = []
+        for a in self.inner.order_candidates(view):
+            (started if a.io_started else fresh).append(a)
+        started.extend(fresh)
+        return started
 
     def reset(self) -> None:
         self.inner.reset()

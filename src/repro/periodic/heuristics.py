@@ -19,12 +19,19 @@ fits; they differ in *which* application gets the next slot:
   with the heuristic's stated goal of optimizing Dilation.)
 
 Both stop when a full round of applications yields no insertion.
+
+The per-application congestion-free quantities both heuristics rank on
+(``time_io``, the ``w / time_io`` ratio, the ``w + time_io`` footprint) are
+period-independent, so :func:`application_profiles` computes them once and
+the ``(1 + eps)`` period sweep shares one profile table across every sweep
+point instead of re-deriving them per insertion.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from repro.core.application import Application
 from repro.core.platform import Platform
@@ -33,10 +40,50 @@ from repro.periodic.schedule import PeriodicSchedule
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "ApplicationProfile",
+    "application_profiles",
     "PeriodicHeuristic",
     "InsertInScheduleThrou",
     "InsertInScheduleCong",
 ]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Congestion-free per-instance quantities of one periodic application.
+
+    ``time_io`` is the dedicated-mode transfer time ``vol / min(beta b, B)``;
+    ``ratio`` is the compute/transfer balance ``w / time_io`` (``inf`` for
+    I/O-free applications) and ``footprint`` the congestion-free instance
+    duration ``w + time_io`` — exactly the quantities the Section 3.2.3
+    orderings and the minimum-period bound are defined on.
+    """
+
+    work: float
+    io_volume: float
+    time_io: float
+    ratio: float
+    footprint: float
+
+
+def application_profiles(
+    platform: Platform, applications: Sequence[Application]
+) -> dict[str, ApplicationProfile]:
+    """One :class:`ApplicationProfile` per application, keyed by name."""
+    profiles: dict[str, ApplicationProfile] = {}
+    for app in applications:
+        inst = app.instances[0]
+        peak = platform.peak_application_bandwidth(app.processors)
+        time_io = inst.io_volume / peak if peak > 0 else 0.0
+        ratio = inst.work / time_io if time_io > 0 else float("inf")
+        profiles[app.name] = ApplicationProfile(
+            work=inst.work,
+            io_volume=inst.io_volume,
+            time_io=time_io,
+            ratio=ratio,
+            footprint=inst.work + time_io,
+        )
+    return profiles
 
 
 class PeriodicHeuristic(abc.ABC):
@@ -50,15 +97,41 @@ class PeriodicHeuristic(abc.ABC):
         platform: Platform,
         applications: Sequence[Application],
         period: float,
+        *,
+        profiles: Mapping[str, ApplicationProfile] | None = None,
     ) -> PeriodicSchedule:
         """Fill a period of length ``period`` with application instances."""
+        schedule, _ = self.build_with_validity(
+            platform, applications, period, profiles=profiles
+        )
+        return schedule
+
+    def build_with_validity(
+        self,
+        platform: Platform,
+        applications: Sequence[Application],
+        period: float,
+        *,
+        profiles: Mapping[str, ApplicationProfile] | None = None,
+    ) -> tuple[PeriodicSchedule, float]:
+        """Build a schedule plus the period up to which it provably persists.
+
+        Returns ``(schedule, valid_until)``: for every period ``T'`` with
+        ``period <= T' < valid_until`` the greedy build produces the *same*
+        placements (see the period-validity analysis in
+        :mod:`repro.periodic.insertion`), so the sweep may reuse this
+        schedule via :meth:`PeriodicSchedule.with_period` instead of
+        rebuilding.
+        """
         if not applications:
             raise ValidationError("need at least one application")
+        if profiles is None:
+            profiles = application_profiles(platform, applications)
         schedule = PeriodicSchedule(platform, applications, period)
         inserter = GreedyInserter(schedule)
-        self._fill(schedule, inserter, list(applications))
+        self._fill(schedule, inserter, list(applications), profiles)
         schedule.validate()
-        return schedule
+        return schedule, inserter.period_needed
 
     @abc.abstractmethod
     def _fill(
@@ -66,6 +139,7 @@ class PeriodicHeuristic(abc.ABC):
         schedule: PeriodicSchedule,
         inserter: GreedyInserter,
         applications: list[Application],
+        profiles: Mapping[str, ApplicationProfile],
     ) -> None:
         """Insert instances until no more fit."""
 
@@ -80,18 +154,11 @@ class InsertInScheduleThrou(PeriodicHeuristic):
         schedule: PeriodicSchedule,
         inserter: GreedyInserter,
         applications: list[Application],
+        profiles: Mapping[str, ApplicationProfile],
     ) -> None:
-        platform = schedule.platform
-
-        def ratio(app: Application) -> float:
-            inst = app.instances[0]
-            peak = platform.peak_application_bandwidth(app.processors)
-            time_io = inst.io_volume / peak if peak > 0 else 0.0
-            if time_io <= 0:
-                return float("inf")
-            return inst.work / time_io
-
-        ordered = sorted(applications, key=lambda a: (ratio(a), a.name))
+        ordered = sorted(
+            applications, key=lambda a: (profiles[a.name].ratio, a.name)
+        )
         for app in ordered:
             while inserter.try_insert(app):
                 pass
@@ -112,15 +179,8 @@ class InsertInScheduleCong(PeriodicHeuristic):
         schedule: PeriodicSchedule,
         inserter: GreedyInserter,
         applications: list[Application],
+        profiles: Mapping[str, ApplicationProfile],
     ) -> None:
-        platform = schedule.platform
-
-        def footprint(app: Application) -> float:
-            inst = app.instances[0]
-            peak = platform.peak_application_bandwidth(app.processors)
-            time_io = inst.io_volume / peak if peak > 0 else 0.0
-            return inst.work + time_io
-
         blocked: set[str] = set()
         while True:
             counts = schedule.instances_per_application()
@@ -128,7 +188,9 @@ class InsertInScheduleCong(PeriodicHeuristic):
             if not candidates:
                 break
             # Least scheduled load first; ties broken by name for determinism.
-            candidates.sort(key=lambda a: (counts[a.name] * footprint(a), a.name))
+            candidates.sort(
+                key=lambda a: (counts[a.name] * profiles[a.name].footprint, a.name)
+            )
             app = candidates[0]
             if not inserter.try_insert(app):
                 blocked.add(app.name)

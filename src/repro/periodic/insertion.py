@@ -18,6 +18,32 @@ constraints".  :class:`GreedyInserter` implements that first-fit search:
    until it reaches a fixed point — a handful of iterations in practice;
 4. the placement is accepted if the whole footprint fits inside the period
    and does not collide with the application's other instances.
+
+Period-validity tracking
+------------------------
+The ``(1 + eps)`` period sweep re-runs the greedy build at every period
+length, yet most consecutive periods produce the *same* placements: the
+only way a longer period ``T'`` can change a first-fit build is by turning
+one of the build's *failed* decisions into a success (a longer period only
+adds room at the right edge, so every placement that succeeded at ``T``
+succeeds identically at ``T'``).  The inserter therefore records, for every
+failure it encounters, a conservative lower bound on the period at which
+that exact decision could flip:
+
+* a candidate rejected because its compute chunk / transfer / footprint ran
+  past the period end flips no earlier than the instant it actually ended;
+* a whole find that failed could also gain *new* candidate start times at a
+  longer period (breakpoints at or beyond ``T`` become eligible); those sit
+  at ``>= T``, so they cannot help before ``T + w + vol/peak``;
+* rejections that do not involve the period at all (overlap with the
+  application's own instances, bandwidth starvation) never flip.
+
+:attr:`period_needed` is the minimum of all recorded bounds: every period
+``T' < period_needed`` provably replays the identical build, which is what
+lets :func:`repro.periodic.period_search.search_period` warm-start the
+sweep instead of rebuilding from scratch.  Windows that merely *touch* the
+period end (within ``_EPS``) also record a bound, so the equivalence proof
+never has to reason about sub-epsilon boundary classifications.
 """
 
 from __future__ import annotations
@@ -38,10 +64,24 @@ _MIN_BANDWIDTH_FRACTION = 1e-6
 
 
 class GreedyInserter:
-    """First-fit insertion of instances into a :class:`PeriodicSchedule`."""
+    """First-fit insertion of instances into a :class:`PeriodicSchedule`.
+
+    Attributes
+    ----------
+    period_needed:
+        Conservative lower bound on the smallest period at which any
+        decision taken so far would change (``inf`` until a period-limited
+        failure is seen).  See the module docstring.
+    """
 
     def __init__(self, schedule: PeriodicSchedule):
         self.schedule = schedule
+        self.period_needed: float = math.inf
+
+    def _note(self, bound: float) -> None:
+        """Record that a decision could flip once the period reaches ``bound``."""
+        if bound < self.period_needed:
+            self.period_needed = bound
 
     # ------------------------------------------------------------------ #
     def try_insert(self, app: Application) -> bool:
@@ -58,38 +98,57 @@ class GreedyInserter:
 
     def find_placement(self, app: Application) -> Optional[ScheduledInstance]:
         """Earliest feasible placement of the next instance of ``app``."""
-        if app.name not in {a.name for a in self.schedule.applications}:
+        if app.name not in self.schedule:
             raise ValidationError(
                 f"application {app.name!r} is not part of this periodic schedule"
             )
         work = app.instances[0].work
         volume = app.instances[0].io_volume
+        # The app's own occupancy spans are fixed for the whole scan.
+        own = [
+            (inst.compute_start, inst.end)
+            for inst in self.schedule.instances_of(app.name)
+        ]
         candidates = self._candidate_starts(app)
         for start in candidates:
-            placement = self._evaluate_candidate(app, start, work, volume)
+            placement = self._evaluate_candidate(app, own, start, work, volume)
             if placement is not None:
                 return placement
+        # Overall failure: a longer period exposes new candidate starts (the
+        # breakpoints at or beyond the current period end, which sit at
+        # >= period - _EPS).  None of them can host this instance before
+        # period + work + minimal-transfer-time.
+        period = self.schedule.period
+        peak = self.schedule.platform.peak_application_bandwidth(app.processors)
+        min_io = volume / peak if (volume > _EPS and peak > 0) else 0.0
+        self._note(period + work + min_io - 2.0 * _EPS)
         return None
 
     # ------------------------------------------------------------------ #
     def _candidate_starts(self, app: Application) -> list[float]:
         """Sorted candidate compute-start times (0 plus every breakpoint)."""
-        points = set(self.schedule.breakpoints())
+        points = set(self.schedule._breakpoints())
         points.add(0.0)
         # The end of the application's own instances are natural candidates
         # (chaining instances back to back), already included via breakpoints.
         return sorted(p for p in points if p < self.schedule.period - _EPS)
 
     def _evaluate_candidate(
-        self, app: Application, start: float, work: float, volume: float
+        self,
+        app: Application,
+        own: list[tuple[float, float]],
+        start: float,
+        work: float,
+        volume: float,
     ) -> Optional[ScheduledInstance]:
         period = self.schedule.period
-        own = self.schedule.instances_of(app.name)
 
         # Compute chunk must fit and not overlap the app's other instances.
         compute_end = start + work
-        if compute_end > period + _EPS:
-            return None
+        if compute_end > period:
+            self._note(compute_end - _EPS)
+            if compute_end > period + _EPS:
+                return None
 
         if volume <= _EPS:
             footprint_end = compute_end
@@ -109,8 +168,10 @@ class GreedyInserter:
             return None
         duration = volume / (gamma * app.processors)
         footprint_end = compute_end + duration
-        if footprint_end > period + _EPS:
-            return None
+        if footprint_end > period:
+            self._note(footprint_end - _EPS)
+            if footprint_end > period + _EPS:
+                return None
         if self._overlaps_own(own, start, footprint_end):
             return None
         return ScheduledInstance(
@@ -131,12 +192,13 @@ class GreedyInserter:
         shrinks, and the feasible bandwidth is the minimum availability over
         the window; iterate until stable.
         """
-        platform = self.schedule.platform
+        schedule = self.schedule
+        platform = schedule.platform
         beta = app.processors
-        period = self.schedule.period
+        period = schedule.period
         gamma = min(
             platform.node_bandwidth,
-            self.schedule.available_bandwidth(io_start) / beta,
+            schedule.available_bandwidth(io_start) / beta,
         )
         min_gamma = platform.node_bandwidth * _MIN_BANDWIDTH_FRACTION
         for _ in range(64):
@@ -144,11 +206,16 @@ class GreedyInserter:
                 return None
             duration = volume / (gamma * beta)
             io_end = io_start + duration
-            if io_end > period + _EPS:
-                return None
+            if io_end > period:
+                # Touching the period end makes this window's availability
+                # scan period-sensitive, so record the bound whether or not
+                # the iteration survives the hard cut-off below.
+                self._note(io_end - _EPS)
+                if io_end > period + _EPS:
+                    return None
             feasible = min(
                 platform.node_bandwidth,
-                self.schedule.min_available_bandwidth(io_start, io_end) / beta,
+                schedule.min_available_bandwidth(io_start, io_end) / beta,
             )
             if feasible >= gamma - _EPS:
                 return gamma
@@ -157,10 +224,10 @@ class GreedyInserter:
 
     @staticmethod
     def _overlaps_own(
-        own: list[ScheduledInstance], start: float, end: float
+        own: list[tuple[float, float]], start: float, end: float
     ) -> bool:
-        """True when ``[start, end)`` intersects any of the app's instances."""
-        for inst in own:
-            if start < inst.end - _EPS and inst.compute_start < end - _EPS:
+        """True when ``[start, end)`` intersects any of the app's spans."""
+        for own_start, own_end in own:
+            if start < own_end - _EPS and own_start < end - _EPS:
                 return True
         return False

@@ -9,17 +9,33 @@ solution is re-computed.  We take the best solution over all the periods."
 returns the best schedule together with the full sweep trace, so the
 ablation benchmark can show the quality/price trade-off of ``eps`` and
 ``T_max``.
+
+Warm start
+----------
+Most consecutive sweep points replay the *same* greedy build: a slightly
+longer period only adds empty room at the right edge, and unless that room
+turns one of the build's failed insertion attempts into a success, every
+placement decision is provably unchanged.  The greedy inserter tracks a
+conservative bound on the first period at which any of its decisions could
+flip (see :mod:`repro.periodic.insertion`); ``search_period`` rebuilds only
+when a sweep point crosses that bound and otherwise materializes the point
+by rescoring the cached placements under the new period
+(:meth:`~repro.periodic.schedule.PeriodicSchedule.with_period`).  The sweep
+trace, the best period and the best schedule are bit-for-bit identical to
+the naive sweep (``warm_start=False``; asserted by
+``tests/test_period_warm_start.py``) — the warm start only skips provably
+redundant greedy builds.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Literal, Sequence
+from typing import Literal, Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.platform import Platform
-from repro.periodic.heuristics import PeriodicHeuristic
+from repro.periodic.heuristics import PeriodicHeuristic, application_profiles
 from repro.periodic.schedule import PeriodicSchedule
 from repro.utils.validation import ValidationError, check_positive
 
@@ -40,12 +56,18 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class PeriodSearchResult:
-    """Outcome of a period sweep."""
+    """Outcome of a period sweep.
+
+    ``n_builds`` counts the greedy builds actually executed;
+    ``len(sweep) - n_builds`` sweep points were warm-started from a cached
+    build whose placements provably persist at the longer period.
+    """
 
     best_schedule: PeriodicSchedule
     best_period: float
     objective: Objective
     sweep: tuple[SweepPoint, ...]
+    n_builds: int = 0
 
     @property
     def best_point(self) -> SweepPoint:
@@ -78,6 +100,7 @@ def search_period(
     epsilon: float = 0.1,
     max_period: float | None = None,
     max_period_factor: float = 10.0,
+    warm_start: bool = True,
 ) -> PeriodSearchResult:
     """Sweep the period length and keep the best schedule for ``objective``.
 
@@ -95,6 +118,11 @@ def search_period(
     max_period, max_period_factor:
         The sweep stops at ``max_period``; when not given, it defaults to
         ``max_period_factor`` times the minimum period.
+    warm_start:
+        Reuse the previous greedy build for sweep points at which it
+        provably cannot change (the default; see the module docstring).
+        ``False`` rebuilds at every point — same results, used by the
+        equivalence tests and as the benchmark baseline.
     """
     check_positive("epsilon", epsilon)
     t_min = minimum_period(platform, applications)
@@ -106,14 +134,30 @@ def search_period(
     if objective not in ("system_efficiency", "dilation"):
         raise ValidationError(f"unknown objective {objective!r}")
 
+    profiles = application_profiles(platform, applications)
     best_schedule: PeriodicSchedule | None = None
     best_period = math.nan
     best_score = -math.inf
     sweep: list[SweepPoint] = []
+    cached_build: Optional[PeriodicSchedule] = None
+    cached_valid_until = -math.inf
+    n_builds = 0
 
     period = t_min
     while True:
-        schedule = heuristic.build(platform, applications, period)
+        if warm_start and cached_build is not None and period < cached_valid_until:
+            # The previous build provably replays unchanged at this period:
+            # reuse its placements and rescore them under the longer period
+            # (the summary code below is the same either way, so the sweep
+            # point is bit-for-bit what a fresh build would have produced).
+            schedule = cached_build.with_period(period)
+        else:
+            schedule, valid_until = heuristic.build_with_validity(
+                platform, applications, period, profiles=profiles
+            )
+            cached_build = schedule
+            cached_valid_until = valid_until
+            n_builds += 1
         summary = schedule.summary()
         complete = schedule.is_complete()
         sweep.append(
@@ -142,6 +186,7 @@ def search_period(
         best_period=best_period,
         objective=objective,
         sweep=tuple(sweep),
+        n_builds=n_builds,
     )
 
 

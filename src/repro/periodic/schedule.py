@@ -22,12 +22,23 @@ The paper's formalism allows wrapping; forbidding it only wastes a sliver of
 the period for a greedy first-fit heuristic and keeps the feasibility checks
 straightforward (a wrapped schedule can always be "rotated" into an unwrapped
 one with the same efficiencies when capacity is not tight at the boundary).
+
+Caching
+-------
+The greedy inserter queries ``breakpoints`` / ``io_load`` /
+``instances_of`` / ``instances_per_application`` thousands of times between
+mutations, so the schedule memoizes all of them and invalidates the caches
+in :meth:`add_instance`.  The cached values are produced by the exact same
+code (same accumulation order for the float sums), so cached and uncached
+queries are bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -133,6 +144,20 @@ class PeriodicSchedule:
         if not self._apps:
             raise ValidationError("a periodic schedule needs at least one application")
         self._instances: list[ScheduledInstance] = []
+        # Incrementally maintained indexes (insertion order preserved in
+        # _instances; per-app lists sorted by compute start; flat transfer
+        # arrays aligned with _instances for the load scans) plus the lazy
+        # caches invalidated by add_instance.
+        self._by_app: dict[str, list[ScheduledInstance]] = {
+            name: [] for name in self._apps
+        }
+        self._counts: dict[str, int] = {name: 0 for name in self._apps}
+        self._io_starts: list[float] = []
+        self._io_ends: list[float] = []
+        self._io_rates: list[float] = []
+        self._breakpoints_cache: Optional[list[float]] = None
+        self._io_load_cache: dict[float, float] = {}
+        self._segments_cache: Optional[list[tuple[float, float, float]]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -155,17 +180,11 @@ class PeriodicSchedule:
         """Instances of one application, sorted by compute start."""
         if app_name not in self._apps:
             raise KeyError(f"unknown application {app_name!r}")
-        return sorted(
-            (inst for inst in self._instances if inst.app_name == app_name),
-            key=lambda i: i.compute_start,
-        )
+        return list(self._by_app[app_name])
 
     def instances_per_application(self) -> dict[str, int]:
         """``n_per^{(k)}`` for every application (0 if never scheduled)."""
-        counts = {name: 0 for name in self._apps}
-        for inst in self._instances:
-            counts[inst.app_name] += 1
-        return counts
+        return dict(self._counts)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -217,27 +236,83 @@ class PeriodicSchedule:
                         f"adding {instance.app_name!r} would exceed B over "
                         f"[{max(start, instance.io_start):.6g}, {min(end, instance.io_end):.6g})"
                     )
+        self._append(instance)
+
+    def _append(self, instance: ScheduledInstance) -> None:
+        """Record an (already validated) instance and refresh the indexes."""
         self._instances.append(instance)
+        # insort-right on compute_start matches the former stable
+        # sorted(..., key=compute_start): equal keys keep insertion order.
+        insort(self._by_app[instance.app_name], instance,
+               key=attrgetter("compute_start"))
+        self._counts[instance.app_name] += 1
+        self._io_starts.append(instance.io_start)
+        self._io_ends.append(instance.io_start + instance.io_duration)
+        self._io_rates.append(
+            instance.io_bandwidth * self._apps[instance.app_name].processors
+        )
+        self._breakpoints_cache = None
+        self._segments_cache = None
+        if self._io_load_cache:
+            self._io_load_cache = {}
+
+    def with_period(self, period: float) -> "PeriodicSchedule":
+        """Copy of this schedule with the same placements under a new period.
+
+        The placements are shared, not re-derived — the caller asserts they
+        remain feasible (any ``period`` no smaller than the latest instance
+        end works, since a longer period only adds empty room at the end).
+        The warm-started period sweep uses this to materialize a sweep point
+        whose greedy build provably matches an earlier one.
+        """
+        clone = PeriodicSchedule(self.platform, self.applications, period)
+        for inst in self._instances:
+            if inst.end > period + _EPS:
+                raise ValidationError(
+                    f"instance of {inst.app_name!r} ends at {inst.end:.6g}, "
+                    f"beyond the new period {period:.6g}"
+                )
+        clone._instances = list(self._instances)
+        clone._by_app = {name: list(insts) for name, insts in self._by_app.items()}
+        clone._counts = dict(self._counts)
+        clone._io_starts = list(self._io_starts)
+        clone._io_ends = list(self._io_ends)
+        clone._io_rates = list(self._io_rates)
+        return clone
 
     # ------------------------------------------------------------------ #
     # Bandwidth profile
     # ------------------------------------------------------------------ #
     def breakpoints(self) -> list[float]:
         """Sorted distinct time points where the I/O load may change."""
-        points = {0.0, self.period}
-        for inst in self._instances:
-            points.add(inst.io_start)
-            points.add(inst.io_end)
-            points.add(inst.compute_start)
-            points.add(inst.compute_end)
-        return sorted(p for p in points if -_EPS <= p <= self.period + _EPS)
+        return list(self._breakpoints())
+
+    def _breakpoints(self) -> list[float]:
+        """Cached breakpoint list — internal callers must not mutate it."""
+        cached = self._breakpoints_cache
+        if cached is None:
+            points = {0.0, self.period}
+            for inst in self._instances:
+                points.add(inst.io_start)
+                points.add(inst.io_end)
+                points.add(inst.compute_start)
+                points.add(inst.compute_end)
+            cached = sorted(p for p in points if -_EPS <= p <= self.period + _EPS)
+            self._breakpoints_cache = cached
+        return cached
 
     def io_load(self, time: float) -> float:
         """Aggregate back-end bandwidth in use at ``time`` (bytes/s)."""
+        cached = self._io_load_cache.get(time)
+        if cached is not None:
+            return cached
+        # Flat-array scan in insertion order: same comparisons and the same
+        # float-addition order as summing over the instances directly.
         load = 0.0
-        for inst in self._instances:
-            if inst.io_start - _EPS <= time < inst.io_end - _EPS:
-                load += inst.io_bandwidth * self._apps[inst.app_name].processors
+        for start, end, rate in zip(self._io_starts, self._io_ends, self._io_rates):
+            if start - _EPS <= time < end - _EPS:
+                load += rate
+        self._io_load_cache[time] = load
         return load
 
     def available_bandwidth(self, time: float) -> float:
@@ -248,13 +323,56 @@ class PeriodicSchedule:
         """Minimum free back-end bandwidth over ``[start, end)``."""
         if end <= start:
             return self.platform.system_bandwidth
-        candidates = [start] + [
-            p for p in self.breakpoints() if start < p < end
-        ]
-        return min(self.available_bandwidth(t) for t in candidates)
+        # Breakpoints are sorted, so the interior points ``start < p < end``
+        # are one bisected slice of the cached list.
+        points = self._breakpoints()
+        lo = bisect_right(points, start)
+        hi = bisect_left(points, end, lo)
+        minimum = self.available_bandwidth(start)
+        for i in range(lo, hi):
+            value = self.available_bandwidth(points[i])
+            if value < minimum:
+                minimum = value
+        return minimum
 
     def _profile_segments(self, exclude: Optional[ScheduledInstance]):
         """Yield ``(start, end, load)`` segments of the current I/O profile."""
+        if exclude is None:
+            # Every caller in the repository passes exclude=None, so the full
+            # profile is cached between mutations and computed by a sweep
+            # over the transfer arrays instead of an all-instances scan per
+            # segment.  Segment mids are sorted, so the instances covering a
+            # segment are exactly those whose [io_start - eps, io_end - eps)
+            # window contains its mid — located with two bisects; summing
+            # instance contributions in insertion order per segment keeps
+            # the float accumulation identical to the direct scan.
+            cached = self._segments_cache
+            if cached is None:
+                points = self._breakpoints()
+                bounds = [
+                    (s, e)
+                    for s, e in zip(points[:-1], points[1:])
+                    if e - s > _EPS
+                ]
+                mids = [0.5 * (s + e) for s, e in bounds]
+                loads = [0.0] * len(mids)
+                starts = self._io_starts
+                ends = self._io_ends
+                rates = self._io_rates
+                for i in range(len(starts)):
+                    lo = bisect_left(mids, starts[i] - _EPS)
+                    hi = bisect_left(mids, ends[i] - _EPS)
+                    rate = rates[i]
+                    for j in range(lo, hi):
+                        loads[j] += rate
+                cached = [
+                    (s, e, load) for (s, e), load in zip(bounds, loads)
+                ]
+                self._segments_cache = cached
+            return iter(cached)
+        return self._compute_segments(exclude)
+
+    def _compute_segments(self, exclude: Optional[ScheduledInstance]):
         points = self.breakpoints()
         for start, end in zip(points[:-1], points[1:]):
             if end - start <= _EPS:
@@ -333,6 +451,10 @@ class PeriodicSchedule:
     def is_complete(self) -> bool:
         """True when every application has at least one instance in the period."""
         return all(n > 0 for n in self.instances_per_application().values())
+
+    def __contains__(self, app_name: str) -> bool:
+        """True when ``app_name`` is one of this schedule's applications."""
+        return app_name in self._apps
 
     def __len__(self) -> int:
         return len(self._instances)

@@ -15,7 +15,11 @@ Two allocation shapes cover every policy in the paper:
   behaviour when the burst buffer is full).
 
 Both return a :class:`~repro.core.allocation.BandwidthAllocation` that
-always satisfies the feasibility constraints by construction.
+always satisfies the feasibility constraints by construction.  They run
+once per scheduling event, so both are written as single flat passes over
+the candidate views — no intermediate per-iteration lists, and the final
+dict is handed to the allocation without a defensive copy (the allocators
+guarantee strictly positive float bandwidths by construction).
 """
 
 from __future__ import annotations
@@ -71,6 +75,10 @@ def favor_in_order(
     check_non_negative("total_bandwidth", total_bandwidth)
     check_non_negative("node_bandwidth", node_bandwidth)
     remaining = float(total_bandwidth)
+    # Coerce once up front: the fast allocation constructor skips the old
+    # per-value float() pass, so the caps must already be builtin floats for
+    # the stored gammas to keep the dict[str, float] invariant.
+    node_bandwidth = float(node_bandwidth)
     gammas: dict[str, float] = {}
     for view in ordered:
         if remaining <= _EPS:
@@ -89,7 +97,7 @@ def favor_in_order(
             continue
         gammas[view.name] = gamma
         remaining -= gamma * processors
-    return BandwidthAllocation(gammas)
+    return BandwidthAllocation._from_positive(gammas)
 
 
 def fair_share(
@@ -104,6 +112,15 @@ def fair_share(
     (classic max-min / water-filling on the per-processor rate).  When the
     aggregate demand fits within ``total_bandwidth`` every application simply
     runs at ``b`` per processor.
+
+    Because the per-processor cap ``b`` is uniform across applications, the
+    equal share either caps *everyone* (the demand fits — each application
+    runs at ``b``) or *no one* (each application gets the share): the
+    water-filling fixed point is reached in a single step, so saturated
+    applications never have to be re-scanned.  The generic formulation used
+    to loop and rebuild the unsatisfied list per iteration; this closed form
+    produces bit-identical allocations (pinned by
+    ``tests/test_allocation_invariants.py``) in one flat pass.
     """
     check_non_negative("total_bandwidth", total_bandwidth)
     check_non_negative("node_bandwidth", node_bandwidth)
@@ -111,25 +128,24 @@ def fair_share(
     if not views or total_bandwidth <= _EPS:
         return BandwidthAllocation.empty()
 
+    # See favor_in_order: the caps must be builtin floats before they land
+    # in the no-copy allocation dict.
+    node_bandwidth = float(node_bandwidth)
     remaining = float(total_bandwidth)
-    unsatisfied = list(views)
+    total_procs = sum(v.processors for v in views)
+    share = remaining / total_procs
     gammas: dict[str, float] = {}
-    # Water-filling: repeatedly split the remaining bandwidth equally over the
-    # processors of unsatisfied applications; applications capped at b leave
-    # the pool and free their unused share for the others.
-    while unsatisfied and remaining > _EPS:
-        total_procs = sum(v.processors for v in unsatisfied)
-        share = remaining / total_procs
-        capped = [v for v in unsatisfied if share >= node_bandwidth]
-        if not capped:
-            for v in unsatisfied:
-                gammas[v.name] = gammas.get(v.name, 0.0) + share
-            remaining = 0.0
-            break
-        for v in capped:
-            already = gammas.get(v.name, 0.0)
-            extra = node_bandwidth - already
-            gammas[v.name] = node_bandwidth
-            remaining -= extra * v.processors
-        unsatisfied = [v for v in unsatisfied if v not in capped]
-    return BandwidthAllocation({k: g for k, g in gammas.items() if g > _EPS})
+    if share >= node_bandwidth:
+        # Demand fits: every application is saturated at its I/O-card cap.
+        if node_bandwidth > _EPS:
+            for v in views:
+                gammas[v.name] = node_bandwidth
+    else:
+        # Congestion: everyone gets the same per-processor share (summed per
+        # name, matching the historical accumulate-by-name behaviour when a
+        # caller passes duplicate views).
+        for v in views:
+            gammas[v.name] = gammas.get(v.name, 0.0) + share
+        for name in [n for n, g in gammas.items() if g <= _EPS]:
+            del gammas[name]
+    return BandwidthAllocation._from_positive(gammas)

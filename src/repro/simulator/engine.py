@@ -649,11 +649,13 @@ class Simulator:
         views = tuple(
             [view_of(rt, time) for rt in runtimes.values() if rt.phase is not done]
         )
-        return SystemView(
-            time=time,
-            platform=self.platform,
-            available_bandwidth=available,
-            applications=views,
+        return SystemView._build_fast(
+            {
+                "time": time,
+                "platform": self.platform,
+                "available_bandwidth": available,
+                "applications": views,
+            }
         )
 
     def _finalize_truncated(self, runtimes: dict[str, _Runtime], time: float) -> None:

@@ -15,6 +15,7 @@ hand and inspects the returned allocation.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, runtime_checkable
 
@@ -119,6 +120,24 @@ class ApplicationView:
             return 1.0
         return min(1.0, self.achieved_efficiency / self.optimal_efficiency)
 
+    @property
+    def order_key(self) -> tuple[float, str]:
+        """``(request time or inf, name)`` — the shared deterministic tie-break.
+
+        Every heuristic ordering ends with this pair; it is computed once
+        and cached on the view, which the engine's view reuse turns into a
+        per-*event* cost instead of a per-*sort* one.  The cache only
+        depends on ``io_request_time`` and ``name``, so the engine's
+        efficiency-only view clone (which copies the ``__dict__`` wholesale)
+        can safely carry it over.
+        """
+        key = self.__dict__.get("_order_key")
+        if key is None:
+            t = self.io_request_time
+            key = (t if t is not None else math.inf, self.name)
+            self.__dict__["_order_key"] = key
+        return key
+
 
 @dataclass(frozen=True)
 class SystemView:
@@ -143,6 +162,19 @@ class SystemView:
     available_bandwidth: float
     applications: tuple[ApplicationView, ...]
 
+    @classmethod
+    def _build_fast(cls, fields: dict) -> "SystemView":
+        """Engine-internal constructor bypassing the frozen-dataclass ``__init__``.
+
+        One view is built per scheduling event; installing ``fields`` as the
+        instance ``__dict__`` skips the four guarded ``object.__setattr__``
+        calls (same trick as :meth:`ApplicationView._build_fast`).  ``fields``
+        must contain exactly the dataclass fields; the view takes ownership.
+        """
+        view = object.__new__(cls)
+        object.__setattr__(view, "__dict__", fields)
+        return view
+
     def io_candidates(self) -> tuple[ApplicationView, ...]:
         """Applications that want to perform I/O right now.
 
@@ -160,6 +192,18 @@ class SystemView:
                 if a.phase is pending or a.phase is doing
             )
             self.__dict__["_io_candidates"] = cached
+        return cached
+
+    def candidate_names(self) -> frozenset[str]:
+        """Names of the I/O candidates (memoized like :meth:`io_candidates`).
+
+        Schedulers use it to cheaply sanity-check an ordering against the
+        candidate set without rebuilding a throwaway set per allocation.
+        """
+        cached = self.__dict__.get("_candidate_names")
+        if cached is None:
+            cached = frozenset(a.name for a in self.io_candidates())
+            self.__dict__["_candidate_names"] = cached
         return cached
 
     def view(self, name: str) -> ApplicationView:

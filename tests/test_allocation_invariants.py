@@ -1,0 +1,191 @@
+"""Feasibility invariants and regression pins for the bandwidth allocators.
+
+Two jobs:
+
+* **invariants** — property-style randomized tests (hypothesis) driving
+  :func:`favor_in_order` / :func:`fair_share` with adversarial inputs
+  (single-node monsters, thousands-of-processors apps, vanishing and huge
+  back-ends) and asserting the Section 2.1 feasibility constraints on every
+  output: per-processor cap ``b``, aggregate cap ``B``, non-negativity, and
+  no allocation to applications that never asked;
+* **regression** — the flat single-pass :func:`fair_share` rewrite is
+  pinned against a literal transcription of the pre-rewrite water-filling
+  loop, element for element, so the micro-optimization provably did not
+  move a single float.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import BandwidthAllocation
+from repro.simulator.bandwidth import fair_share, favor_in_order
+from repro.simulator.interface import ApplicationPhase, ApplicationView
+
+# --------------------------------------------------------------------------- #
+# Strategies: adversarial candidate sets
+# --------------------------------------------------------------------------- #
+
+
+def _view(i: int, procs: int, remaining: float, pending: bool) -> ApplicationView:
+    phase = ApplicationPhase.IO_PENDING if pending else ApplicationPhase.COMPUTING
+    return ApplicationView(
+        name=f"app{i:05d}",
+        processors=procs,
+        phase=phase,
+        remaining_io_volume=remaining if pending else 0.0,
+        io_started=False,
+        achieved_efficiency=0.5,
+        optimal_efficiency=0.9,
+        last_io_end=-math.inf,
+        io_request_time=float(i) if pending else None,
+        instance_index=0,
+        n_instances=2,
+        total_io_transferred=0.0,
+    )
+
+
+adversarial_views = st.lists(
+    st.builds(
+        _view,
+        i=st.integers(0, 99_999),
+        procs=st.one_of(
+            st.integers(1, 4),          # tiny apps
+            st.integers(1, 50_000),     # machine-scale monsters
+        ),
+        remaining=st.one_of(
+            st.floats(1e-3, 1e0),       # nearly drained transfers
+            st.floats(1e3, 1e15),       # bulk writes
+        ),
+        pending=st.booleans(),
+    ),
+    min_size=0,
+    max_size=25,
+    unique_by=lambda v: v.name,
+)
+
+bandwidths = st.one_of(
+    st.floats(0.0, 1e-9),     # vanishing
+    st.floats(1e-3, 1e6),     # node-card scale
+    st.floats(1e6, 1e12),     # back-end scale
+)
+
+
+def _assert_feasible(
+    allocation: BandwidthAllocation,
+    views: list[ApplicationView],
+    node_bandwidth: float,
+    total_bandwidth: float,
+) -> None:
+    candidates = {v.name for v in views if v.wants_io}
+    total = 0.0
+    for name, gamma in allocation.per_processor_bandwidth.items():
+        assert name in candidates, f"{name} never asked for I/O"
+        assert gamma > 0.0, "allocations must be strictly positive"
+        assert gamma <= node_bandwidth * (1 + 1e-9), "per-processor cap violated"
+        procs = next(v.processors for v in views if v.name == name)
+        total += procs * gamma
+    assert total <= total_bandwidth * (1 + 1e-9), "back-end cap violated"
+
+
+# --------------------------------------------------------------------------- #
+# Invariants
+# --------------------------------------------------------------------------- #
+
+
+class TestFeasibilityInvariants:
+    @given(views=adversarial_views, b=bandwidths, total=bandwidths)
+    @settings(max_examples=200, deadline=None)
+    def test_favor_in_order_is_always_feasible(self, views, b, total):
+        ordered = [v for v in views if v.wants_io]
+        allocation = favor_in_order(ordered, node_bandwidth=b, total_bandwidth=total)
+        _assert_feasible(allocation, views, b, total)
+
+    @given(views=adversarial_views, b=bandwidths, total=bandwidths)
+    @settings(max_examples=200, deadline=None)
+    def test_fair_share_is_always_feasible(self, views, b, total):
+        allocation = fair_share(views, node_bandwidth=b, total_bandwidth=total)
+        _assert_feasible(allocation, views, b, total)
+
+    @given(views=adversarial_views, b=bandwidths, total=bandwidths)
+    @settings(max_examples=100, deadline=None)
+    def test_fair_share_skips_non_candidates(self, views, b, total):
+        allocation = fair_share(views, node_bandwidth=b, total_bandwidth=total)
+        for v in views:
+            if not v.wants_io:
+                assert v.name not in allocation
+
+    @given(views=adversarial_views, b=bandwidths, total=bandwidths)
+    @settings(max_examples=100, deadline=None)
+    def test_favor_in_order_is_work_conserving_or_capped(self, views, b, total):
+        """Either every candidate is served at its cap, or B is exhausted."""
+        ordered = [v for v in views if v.wants_io]
+        allocation = favor_in_order(ordered, node_bandwidth=b, total_bandwidth=total)
+        served_rate = sum(
+            v.processors * allocation.gamma(v.name) for v in ordered
+        )
+        all_capped = all(
+            allocation.gamma(v.name) >= min(b, total / v.processors) * (1 - 1e-9)
+            or allocation.gamma(v.name) == 0.0
+            for v in ordered
+        )
+        exhausted = served_rate >= total * (1 - 1e-6)
+        trivially_empty = not ordered or total <= 1e-12 or b <= 1e-12
+        assert all_capped or exhausted or trivially_empty
+
+
+# --------------------------------------------------------------------------- #
+# Regression pin: the single-pass fair_share == the historical loop
+# --------------------------------------------------------------------------- #
+
+
+def _fair_share_reference(candidates, node_bandwidth, total_bandwidth):
+    """Literal transcription of the pre-rewrite water-filling loop."""
+    _EPS = 1e-12
+    views = [v for v in candidates if v.wants_io]
+    if not views or total_bandwidth <= _EPS:
+        return {}
+    remaining = float(total_bandwidth)
+    unsatisfied = list(views)
+    gammas: dict[str, float] = {}
+    while unsatisfied and remaining > _EPS:
+        total_procs = sum(v.processors for v in unsatisfied)
+        share = remaining / total_procs
+        capped = [v for v in unsatisfied if share >= node_bandwidth]
+        if not capped:
+            for v in unsatisfied:
+                gammas[v.name] = gammas.get(v.name, 0.0) + share
+            remaining = 0.0
+            break
+        for v in capped:
+            already = gammas.get(v.name, 0.0)
+            extra = node_bandwidth - already
+            gammas[v.name] = node_bandwidth
+            remaining -= extra * v.processors
+        unsatisfied = [v for v in unsatisfied if v not in capped]
+    return {k: g for k, g in gammas.items() if g > _EPS}
+
+
+class TestFairShareRegression:
+    @given(views=adversarial_views, b=bandwidths, total=bandwidths)
+    @settings(max_examples=300, deadline=None)
+    def test_allocations_bitwise_unchanged(self, views, b, total):
+        new = fair_share(views, node_bandwidth=b, total_bandwidth=total)
+        old = _fair_share_reference(views, node_bandwidth=b, total_bandwidth=total)
+        assert dict(new.per_processor_bandwidth) == old
+
+    def test_congested_equal_share(self):
+        views = [_view(i, procs=10, remaining=1e9, pending=True) for i in range(4)]
+        allocation = fair_share(views, node_bandwidth=1e6, total_bandwidth=2e7)
+        # 40 processors over 2e7 B/s -> 5e5 B/s each, below the 1e6 cap.
+        assert all(
+            allocation.gamma(v.name) == 2e7 / 40 for v in views
+        )
+
+    def test_uncongested_all_capped(self):
+        views = [_view(i, procs=5, remaining=1e9, pending=True) for i in range(3)]
+        allocation = fair_share(views, node_bandwidth=1e6, total_bandwidth=1e9)
+        assert all(allocation.gamma(v.name) == 1e6 for v in views)

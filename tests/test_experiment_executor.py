@@ -1,0 +1,158 @@
+"""The persistent :class:`ExperimentExecutor` and its determinism contract.
+
+Three concerns:
+
+* **identity** — maps through an executor (serial, pooled, shared-payload,
+  reused across calls) return element-for-element what the plain serial
+  loop returns, and a pooled ``run_spec`` payload is byte-identical to the
+  serial one (the ISSUE 4 acceptance criterion, same contract as
+  ``tests/test_config_spec.py``);
+* **reuse** — one pool serves many maps; it is spawned lazily and at most
+  once, and serial executors never spawn at all;
+* **ergonomics** — progress callbacks fire per item in submission order,
+  closed executors refuse work.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.throughput import throughput_decrease_study
+from repro.config import load_spec, run_spec
+from repro.core.application import Application
+from repro.core.platform import Platform
+from repro.core.scenario import Scenario
+from repro.experiments.runner import (
+    ExperimentExecutor,
+    SchedulerCase,
+    map_parallel,
+    run_grid,
+)
+from repro.utils.validation import ValidationError
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _scale(shared: int, x: int) -> int:
+    return shared * x
+
+
+def _grid_axes() -> tuple[list[Scenario], list[SchedulerCase]]:
+    platform = Platform(
+        name="executor-test",
+        total_processors=100,
+        node_bandwidth=1e6,
+        system_bandwidth=1e7,
+    )
+    scenarios = []
+    for i in range(3):
+        apps = tuple(
+            Application.periodic(
+                name=f"app{i}{j}",
+                processors=20 + 5 * j,
+                work=40.0 + 10.0 * i,
+                io_volume=3e8 + 1e8 * j,
+                n_instances=2,
+            )
+            for j in range(3)
+        )
+        scenarios.append(
+            Scenario(platform=platform, applications=apps, label=f"s{i}")
+        )
+    cases = [SchedulerCase(name=n) for n in ("FairShare", "MaxSysEff")]
+    return scenarios, cases
+
+
+class TestExecutorMap:
+    def test_serial_inline_without_pool(self):
+        with ExperimentExecutor(workers=None) as pool:
+            assert pool.n_workers == 1
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+            assert pool._pool is None  # never spawned
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_matches_serial(self, workers):
+        items = list(range(17))
+        with ExperimentExecutor(workers=workers) as pool:
+            assert pool.map(_square, items) == [x * x for x in items]
+
+    def test_shared_payload_serial_and_parallel(self):
+        items = list(range(11))
+        expected = [3 * x for x in items]
+        with ExperimentExecutor(workers=None) as pool:
+            assert pool.map(_scale, items, shared=3) == expected
+        with ExperimentExecutor(workers=2) as pool:
+            assert pool.map(_scale, items, shared=3) == expected
+
+    def test_pool_reused_across_maps(self):
+        with ExperimentExecutor(workers=2) as pool:
+            assert pool._pool is None
+            pool.map(_square, [1, 2, 3, 4])
+            first = pool._pool
+            assert first is not None
+            pool.map(_scale, [5, 6, 7], shared=2)
+            assert pool._pool is first
+
+    def test_progress_in_submission_order(self):
+        seen: list[tuple[int, int, int]] = []
+        with ExperimentExecutor(workers=2) as pool:
+            pool.map(
+                _square,
+                [3, 1, 4, 1, 5],
+                progress=lambda i, item, r: seen.append((i, item, r)),
+            )
+        assert seen == [(0, 3, 9), (1, 1, 1), (2, 4, 16), (3, 1, 1), (4, 5, 25)]
+
+    def test_closed_executor_refuses_work(self):
+        pool = ExperimentExecutor(workers=2)
+        pool.close()
+        with pytest.raises(ValidationError, match="closed"):
+            pool.map(_square, [1])
+
+    def test_map_parallel_with_executor_ignores_workers(self):
+        with ExperimentExecutor(workers=None) as pool:
+            out = map_parallel(_square, [2, 3], workers=4, executor=pool)
+        assert out == [4, 9]
+
+
+class TestGridThroughExecutor:
+    def test_run_grid_identical_serial_vs_pooled_executor(self):
+        scenarios, cases = _grid_axes()
+        serial = run_grid(scenarios, cases)
+        with ExperimentExecutor(workers=2) as pool:
+            pooled = run_grid(scenarios, cases, executor=pool)
+            again = run_grid(scenarios, cases, executor=pool)  # pool reuse
+        assert pooled.cases == serial.cases
+        assert again.cases == serial.cases
+
+    def test_throughput_study_identical_serial_vs_pooled(self):
+        kwargs = dict(applications_per_batch=4, release_spread=0.2, rng=7)
+        serial = throughput_decrease_study(8, **kwargs)
+        with ExperimentExecutor(workers=2) as pool:
+            pooled = throughput_decrease_study(8, executor=pool, **kwargs)
+        assert pooled == serial
+
+
+class TestSpecRunsByteIdentical:
+    """Pooled end-to-end spec runs == serial ones, byte for byte."""
+
+    @pytest.mark.parametrize(
+        "spec_path",
+        [
+            "examples/specs/analysis_figures.toml",
+            "examples/specs/periodic.toml",
+        ],
+    )
+    def test_bundled_spec_pooled_identical(self, spec_path):
+        spec = load_spec(spec_path)
+        serial = run_spec(spec)
+        pooled = run_spec(spec.with_overrides(workers=2))
+        assert json.dumps(pooled.payload, sort_keys=True) == json.dumps(
+            serial.payload, sort_keys=True
+        )
+        assert pooled.records == serial.records
+        assert pooled.text == serial.text

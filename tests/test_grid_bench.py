@@ -1,0 +1,99 @@
+"""The end-to-end experiment benchmark (``BENCH_grid.json``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config.loader import load_spec
+from repro.config.spec import AnalysisSpec, PeriodicSpec
+from repro.experiments.grid_bench import (
+    DEFAULT_BENCH_SPECS,
+    bench_spec_path,
+    grid_bench_broken,
+    measure_period_sweep,
+    run_grid_bench,
+    scaled_spec,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestSpecPathAndScaling:
+    def test_bundled_names_resolve(self):
+        for name in DEFAULT_BENCH_SPECS:
+            path = bench_spec_path(name)
+            assert path.is_file(), path
+            load_spec(path)  # parses cleanly
+
+    def test_explicit_path_passes_through(self):
+        assert str(bench_spec_path("foo/bar.toml")) == "foo/bar.toml"
+
+    def test_scale_one_is_identity(self):
+        spec = load_spec(bench_spec_path("analysis_figures"))
+        assert scaled_spec(spec, 1) is spec
+
+    def test_analysis_scaling(self):
+        spec = load_spec(bench_spec_path("analysis_figures"))
+        scaled = scaled_spec(spec, 3)
+        assert isinstance(scaled.body, AnalysisSpec)
+        assert (
+            scaled.body.figure1.n_applications
+            == 3 * spec.body.figure1.n_applications
+        )
+        assert (
+            scaled.body.figure7.n_repetitions
+            == 3 * spec.body.figure7.n_repetitions
+        )
+        # Everything else untouched.
+        assert scaled.body.figure5 == spec.body.figure5
+        assert scaled.seed == spec.seed
+
+    def test_periodic_scaling(self):
+        spec = load_spec(bench_spec_path("periodic"))
+        scaled = scaled_spec(spec, 4)
+        assert isinstance(scaled.body, PeriodicSpec)
+        assert scaled.body.epsilon == spec.body.epsilon / 4
+
+    def test_scale_must_be_positive(self):
+        spec = load_spec(bench_spec_path("periodic"))
+        with pytest.raises(ValidationError):
+            scaled_spec(spec, 0)
+
+
+class TestGridBenchPayload:
+    def test_smoke_payload_shape_and_identity(self):
+        payload = run_grid_bench(scale=1, workers=2)
+        assert payload["benchmark"] == "experiment_grid"
+        assert {entry["spec"] for entry in payload["specs"]} == set(
+            DEFAULT_BENCH_SPECS
+        )
+        for entry in payload["specs"]:
+            assert entry["identical"] is True
+            assert entry["n_cells"] > 0
+            assert entry["serial"]["seconds"] > 0
+            assert entry["pooled"]["seconds"] > 0
+            assert entry["serial"]["cells_per_sec"] > 0
+            assert entry["pooled"]["cells_per_sec"] > 0
+        sweeps = payload["period_sweep"]["sweeps"]
+        assert {s["heuristic"] for s in sweeps} == {"throughput", "congestion"}
+        for s in sweeps:
+            assert s["identical"] is True
+            assert 0 < s["n_builds_warm"] <= s["n_sweep_points"]
+            assert s["naive"]["sweep_points_per_sec"] > 0
+            assert s["warm"]["sweep_points_per_sec"] > 0
+        assert grid_bench_broken(payload) == []
+        json.dumps(payload)  # JSON-serializable as written
+
+    def test_broken_detection(self):
+        payload = {
+            "specs": [{"spec": "a", "identical": False}],
+            "period_sweep": {
+                "sweeps": [{"heuristic": "throughput", "identical": False}]
+            },
+        }
+        assert grid_bench_broken(payload) == ["a", "period-sweep:throughput"]
+
+    def test_sweep_bench_rejects_non_periodic_spec(self):
+        with pytest.raises(ValidationError, match="periodic"):
+            measure_period_sweep(spec_name="analysis_figures")
