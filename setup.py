@@ -37,6 +37,9 @@ setup(
         # The tier-1 suite hard-imports both (tests/test_properties.py and
         # tests/test_allocation_invariants.py fuzz the core invariants).
         "test": ["pytest", "hypothesis"],
+        # `repro report` renders PNG figures with matplotlib when available
+        # and falls back to text charts without it.
+        "plots": ["matplotlib"],
     },
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -1,10 +1,19 @@
 """``repro`` — the unified command-line entry point of the reproduction.
 
-Five subcommands cover the whole surface:
+Seven subcommands cover the whole surface:
 
 * ``repro run <spec>`` — execute a declarative scenario/experiment spec
   (TOML or JSON; see ``docs/scenarios.md`` and ``examples/specs/``);
-* ``repro validate <spec>`` — schema-check a spec without running it;
+  results are memoized in the content-addressed result store
+  (``--no-cache`` / ``--store PATH``; see ``docs/artifacts.md``), so
+  reruns of unchanged specs execute zero simulations and interrupted
+  campaigns resume from the cells that already landed;
+* ``repro validate <spec> [<spec> ...]`` / ``repro validate --all DIR`` —
+  schema-check specs without running them;
+* ``repro report <spec> [...]`` — render the paper figures of one or more
+  specs (served from the store when cached) into a self-contained
+  HTML/Markdown artifact report;
+* ``repro store info|gc|clear`` — inspect and evict the result store;
 * ``repro quickstart`` — a 30-second built-in demo (four applications
   competing for a shared file system under five schedulers);
 * ``repro bench`` — the engine-scaling benchmark, writing the
@@ -19,6 +28,7 @@ without installation as ``PYTHONPATH=src python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -33,12 +43,35 @@ from repro.config import (
     run_spec,
     write_result,
 )
+from repro.store import ResultStore
 from repro.utils.validation import ValidationError
 
 __all__ = ["main", "build_parser"]
 
 #: Specs bundled with the repository, relative to the repo root.
 DEFAULT_SPECS_DIR = Path("examples") / "specs"
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared result-store knobs of ``run`` and ``report``."""
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "memoize cells/studies in the content-addressed result store "
+            "(default: on; --no-cache recomputes everything and stores "
+            "nothing)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "result-store location (default: $REPRO_STORE or ~/.cache/repro)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,15 +139,133 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment runs (long campaigns are otherwise silent until done)"
         ),
     )
+    _add_store_arguments(run)
+    run.add_argument(
+        "--require-cached",
+        action="store_true",
+        help=(
+            "fail (exit 2) unless every cell/study was served from the "
+            "result store — CI's 'second run performs zero simulation "
+            "work' assertion"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     validate = sub.add_parser(
         "validate",
-        help="parse and validate a spec without running it",
-        description="Exit 0 if the spec is well-formed, 2 with a message otherwise.",
+        help="parse and validate specs without running them",
+        description=(
+            "Exit 0 if every given spec is well-formed, 2 with one message "
+            "per broken spec otherwise.  Paths and --all compose."
+        ),
     )
-    validate.add_argument("spec", help="path to the spec file (.toml or .json)")
+    validate.add_argument(
+        "specs",
+        nargs="*",
+        metavar="spec",
+        help="spec files to validate (.toml or .json)",
+    )
+    validate.add_argument(
+        "--all",
+        dest="all_dir",
+        metavar="DIR",
+        default=None,
+        help="also validate every .toml/.json spec under DIR",
+    )
     validate.set_defaults(func=_cmd_validate)
+
+    report = sub.add_parser(
+        "report",
+        help="render paper figures + a self-contained HTML/Markdown report",
+        description=(
+            "Run one or more specs through the result store (cached "
+            "campaigns are served without simulating anything) and render "
+            "their figures — matplotlib PNGs when installed, text charts "
+            "otherwise — into reports/report.html (and/or report.md)."
+        ),
+    )
+    report.add_argument(
+        "specs",
+        nargs="*",
+        metavar="spec",
+        help="spec files to render (.toml or .json)",
+    )
+    report.add_argument(
+        "--all",
+        dest="all_dir",
+        metavar="DIR",
+        default=None,
+        help="also render every .toml/.json spec under DIR",
+    )
+    report.add_argument(
+        "--out-dir",
+        default="reports",
+        metavar="DIR",
+        help="directory receiving report.html / report.md / figures "
+             "(default: %(default)s)",
+    )
+    report.add_argument(
+        "--format",
+        choices=("html", "markdown", "both"),
+        default="html",
+        help="report flavour(s) to write (default: %(default)s)",
+    )
+    report.add_argument(
+        "--text",
+        action="store_true",
+        help="force text charts even when matplotlib is installed",
+    )
+    report.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-spec/per-cell status lines to stderr",
+    )
+    _add_store_arguments(report)
+    report.set_defaults(func=_cmd_report)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect or evict the content-addressed result store",
+        description=(
+            "The result store memoizes every experiment cell/study "
+            "(~/.cache/repro, or REPRO_STORE, or --store PATH; see "
+            "docs/artifacts.md)."
+        ),
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info", help="entry count, disk usage and location of the store"
+    )
+    store_info.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="evict entries by age and/or least-recently-used budgets",
+        description=(
+            "Hits refresh an entry's mtime, so --max-age-days keeps live "
+            "cells; --max-entries/--max-bytes then trim LRU-first."
+        ),
+    )
+    store_gc.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="drop entries not touched within DAYS",
+    )
+    store_gc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="keep at most N entries (LRU eviction)",
+    )
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="keep at most BYTES on disk (LRU eviction)",
+    )
+    store_clear = store_sub.add_parser("clear", help="remove every entry")
+    for sub_parser in (store_info, store_gc, store_clear):
+        sub_parser.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="store location (default: $REPRO_STORE or ~/.cache/repro)",
+        )
+    store.set_defaults(func=_cmd_store)
 
     quickstart = sub.add_parser(
         "quickstart",
@@ -223,18 +374,72 @@ def _cmd_run(args: argparse.Namespace) -> int:
             except OSError:
                 pass
 
-    result = run_spec(spec, progress=progress)
+    store = _open_store(args)
+    result = run_spec(spec, progress=progress, store=store)
+    if args.require_cached:
+        misses = result.store_stats["misses"] if store is not None else None
+        if store is None or misses:
+            raise SpecError(
+                "--require-cached: "
+                + (
+                    "caching is disabled (--no-cache)"
+                    if store is None
+                    else f"{misses} cell(s)/study(ies) were computed instead "
+                         f"of served from the store at {store.root}"
+                )
+            )
     # Persist before printing: a BrokenPipeError from stdout (`... | head`)
     # must never discard the artefact of a completed run.
     written = write_result(result, path=args.out, format=args.format)
     if not args.quiet:
         print(result.text)
+        _print_store_line(store, result.store_stats)
     if written is not None:
         print(f"wrote {written}")
     return 0
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The result store selected by ``--cache``/``--no-cache``/``--store``."""
+    if not args.cache:
+        if args.store is not None:
+            raise SpecError("--store has no effect with --no-cache")
+        return None
+    return ResultStore(args.store)
+
+
+def _print_store_line(
+    store: Optional[ResultStore], stats: Optional[dict]
+) -> None:
+    if store is None or stats is None:
+        return
+    corrupt = f", {stats['corrupt']} corrupt" if stats["corrupt"] else ""
+    print(
+        f"store: {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['writes']} writes{corrupt} "
+        f"(hit rate {100.0 * stats['hit_rate']:.1f}%) — {store.root}"
+    )
+
+
+def _collect_spec_paths(args: argparse.Namespace) -> list[str]:
+    """Explicit paths plus ``--all DIR`` expansion, in a stable order."""
+    paths = [str(p) for p in args.specs]
+    if args.all_dir is not None:
+        specs_dir = Path(args.all_dir)
+        if not specs_dir.is_dir():
+            raise SpecError(f"--all: {specs_dir} is not a directory")
+        found = sorted(specs_dir.glob("*.toml")) + sorted(specs_dir.glob("*.json"))
+        if not found:
+            raise SpecError(f"--all: no .toml/.json specs under {specs_dir}")
+        paths.extend(str(p) for p in found)
+    # A spec named both explicitly and via --all must not run/render twice.
+    paths = list(dict.fromkeys(paths))
+    if not paths:
+        raise SpecError("give at least one spec path (or --all DIR)")
+    return paths
+
+
+def _validate_one(spec_path: str):
     from repro.config import (
         build_cases,
         build_grid_scenarios,
@@ -243,7 +448,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     )
     from repro.config.spec import AnalysisSpec, GridSpec, PeriodicSpec
 
-    spec = load_spec(args.spec)
+    spec = load_spec(spec_path)
     # Parsing alone misses the deterministic build-time checks (duplicate
     # labels, burst-buffer platform constraints, periodic application
     # construction); run them too, so exit 0 really means "repro run will
@@ -255,7 +460,90 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         build_periodic_setup(spec.body, spec.seed)
     elif isinstance(spec.body, AnalysisSpec):
         build_platform(spec.body.platform)
-    print(f"OK: {args.spec} — experiment {spec.name!r}, kind {spec.kind!r}")
+    return spec
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for spec_path in _collect_spec_paths(args):
+        # Validate every spec even after a failure: CI should surface all
+        # broken specs in one pass, with one path-prefixed message each.
+        try:
+            spec = _validate_one(spec_path)
+        except ValidationError as exc:
+            print(f"error: {spec_path}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"OK: {spec_path} — experiment {spec.name!r}, kind {spec.kind!r}")
+    return 2 if failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import build_report
+
+    progress = None
+    if args.progress:
+        def progress(message: str) -> None:
+            try:
+                print(message, file=sys.stderr, flush=True)
+            except OSError:
+                pass
+
+    formats = ("html", "markdown") if args.format == "both" else (args.format,)
+    result = build_report(
+        _collect_spec_paths(args),
+        store=_open_store(args),
+        out_dir=args.out_dir,
+        formats=formats,
+        force_text=args.text,
+        progress=progress,
+    )
+    backend = "matplotlib" if result.used_matplotlib else "text charts"
+    for section in result.sections:
+        stats = section.result.store_stats
+        served = (
+            f" ({stats['hits']} hits, {stats['misses']} misses)"
+            if stats is not None
+            else ""
+        )
+        print(
+            f"rendered {section.result.spec.name}: "
+            f"{len(section.figures)} figure(s) via {backend}{served}"
+        )
+    for path in result.report_paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.store_command == "info":
+        info = store.info()
+        if args.json:
+            print(json.dumps(info, indent=2))
+        else:
+            print(f"store:   {info['path']} (format {info['format']})")
+            print(f"entries: {info['entries']}")
+            print(f"size:    {info['total_bytes']} bytes")
+    elif args.store_command == "gc":
+        if (
+            args.max_age_days is None
+            and args.max_entries is None
+            and args.max_bytes is None
+        ):
+            raise SpecError(
+                "store gc needs at least one budget: --max-age-days, "
+                "--max-entries and/or --max-bytes"
+            )
+        removed = store.gc(
+            max_age_days=args.max_age_days,
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+        )
+        print(f"evicted {removed} entries from {store.root}")
+    else:
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
     return 0
 
 

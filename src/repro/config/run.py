@@ -18,7 +18,7 @@ or the :mod:`repro.analysis` studies for ``analysis`` specs) and returns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -60,6 +60,13 @@ from repro.experiments.reporting import (
 from repro.experiments.runner import ExperimentExecutor, SchedulerCase, run_grid
 from repro.experiments.vesta import vesta_experiment
 from repro.periodic.period_search import search_period
+from repro.store import (
+    ResultStore,
+    StoreStats,
+    canonical_json,
+    code_fingerprint,
+    digest,
+)
 from repro.utils.rng import spawn_rngs
 from repro.workload.darshan import generate_records
 
@@ -79,6 +86,10 @@ class SpecRunResult:
     payload: dict
     records: list[dict]
     text: str
+    #: Hit/miss counters of the attached result store for this run (``None``
+    #: when the run was uncached).  Deliberately *not* part of ``payload``:
+    #: a cached rerun must stay byte-identical to the cold run it replays.
+    store_stats: Optional[dict] = None
 
     def write(self, path: Optional[str] = None, format: Optional[str] = None) -> Optional[Path]:
         """Write the results to disk; see :func:`write_result`."""
@@ -118,11 +129,12 @@ def _run_grid_spec(
     body: GridSpec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     scenarios = build_grid_scenarios(body, spec.seed)
     cases = build_cases(body)
     grid = run_grid(scenarios, cases, max_time=spec.max_time,
-                    progress=progress, executor=executor)
+                    progress=progress, executor=executor, store=store)
     records = grid_records(grid)
     averages = grid.averages()
     payload = {
@@ -154,6 +166,7 @@ def _run_figure6_spec(
     body: Figure6Spec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     platform = build_platform(body.platform) if body.platform is not None else None
     records: list[dict] = []
@@ -169,6 +182,7 @@ def _run_figure6_spec(
             max_time=spec.max_time,
             progress=progress,
             executor=executor,
+            store=store,
         )
         if progress is not None:
             progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
@@ -206,6 +220,7 @@ def _run_congested_spec(
     body: CongestedMomentsSpec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     result = congested_moments_experiment(
         body.machine,
@@ -216,6 +231,7 @@ def _run_congested_spec(
         max_time=spec.max_time,
         progress=progress,
         executor=executor,
+        store=store,
     )
     records = grid_records(result.grid)
     averages = result.grid.averages()
@@ -245,6 +261,7 @@ def _run_vesta_spec(
     body: VestaSpec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     if spec.max_time != float("inf"):
         # Vesta cells are overhead-scored against their full execution
@@ -263,6 +280,7 @@ def _run_vesta_spec(
         rng=spec.seed,
         progress=progress,
         executor=executor,
+        store=store,
     )
     records = [
         {
@@ -299,6 +317,7 @@ def _run_periodic_spec(
     body: PeriodicSpec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     if spec.max_time != float("inf"):
         # Parse-time rejection covers the spec file; this covers a CLI
@@ -314,40 +333,64 @@ def _run_periodic_spec(
     records: list[dict] = []
     rows: list[list[object]] = []
     periodic_payload: dict[str, dict] = {}
+    # The period sweep is a *study*, not a grid of independent simulations,
+    # so it memoizes as one unit per heuristic: the key digests the built
+    # platform + applications (capturing the seed-derived mix), the sweep
+    # knobs and the producing-code fingerprint.
+    study_prefix = None
+    if store is not None:
+        study_prefix = digest(
+            "periodic-study",
+            code_fingerprint(),
+            canonical_json(platform),
+            canonical_json(applications),
+            body.epsilon,
+            body.max_period,
+            body.max_period_factor,
+        )
     for key in body.heuristics:
         heuristic_cls, objective = PERIODIC_HEURISTIC_TABLE[key]
-        heuristic = heuristic_cls()
-        result = search_period(
-            heuristic,
-            platform,
-            applications,
-            objective=objective,
-            epsilon=body.epsilon,
-            max_period=body.max_period,
-            max_period_factor=body.max_period_factor,
-        )
-        summary = result.best_schedule.summary()
-        counts = result.best_schedule.instances_per_application()
-        periodic_payload[key] = {
-            "heuristic": heuristic.name,
-            "objective": objective,
-            "best_period": result.best_period,
-            "system_efficiency": summary.system_efficiency,
-            "dilation": summary.dilation,
-            "n_instances_per_period": sum(counts.values()),
-            "complete": result.best_schedule.is_complete(),
-            "sweep": [
-                {
-                    "period": point.period,
-                    "system_efficiency": point.system_efficiency,
-                    "dilation": point.dilation,
-                    "complete": point.complete,
-                }
-                for point in result.sweep
-            ],
-        }
-        records.append(
-            {
+        cached = None
+        study_key = None
+        if study_prefix is not None:
+            study_key = digest(study_prefix, key, objective)
+            cached = store.get(study_key)
+        if cached is not None:
+            fragment = cached["fragment"]
+            record = cached["record"]
+            row = cached["row"]
+        else:
+            heuristic = heuristic_cls()
+            result = search_period(
+                heuristic,
+                platform,
+                applications,
+                objective=objective,
+                epsilon=body.epsilon,
+                max_period=body.max_period,
+                max_period_factor=body.max_period_factor,
+            )
+            summary = result.best_schedule.summary()
+            counts = result.best_schedule.instances_per_application()
+            fragment = {
+                "heuristic": heuristic.name,
+                "objective": objective,
+                "best_period": result.best_period,
+                "system_efficiency": summary.system_efficiency,
+                "dilation": summary.dilation,
+                "n_instances_per_period": sum(counts.values()),
+                "complete": result.best_schedule.is_complete(),
+                "sweep": [
+                    {
+                        "period": point.period,
+                        "system_efficiency": point.system_efficiency,
+                        "dilation": point.dilation,
+                        "complete": point.complete,
+                    }
+                    for point in result.sweep
+                ],
+            }
+            record = {
                 "mode": "periodic",
                 "scheduler": heuristic.name,
                 "objective": objective,
@@ -355,19 +398,24 @@ def _run_periodic_spec(
                 "dilation": summary.dilation,
                 "period": result.best_period,
             }
-        )
-        rows.append(
-            [
+            row = [
                 f"{heuristic.name} (periodic)",
                 percent(summary.system_efficiency),
                 ratio(summary.dilation),
                 ratio(result.best_period),
             ]
-        )
+            if study_key is not None:
+                store.put(
+                    study_key,
+                    {"fragment": fragment, "record": record, "row": row},
+                )
+        periodic_payload[key] = fragment
+        records.append(record)
+        rows.append(row)
         if progress is not None:
             progress(
-                f"periodic {key}: swept {len(result.sweep)} periods, "
-                f"best T = {result.best_period:.6g} s"
+                f"periodic {key}: swept {len(fragment['sweep'])} periods, "
+                f"best T = {fragment['best_period']:.6g} s"
             )
 
     online_payload: dict[str, dict] = {}
@@ -387,6 +435,7 @@ def _run_periodic_spec(
             cases,
             progress=progress,
             executor=executor,
+            store=store,
         )
         for case in grid.cases:
             online_payload[case.scheduler_label] = {
@@ -660,6 +709,7 @@ def _run_analysis_spec(
     body: AnalysisSpec,
     progress: Optional[ProgressCallback] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     platform = build_platform(body.platform)
     # Fixed seed slots: figure N always consumes child stream N of the
@@ -669,9 +719,42 @@ def _run_analysis_spec(
     figures_payload: dict[str, dict] = {}
     blocks: list[str] = []
     for figure in body.figures:
-        fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
-            spec, body, platform, slots[figure], progress, executor
-        )
+        # Each figure memoizes as one study.  The key digests the built
+        # platform, the figure's own spec fragment, the experiment seed (the
+        # slot streams derive deterministically from it) and the horizon —
+        # so a second run of an unchanged spec performs zero study work.
+        study_key = None
+        cached = None
+        if store is not None:
+            study_key = digest(
+                "analysis-study",
+                code_fingerprint(),
+                figure,
+                canonical_json(platform),
+                canonical_json(getattr(body, figure)),
+                spec.seed,
+                spec.max_time,
+            )
+            cached = store.get(study_key)
+        if cached is not None:
+            fragment = cached["fragment"]
+            figure_records = cached["records"]
+            block = cached["block"]
+            if progress is not None:
+                progress(f"{figure}: served from the result store")
+        else:
+            fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
+                spec, body, platform, slots[figure], progress, executor
+            )
+            if study_key is not None:
+                store.put(
+                    study_key,
+                    {
+                        "fragment": fragment,
+                        "records": figure_records,
+                        "block": block,
+                    },
+                )
         figures_payload[figure] = fragment
         records.extend(figure_records)
         blocks.append(block)
@@ -689,7 +772,9 @@ def _run_analysis_spec(
 
 # ---------------------------------------------------------------------- #
 def run_spec(
-    spec: ExperimentSpec, progress: Optional[ProgressCallback] = None
+    spec: ExperimentSpec,
+    progress: Optional[ProgressCallback] = None,
+    store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
     """Run one experiment spec to completion.
 
@@ -699,25 +784,47 @@ def run_spec(
     (the CLI's ``--progress`` flag) receives one human-readable line per
     completed grid cell / sweep level / figure study; it never affects
     results.
+
+    ``store`` attaches a :class:`repro.store.ResultStore`: every grid cell
+    and analysis/periodic study is served from the store when its key is
+    present and written back when computed, so a rerun of an unchanged spec
+    performs zero simulation work and an interrupted campaign resumes from
+    the cells that already landed.  Cached runs are byte-identical to cold
+    ones; the run's hit/miss counters land in
+    :attr:`SpecRunResult.store_stats` (never in the payload).
     """
     body = spec.body
+    result: Optional[SpecRunResult] = None
+    # Snapshot the handle's counters so store_stats describes *this* run
+    # even when one store serves a whole fleet of specs (repro report).
+    stats_before = replace(store.stats) if store is not None else None
     # One executor for the whole spec run: every harness below shares the
     # same lazily-spawned pool (never spawned at all for serial specs), so
     # a multi-study spec pays process start-up at most once.
     with ExperimentExecutor(spec.workers) as executor:
         if isinstance(body, GridSpec):
-            return _run_grid_spec(spec, body, progress, executor)
-        if isinstance(body, Figure6Spec):
-            return _run_figure6_spec(spec, body, progress, executor)
-        if isinstance(body, CongestedMomentsSpec):
-            return _run_congested_spec(spec, body, progress, executor)
-        if isinstance(body, VestaSpec):
-            return _run_vesta_spec(spec, body, progress, executor)
-        if isinstance(body, PeriodicSpec):
-            return _run_periodic_spec(spec, body, progress, executor)
-        if isinstance(body, AnalysisSpec):
-            return _run_analysis_spec(spec, body, progress, executor)
-    raise SpecError(f"experiment kind {spec.kind!r} has no runner")
+            result = _run_grid_spec(spec, body, progress, executor, store)
+        elif isinstance(body, Figure6Spec):
+            result = _run_figure6_spec(spec, body, progress, executor, store)
+        elif isinstance(body, CongestedMomentsSpec):
+            result = _run_congested_spec(spec, body, progress, executor, store)
+        elif isinstance(body, VestaSpec):
+            result = _run_vesta_spec(spec, body, progress, executor, store)
+        elif isinstance(body, PeriodicSpec):
+            result = _run_periodic_spec(spec, body, progress, executor, store)
+        elif isinstance(body, AnalysisSpec):
+            result = _run_analysis_spec(spec, body, progress, executor, store)
+    if result is None:
+        raise SpecError(f"experiment kind {spec.kind!r} has no runner")
+    if store is not None:
+        result.store_stats = StoreStats(
+            hits=store.stats.hits - stats_before.hits,
+            misses=store.stats.misses - stats_before.misses,
+            writes=store.stats.writes - stats_before.writes,
+            corrupt=store.stats.corrupt - stats_before.corrupt,
+            write_errors=store.stats.write_errors - stats_before.write_errors,
+        ).as_dict()
+    return result
 
 
 def write_result(

@@ -188,6 +188,16 @@ class ObjectiveSummary:
             "mean_dilation": self.mean_dilation,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "ObjectiveSummary":
+        """Inverse of :meth:`as_dict` (the result-store decode path)."""
+        return cls(
+            system_efficiency=data["system_efficiency"],
+            dilation=data["dilation"],
+            upper_limit=data["upper_limit"],
+            mean_dilation=data["mean_dilation"],
+        )
+
 
 def summarize(
     outcomes: Sequence[ApplicationOutcome], total_processors: int | None = None

@@ -26,6 +26,7 @@ from repro.experiments.runner import (
     SchedulerCase,
     run_grid,
 )
+from repro.store import ResultStore
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import ValidationError
 from repro.workload.congested import (
@@ -116,6 +117,7 @@ def figure6_experiment(
     max_time: float = float("inf"),
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> Figure6Result:
     """Reproduce one panel of Figure 6.
 
@@ -129,7 +131,9 @@ def figure6_experiment(
     are identical whatever the worker count.  ``max_time`` truncates every
     cell at a simulated-time horizon (seconds); the default runs every mix
     to completion.  ``executor`` reuses a caller-owned pool (multi-panel
-    campaigns pass one executor to every panel).
+    campaigns pass one executor to every panel).  ``store`` memoizes the
+    grid cells through the content-addressed result store (see
+    :func:`repro.experiments.runner.run_grid`).
     """
     if scenario not in FIGURE6_SCENARIOS:
         raise ValidationError(
@@ -145,7 +149,7 @@ def figure6_experiment(
     ]
     cases = [SchedulerCase(name=name) for name in schedulers]
     grid = run_grid(scenarios, cases, max_time=max_time, workers=workers,
-                    progress=progress, executor=executor)
+                    progress=progress, executor=executor, store=store)
     result = Figure6Result(scenario=scenario, n_repetitions=n_repetitions)
     for scheduler, metrics in grid.averages().items():
         result.averages[scheduler] = HeuristicAverages(
@@ -202,6 +206,7 @@ def congested_moments_experiment(
     max_time: float = float("inf"),
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> CongestedMomentsResult:
     """Reproduce the congested-moment campaigns (Tables 1–2, Figures 8–13).
 
@@ -236,5 +241,5 @@ def congested_moments_experiment(
         )
     )
     grid = run_grid(moments, cases, max_time=max_time, workers=workers,
-                    progress=progress, executor=executor)
+                    progress=progress, executor=executor, store=store)
     return CongestedMomentsResult(machine=machine, grid=grid, baseline_label=baseline)

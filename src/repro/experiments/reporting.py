@@ -17,10 +17,12 @@ Two families of helpers live here:
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence, Union
 
+from repro.utils.io import atomic_write_text
 from repro.utils.validation import ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us not)
@@ -176,14 +178,17 @@ def write_json(payload: Mapping[str, object], path: Union[str, Path]) -> Path:
 
     Non-finite floats — legal in Python, illegal in strict JSON — are
     rewritten: NaN becomes ``null``, infinities become the strings
-    ``"inf"`` / ``"-inf"``.  An unwritable path raises
+    ``"inf"`` / ``"-inf"``.  The write is atomic (temp sibling +
+    ``os.replace``), so an interrupted run can never leave a truncated
+    artefact behind — a reader sees the previous file or the complete new
+    one.  An unwritable path raises
     :class:`~repro.utils.validation.ValidationError`.
     """
     path = _writable(path)
     try:
-        path.write_text(
+        atomic_write_text(
+            path,
             json.dumps(_jsonable(dict(payload)), indent=2, sort_keys=False) + "\n",
-            encoding="utf-8",
         )
     except OSError as exc:
         raise ValidationError(f"cannot write results to {path}: {exc}") from exc
@@ -196,8 +201,10 @@ def write_csv(
     """Dump flat records (as produced by :func:`grid_records`) to a CSV file.
 
     The header is the union of keys across records, in first-appearance
-    order, so heterogeneous record lists stay loadable.  An unwritable path
-    raises :class:`~repro.utils.validation.ValidationError`.
+    order, so heterogeneous record lists stay loadable.  The rows are
+    rendered in memory and written atomically, like :func:`write_json`.
+    An unwritable path raises
+    :class:`~repro.utils.validation.ValidationError`.
     """
     path = _writable(path)
     fieldnames: list[str] = []
@@ -205,12 +212,13 @@ def write_csv(
         for key in record:
             if key not in fieldnames:
                 fieldnames.append(key)
+    buffer = io.StringIO(newline="")
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for record in records:
+        writer.writerow({k: record.get(k, "") for k in fieldnames})
     try:
-        with path.open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=fieldnames)
-            writer.writeheader()
-            for record in records:
-                writer.writerow({k: record.get(k, "") for k in fieldnames})
+        atomic_write_text(path, buffer.getvalue())
     except OSError as exc:
         raise ValidationError(f"cannot write results to {path}: {exc}") from exc
     return path

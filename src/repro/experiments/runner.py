@@ -24,6 +24,19 @@ spawning a fresh process pool per grid used to dominate small campaigns.
 whole multi-study spec through a single executor), and dispatches work in
 contiguous chunks so a shared immutable payload (platform + scenarios) is
 serialized once per worker instead of once per cell.
+
+Result store
+------------
+Cells are deterministic, so they are also *memoizable*: with a
+:class:`repro.store.ResultStore` attached (``run_grid(..., store=...)``,
+threaded down from ``repro run``), the executor consults the store before
+dispatching each cell and writes every freshly computed cell back as soon
+as it drains — a rerun of an unchanged campaign executes zero simulations,
+and an interrupted campaign resumes from whatever cells already landed.
+Each cell's key digests the canonical scenario + scheduler case + horizon
+plus the code fingerprint of the producing modules (see
+:mod:`repro.store`); results are merged back in submission order, so a
+cached grid is cell-for-cell (and byte-for-byte) identical to a cold one.
 """
 
 from __future__ import annotations
@@ -42,6 +55,7 @@ from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.interface import SchedulerProtocol
 from repro.simulator.metrics import SimulationResult
+from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.utils.validation import ValidationError
 
 __all__ = [
@@ -49,6 +63,9 @@ __all__ = [
     "CaseResult",
     "ExperimentGrid",
     "ExperimentExecutor",
+    "MapCache",
+    "encode_case_result",
+    "decode_case_result",
     "run_case",
     "run_grid",
     "map_parallel",
@@ -108,6 +125,57 @@ def _run_shared_chunk(
     return [fn(shared, item) for item in chunk]
 
 
+class MapCache:
+    """Item-level memo table consulted by :meth:`ExperimentExecutor.map`.
+
+    Subclasses bind a :class:`repro.store.ResultStore` to one family of
+    items by implementing :meth:`key` (the content digest of everything that
+    determines the item's result) plus the ``encode``/``decode`` pair that
+    converts results to/from JSON payloads.  ``lookup`` returning ``None``
+    means *miss* (map results are never ``None``).
+    """
+
+    def __init__(self, store: ResultStore):
+        self._store = store
+
+    def key(self, item: object) -> str:
+        """Content-addressed key of one item (subclass responsibility)."""
+        raise NotImplementedError
+
+    def encode(self, result: object) -> dict:
+        """JSON payload of one result (subclass responsibility)."""
+        raise NotImplementedError
+
+    def decode(self, payload: dict) -> object:
+        """Inverse of :meth:`encode` (subclass responsibility)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, item: object) -> Optional[object]:
+        """The cached result for ``item``, or ``None`` on miss/corruption."""
+        key = self.key(item)
+        payload = self._store.get(key)
+        if payload is None:
+            return None
+        try:
+            return self.decode(payload)
+        except Exception:
+            # A payload the current decoder cannot read (e.g. written by a
+            # code state whose fingerprint collided — practically a format
+            # bug) must degrade to a recompute, never crash a campaign.
+            # Discard the poisoned entry like ResultStore.get does for
+            # unparsable ones, so it cannot re-hit on every future run.
+            self._store.stats.hits -= 1
+            self._store.stats.misses += 1
+            self._store.stats.corrupt += 1
+            self._store.discard(key)
+            return None
+
+    def save(self, item: object, result: object) -> None:
+        """Persist one freshly computed result."""
+        self._store.put(self.key(item), self.encode(result))
+
+
 class ExperimentExecutor:
     """Reusable worker pool behind ``map_parallel`` / ``run_grid``.
 
@@ -163,6 +231,7 @@ class ExperimentExecutor:
         *,
         progress: Optional[Callable[[int, _T, _R], None]] = None,
         shared: object = _NO_SHARED,
+        cache: Optional[MapCache] = None,
     ) -> list[_R]:
         """Map ``fn`` over ``items`` on the (shared) pool.
 
@@ -184,10 +253,47 @@ class ExperimentExecutor:
         ``progress(index, item, result)`` fires in the caller's process in
         submission order as results drain — one call per item, delivered as
         each chunk completes.
+
+        ``cache`` (a :class:`MapCache`) short-circuits items whose results
+        are already in the result store: hits are served without dispatching
+        anything (their ``progress`` fires first, in submission order), the
+        remaining misses run through the pool exactly as above, and each
+        miss is written back to the store *as it drains* — so an interrupted
+        map resumes from every cell that already landed.  The returned list
+        is always in submission order, element-for-element identical to an
+        uncached map.
         """
         if self._closed:
             raise ValidationError("ExperimentExecutor is closed")
         items = list(items)
+        if cache is not None:
+            results_by_index: list[Optional[_R]] = [
+                cache.lookup(item) for item in items
+            ]
+            miss_indexes = [
+                i for i, result in enumerate(results_by_index) if result is None
+            ]
+            if progress is not None:
+                for i, result in enumerate(results_by_index):
+                    if result is not None:
+                        progress(i, items[i], result)
+
+            def on_miss(position: int, item: _T, result: _R) -> None:
+                index = miss_indexes[position]
+                cache.save(item, result)
+                results_by_index[index] = result
+                if progress is not None:
+                    progress(index, item, result)
+
+            # Write-back rides the progress hook so it happens incrementally
+            # as chunks drain, not after the whole map joins.
+            self.map(
+                fn,
+                [items[i] for i in miss_indexes],
+                progress=on_miss,
+                shared=shared,
+            )
+            return results_by_index  # type: ignore[return-value]
         has_shared = shared is not _NO_SHARED
         n = len(items)
         if self._n_workers <= 1 or n <= 1:
@@ -239,6 +345,7 @@ def map_parallel(
     progress: Optional[Callable[[int, _T, _R], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
     shared: object = _NO_SHARED,
+    cache: Optional[MapCache] = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -251,7 +358,8 @@ def map_parallel(
     worker count wins; ``workers`` is ignored) instead of spawning and
     tearing down a pool for this one call.  ``shared`` switches to the
     shared-payload calling convention ``fn(shared, item)`` — see
-    :meth:`ExperimentExecutor.map`.
+    :meth:`ExperimentExecutor.map`.  ``cache`` memoizes items through the
+    result store (see :class:`MapCache`).
 
     ``progress(index, item, result)`` is invoked in the caller's process,
     once per item in submission order — in parallel runs results drain as
@@ -259,14 +367,16 @@ def map_parallel(
     bursts instead of staying silent until the pool joins.
     """
     if executor is not None:
-        return executor.map(fn, items, progress=progress, shared=shared)
+        return executor.map(fn, items, progress=progress, shared=shared,
+                            cache=cache)
     # Ephemeral pool for this one call: never spawn more workers than there
     # are items (a persistent executor keeps its full size because later
     # maps may be larger).
     items = list(items)
     n_workers = max(1, min(resolve_workers(workers), len(items)))
     with ExperimentExecutor(n_workers) as pool:
-        return pool.map(fn, items, progress=progress, shared=shared)
+        return pool.map(fn, items, progress=progress, shared=shared,
+                        cache=cache)
 
 
 @dataclass(frozen=True)
@@ -436,6 +546,69 @@ def run_case(
     return case_result
 
 
+def encode_case_result(result: CaseResult) -> dict:
+    """JSON payload of one grid cell (inverse of :func:`decode_case_result`).
+
+    Values survive a JSON round trip bit-for-bit (floats re-serialize to the
+    same shortest ``repr``), so a cell served from the result store yields a
+    byte-identical artefact.
+    """
+    return {
+        "scenario_label": result.scenario_label,
+        "scheduler_label": result.scheduler_label,
+        "summary": result.summary.as_dict(),
+        "makespan": result.makespan,
+        "n_events": result.n_events,
+    }
+
+
+def decode_case_result(payload: dict) -> CaseResult:
+    """Rebuild a :class:`CaseResult` from its stored payload."""
+    return CaseResult(
+        scenario_label=payload["scenario_label"],
+        scheduler_label=payload["scheduler_label"],
+        summary=ObjectiveSummary.from_dict(payload["summary"]),
+        makespan=payload["makespan"],
+        n_events=int(payload["n_events"]),
+    )
+
+
+class _GridCellCache(MapCache):
+    """Memo table for :func:`run_grid` cells.
+
+    Cell keys are *per-cell*, not per-grid: each digests its own canonical
+    scenario and scheduler case (plus the horizon and the producing-code
+    fingerprint), so adding a scenario to a campaign, reordering the axes,
+    or sharing cells across different specs all hit whatever overlaps.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        scenarios: Sequence[Scenario],
+        cases: Sequence[SchedulerCase],
+        max_time: float,
+    ):
+        super().__init__(store)
+        prefix = digest("grid-cell", code_fingerprint(), max_time)
+        scenario_texts = [canonical_json(s) for s in scenarios]
+        case_texts = [canonical_json(c) for c in cases]
+        self._keys = [
+            [digest(prefix, s_text, c_text) for c_text in case_texts]
+            for s_text in scenario_texts
+        ]
+
+    def key(self, item: tuple[int, int]) -> str:
+        i, j = item
+        return self._keys[i][j]
+
+    def encode(self, result: CaseResult) -> dict:
+        return encode_case_result(result)
+
+    def decode(self, payload: dict) -> CaseResult:
+        return decode_case_result(payload)
+
+
 def _run_grid_cell_shared(
     shared: tuple[tuple[Scenario, ...], tuple[SchedulerCase, ...], float],
     cell: tuple[int, int],
@@ -454,6 +627,7 @@ def run_grid(
     workers: int | None = None,
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentGrid:
     """Run every scenario under every scheduler case.
 
@@ -481,6 +655,12 @@ def run_grid(
         grid axes are shipped to the workers as a per-chunk shared payload
         (once per worker, a few times with progress streaming); the
         per-cell messages are just index pairs.
+    store:
+        Optional :class:`repro.store.ResultStore`: cells whose keys are
+        already stored are served without simulating anything, and fresh
+        cells are written back as they complete.  Cached grids are
+        cell-for-cell identical to cold ones (the key covers the canonical
+        scenario, case, horizon and producing-code fingerprint).
     """
     if not scenarios:
         raise ValidationError("run_grid needs at least one scenario")
@@ -490,6 +670,9 @@ def run_grid(
     cells = [
         (i, j) for i in range(len(scenarios)) for j in range(len(cases))
     ]
+    cache = None
+    if store is not None:
+        cache = _GridCellCache(store, shared[0], shared[1], max_time)
 
     on_cell = None
     if progress is not None:
@@ -513,6 +696,7 @@ def run_grid(
         progress=on_cell,
         executor=executor,
         shared=shared,
+        cache=cache,
     ):
         grid.add(result)
     return grid

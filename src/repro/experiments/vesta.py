@@ -42,7 +42,8 @@ from repro.experiments.overhead import (
     OverheadModel,
     scenario_overhead_fractions,
 )
-from repro.experiments.runner import ExperimentExecutor, map_parallel
+from repro.experiments.runner import ExperimentExecutor, MapCache, map_parallel
+from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.online.baselines import ior_scheduler
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
@@ -199,6 +200,45 @@ def run_vesta_case(
     )
 
 
+class _VestaCellCache(MapCache):
+    """Memo table for Vesta grid cells.
+
+    A Vesta cell rebuilds its jittered IOR scenario *inside* the worker from
+    the shared seed, so the key digests the seed and the overhead model
+    alongside the (node mix, configuration) coordinates — plus the
+    producing-code fingerprint, like every store key.  Only seed-like
+    ``rng`` values are cacheable; live generators advance across cells and
+    have no canonical form (the caller skips caching for them).
+    """
+
+    def __init__(self, store: ResultStore, overhead: OverheadModel, seed: object):
+        super().__init__(store)
+        self._prefix = digest(
+            "vesta-cell", code_fingerprint(), canonical_json(overhead), seed
+        )
+
+    def key(self, item: tuple[str, str]) -> str:
+        return digest(self._prefix, item[0], item[1])
+
+    def encode(self, result: VestaCase) -> dict:
+        return {
+            "scenario": result.scenario,
+            "configuration": result.configuration,
+            "summary": result.summary.as_dict(),
+            "per_application_dilation": dict(result.per_application_dilation),
+            "makespan": result.makespan,
+        }
+
+    def decode(self, payload: dict) -> VestaCase:
+        return VestaCase(
+            scenario=payload["scenario"],
+            configuration=payload["configuration"],
+            summary=ObjectiveSummary.from_dict(payload["summary"]),
+            per_application_dilation=dict(payload["per_application_dilation"]),
+            makespan=payload["makespan"],
+        )
+
+
 def _run_vesta_cell_shared(
     shared: tuple[OverheadModel, RngLike], cell: tuple[str, str]
 ) -> VestaCase:
@@ -245,6 +285,7 @@ def vesta_experiment(
     workers: int | None = None,
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
+    store: Optional[ResultStore] = None,
 ) -> VestaExperimentResult:
     """The full Figure 15 grid.
 
@@ -256,7 +297,10 @@ def vesta_experiment(
     state advances across cells exactly as before) and rejected otherwise.
     ``progress`` receives one line per completed cell, in submission order.
     ``executor`` reuses a caller-owned pool; the overhead model and seed
-    travel as one shared payload per worker.
+    travel as one shared payload per worker.  ``store`` memoizes cells in
+    the content-addressed result store — integer ``rng`` seeds only (a live
+    generator has no canonical form, and ``rng=None`` means fresh entropy
+    per run; both run silently uncached).
     """
     _check_parallel_rng(rng, workers, executor)
     cells = [
@@ -275,6 +319,12 @@ def vesta_experiment(
                 f"{case.configuration} done"
             )
 
+    cache = None
+    # Integer seeds only: rng=None documents "fresh OS entropy per run", so
+    # memoizing it would freeze one run's random draw forever; live
+    # generators have no canonical form.  Both run uncached.
+    if store is not None and isinstance(rng, int) and not isinstance(rng, bool):
+        cache = _VestaCellCache(store, overhead, rng)
     result = VestaExperimentResult()
     result.cases.extend(
         map_parallel(
@@ -284,6 +334,7 @@ def vesta_experiment(
             progress=on_cell,
             executor=executor,
             shared=(overhead, rng),
+            cache=cache,
         )
     )
     return result

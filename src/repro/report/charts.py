@@ -1,0 +1,150 @@
+"""Figure rendering backends: matplotlib PNGs with a plain-text fallback.
+
+matplotlib is an **optional extra** (``pip install .[plots]``).  When it is
+importable (and not disabled), figures render as PNG files; otherwise every
+figure degrades to a deterministic Unicode chart — horizontal bars for
+``bars`` figures, sparkline + value table for ``lines`` — so ``repro
+report`` always produces a complete artifact.  Set ``REPRO_FORCE_TEXT_CHARTS``
+(or pass ``repro report --text``) to force the fallback even with
+matplotlib installed; the tests use it to pin both paths.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.report.figures import FigureData
+
+__all__ = ["matplotlib_available", "render_png", "render_text"]
+
+#: Width (characters) of the text-chart bar area.
+_BAR_WIDTH = 40
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def matplotlib_available() -> bool:
+    """Is the matplotlib backend usable (installed and not disabled)?"""
+    if os.environ.get("REPRO_FORCE_TEXT_CHARTS", "").strip():
+        return False
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# matplotlib backend
+# ---------------------------------------------------------------------- #
+def render_png(figure: FigureData, path: Path) -> Path:
+    """Render one figure to a PNG file (requires matplotlib)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(7.2, 4.2), dpi=120)
+    try:
+        if figure.chart == "bars":
+            n_series = max(len(figure.series), 1)
+            width = 0.8 / n_series
+            positions = range(len(figure.categories))
+            for k, (name, values) in enumerate(figure.series.items()):
+                offsets = [i + (k - (n_series - 1) / 2) * width
+                           for i in positions]
+                ax.bar(offsets, values, width=width, label=name)
+            ax.set_xticks(list(positions))
+            ax.set_xticklabels(figure.categories, rotation=30, ha="right",
+                               fontsize=8)
+        else:
+            for name, values in figure.series.items():
+                ax.plot(figure.x, values, marker="o", label=name)
+        ax.set_title(figure.title, fontsize=11)
+        if figure.x_label:
+            ax.set_xlabel(figure.x_label)
+        if figure.y_label:
+            ax.set_ylabel(figure.y_label)
+        if len(figure.series) > 1 or figure.chart == "lines":
+            ax.legend(fontsize=8)
+        ax.grid(True, axis="y", alpha=0.3)
+        fig.tight_layout()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fig.savefig(path)
+    finally:
+        plt.close(fig)
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# text backend
+# ---------------------------------------------------------------------- #
+def _finite(values: list[float]) -> list[float]:
+    return [v for v in values if math.isfinite(v)]
+
+
+def _format_value(value: float) -> str:
+    if not math.isfinite(value):
+        return "-" if math.isnan(value) else ("inf" if value > 0 else "-inf")
+    return f"{value:.2f}"
+
+
+def _bar(value: float, limit: float) -> str:
+    if not math.isfinite(value) or limit <= 0:
+        return ""
+    filled = int(round(_BAR_WIDTH * max(value, 0.0) / limit))
+    return "█" * min(filled, _BAR_WIDTH)
+
+
+def _sparkline(values: list[float]) -> str:
+    finite = _finite(values)
+    if not finite:
+        return "·" * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if not math.isfinite(value):
+            chars.append("·")
+        elif span <= 0:
+            chars.append(_SPARK_LEVELS[-1])
+        else:
+            index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+            chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def render_text(figure: FigureData) -> str:
+    """Deterministic Unicode rendering of one figure (the mpl-free path)."""
+    lines = [figure.title, "=" * len(figure.title)]
+    if figure.caption:
+        lines.append(figure.caption)
+    if figure.chart == "bars":
+        limit = max(
+            (v for values in figure.series.values() for v in _finite(values)),
+            default=0.0,
+        )
+        label_width = max((len(c) for c in figure.categories), default=0)
+        for name, values in figure.series.items():
+            lines.append("")
+            header = name if not figure.y_label else f"{name} [{figure.y_label}]"
+            lines.append(header)
+            for category, value in zip(figure.categories, values):
+                lines.append(
+                    f"  {category.ljust(label_width)}  "
+                    f"{_format_value(value).rjust(8)}  {_bar(value, limit)}"
+                )
+    else:
+        x_text = ", ".join(f"{x:g}" for x in figure.x)
+        lines.append("")
+        lines.append(f"x ({figure.x_label or 'x'}): [{x_text}]")
+        name_width = max((len(n) for n in figure.series), default=0)
+        for name, values in figure.series.items():
+            rendered = ", ".join(_format_value(v) for v in values)
+            lines.append(
+                f"  {name.ljust(name_width)}  {_sparkline(values)}  [{rendered}]"
+            )
+    return "\n".join(lines) + "\n"

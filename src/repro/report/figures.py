@@ -1,0 +1,419 @@
+"""Turn spec-run payloads into figure descriptions.
+
+Every experiment kind produced by :func:`repro.config.run.run_spec` maps to
+one or more :class:`FigureData` — a backend-neutral description of a paper
+figure (chart type, axes, ordered series, and the companion table).  The
+rendering backends in :mod:`repro.report.charts` consume these, so the
+mapping from payload to figure is testable without matplotlib installed.
+
+The extraction is *payload-driven*: it reads the same JSON dict that
+``repro run`` writes (and the result store serves), so a report can be
+rebuilt from cached results without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.reporting import percent, ratio
+from repro.utils.validation import ValidationError
+
+__all__ = ["FigureData", "extract_figures"]
+
+
+@dataclass
+class FigureData:
+    """Backend-neutral description of one report figure.
+
+    ``chart`` is ``"bars"`` (categorical x = ``categories``) or ``"lines"``
+    (numeric x = ``x``).  ``series`` maps series name to one value per
+    category / x position (insertion order is display order); non-finite
+    values are legal and rendered as gaps.  ``table`` is the companion
+    (headers, rows-of-strings) pair shown next to the figure.
+    """
+
+    slug: str
+    title: str
+    chart: str
+    series: dict[str, list[float]]
+    categories: list[str] = field(default_factory=list)
+    x: list[float] = field(default_factory=list)
+    x_label: str = ""
+    y_label: str = ""
+    caption: str = ""
+    table_headers: list[str] = field(default_factory=list)
+    table_rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.chart not in ("bars", "lines"):
+            raise ValidationError(
+                f"unknown chart type {self.chart!r}; use 'bars' or 'lines'"
+            )
+        expected = len(self.categories) if self.chart == "bars" else len(self.x)
+        for name, values in self.series.items():
+            if len(values) != expected:
+                raise ValidationError(
+                    f"figure {self.slug!r}: series {name!r} has "
+                    f"{len(values)} values, expected {expected}"
+                )
+
+
+def _averages_figures(
+    slug_prefix: str,
+    title_prefix: str,
+    averages: Mapping[str, Mapping[str, float]],
+    caption: str = "",
+) -> list[FigureData]:
+    """The standard pair of figures for a {scheduler: metrics} table."""
+    schedulers = list(averages)
+    table_headers = ["Scheduler", "SysEfficiency (%)", "Dilation",
+                     "Upper limit (%)"]
+    table_rows = [
+        [
+            s,
+            percent(averages[s]["system_efficiency"]),
+            ratio(averages[s]["dilation"]),
+            percent(averages[s]["upper_limit"]),
+        ]
+        for s in schedulers
+    ]
+    efficiency = FigureData(
+        slug=f"{slug_prefix}-efficiency",
+        title=f"{title_prefix} — SysEfficiency",
+        chart="bars",
+        categories=schedulers,
+        series={
+            "SysEfficiency (%)": [
+                averages[s]["system_efficiency"] for s in schedulers
+            ],
+            "Upper limit (%)": [averages[s]["upper_limit"] for s in schedulers],
+        },
+        y_label="SysEfficiency (%)",
+        caption=caption,
+        table_headers=table_headers,
+        table_rows=table_rows,
+    )
+    dilation = FigureData(
+        slug=f"{slug_prefix}-dilation",
+        title=f"{title_prefix} — Dilation",
+        chart="bars",
+        categories=schedulers,
+        series={"Dilation": [averages[s]["dilation"] for s in schedulers]},
+        y_label="Dilation (ratio)",
+        caption=caption,
+    )
+    return [efficiency, dilation]
+
+
+# ---------------------------------------------------------------------- #
+def _grid_figures(payload: Mapping) -> list[FigureData]:
+    return _averages_figures(
+        "averages",
+        "Scheduler averages",
+        payload["averages"],
+        caption=f"Averaged over {payload['n_scenarios']} scenario(s).",
+    )
+
+
+def _figure6_figures(payload: Mapping) -> list[FigureData]:
+    figures: list[FigureData] = []
+    for panel, averages in payload["panels"].items():
+        figures.extend(
+            _averages_figures(
+                f"panel-{panel}",
+                f"Figure 6 — {panel}",
+                averages,
+                caption=f"{payload['n_repetitions']} random mixes per panel.",
+            )
+        )
+    return figures
+
+
+def _congested_figures(payload: Mapping) -> list[FigureData]:
+    cells = payload["cells"]
+    moments: list[str] = []
+    schedulers: list[str] = []
+    values: dict[tuple[str, str], float] = {}
+    for cell in cells:
+        if cell["scenario"] not in moments:
+            moments.append(cell["scenario"])
+        if cell["scheduler"] not in schedulers:
+            schedulers.append(cell["scheduler"])
+        values[(cell["scenario"], cell["scheduler"])] = cell["system_efficiency"]
+    series = {
+        scheduler: [
+            values.get((moment, scheduler), float("nan")) for moment in moments
+        ]
+        for scheduler in schedulers
+    }
+    per_moment = FigureData(
+        slug="moments",
+        title=f"Congested moments on {payload['machine']} — per-moment SysEfficiency",
+        chart="lines",
+        x=list(range(1, len(moments) + 1)),
+        series=series,
+        x_label="congested moment",
+        y_label="SysEfficiency (%)",
+        caption=(
+            f"Baseline {payload['baseline']} runs with burst buffers; the "
+            "heuristics run without (Figures 8–13 shape)."
+        ),
+    )
+    return [per_moment] + _averages_figures(
+        "table",
+        f"Tables 1–2 averages ({payload['machine']})",
+        payload["averages"],
+    )
+
+
+def _vesta_figures(payload: Mapping) -> list[FigureData]:
+    cells = payload["cells"]
+    scenarios = list(payload["scenarios"])
+    configurations = list(payload["configurations"])
+    eff: dict[tuple[str, str], float] = {}
+    dil: dict[tuple[str, str], float] = {}
+    for cell in cells:
+        coord = (cell["scenario"], cell["configuration"])
+        eff[coord] = cell["system_efficiency"]
+        dil[coord] = cell["dilation"]
+    table_rows = [
+        [
+            s,
+            c,
+            percent(eff.get((s, c), float("nan"))),
+            ratio(dil.get((s, c), float("nan"))),
+        ]
+        for s in scenarios
+        for c in configurations
+    ]
+    return [
+        FigureData(
+            slug="vesta-efficiency",
+            title="Figure 15 — Vesta SysEfficiency per node mix",
+            chart="bars",
+            categories=scenarios,
+            series={
+                c: [eff.get((s, c), float("nan")) for s in scenarios]
+                for c in configurations
+            },
+            x_label="node mix",
+            y_label="SysEfficiency (%)",
+            table_headers=["Node mix", "Configuration", "SysEfficiency (%)",
+                           "Dilation"],
+            table_rows=table_rows,
+        ),
+        FigureData(
+            slug="vesta-dilation",
+            title="Figure 15 — Vesta Dilation per node mix",
+            chart="bars",
+            categories=scenarios,
+            series={
+                c: [dil.get((s, c), float("nan")) for s in scenarios]
+                for c in configurations
+            },
+            x_label="node mix",
+            y_label="Dilation (ratio)",
+        ),
+    ]
+
+
+def _periodic_figures(payload: Mapping) -> list[FigureData]:
+    figures: list[FigureData] = []
+    comparison: dict[str, float] = {}
+    comparison_rows: list[list[str]] = []
+    for key, fragment in payload["periodic"].items():
+        sweep = fragment["sweep"]
+        figures.append(
+            FigureData(
+                slug=f"sweep-{key}",
+                title=(
+                    f"Period sweep — {fragment['heuristic']} "
+                    f"(objective: {fragment['objective']})"
+                ),
+                chart="lines",
+                x=[point["period"] for point in sweep],
+                series={
+                    "SysEfficiency (%)": [
+                        point["system_efficiency"] for point in sweep
+                    ],
+                },
+                x_label="period T (s)",
+                y_label="SysEfficiency (%)",
+                caption=(
+                    f"Best period T = {fragment['best_period']:.6g} s over "
+                    f"{len(sweep)} sweep points ((1+ε) sweep)."
+                ),
+            )
+        )
+        label = f"{fragment['heuristic']} (periodic)"
+        comparison[label] = fragment["system_efficiency"]
+        comparison_rows.append(
+            [label, percent(fragment["system_efficiency"]),
+             ratio(fragment["dilation"]), ratio(fragment["best_period"])]
+        )
+    for name, metrics in payload.get("online", {}).items():
+        label = f"{name} (online)"
+        comparison[label] = metrics["system_efficiency"]
+        comparison_rows.append(
+            [label, percent(metrics["system_efficiency"]),
+             ratio(metrics["dilation"]), "-"]
+        )
+    labels = list(comparison)
+    figures.append(
+        FigureData(
+            slug="periodic-vs-online",
+            title="Periodic heuristics vs online schedulers",
+            chart="bars",
+            categories=labels,
+            series={"SysEfficiency (%)": [comparison[l] for l in labels]},
+            y_label="SysEfficiency (%)",
+            caption=(
+                f"{payload['n_applications']} applications on "
+                f"{payload['platform']}."
+            ),
+            table_headers=["Case", "SysEfficiency (%)", "Dilation",
+                           "Best period T (s)"],
+            table_rows=comparison_rows,
+        )
+    )
+    return figures
+
+
+def _analysis_figures(payload: Mapping) -> list[FigureData]:
+    figures: list[FigureData] = []
+    fragments = payload["figures"]
+    if "figure1" in fragments:
+        f1 = fragments["figure1"]
+        edges = f1["bin_edges"]
+        bins = [f"{lo:g}–{hi:g}" for lo, hi in zip(edges[:-1], edges[1:])]
+        figures.append(
+            FigureData(
+                slug="figure1",
+                title="Figure 1 — I/O throughput decrease under congestion",
+                chart="bars",
+                categories=bins,
+                series={"Applications": [float(c) for c in f1["histogram"]]},
+                x_label="throughput decrease (%)",
+                y_label="applications",
+                caption=(
+                    f"{f1['n_applications']} applications; mean decrease "
+                    f"{f1['mean_decrease']:.1f}%, max {f1['max_decrease']:.1f}%."
+                ),
+                table_headers=["Decrease bin (%)", "Applications"],
+                table_rows=[
+                    [label, str(count)]
+                    for label, count in zip(bins, f1["histogram"])
+                ],
+            )
+        )
+    if "figure5" in fragments:
+        f5 = fragments["figure5"]
+        categories = list(f5["daily_node_hours"])
+        figures.append(
+            FigureData(
+                slug="figure5-usage",
+                title="Figure 5 — daily node-hours per workload category",
+                chart="bars",
+                categories=categories,
+                series={
+                    "Node-hours/day": [
+                        f5["daily_node_hours"][c] for c in categories
+                    ],
+                },
+                y_label="node-hours/day",
+                caption=(
+                    f"{f5['n_jobs']} synthetic Darshan jobs over "
+                    f"{f5['duration_days']:g} days; dominant category "
+                    f"{f5['dominant_category']}."
+                ),
+                table_headers=["Category", "Node-hours/day", "I/O time (%)",
+                               "Jobs"],
+                table_rows=[
+                    [
+                        c,
+                        ratio(f5["daily_node_hours"][c]),
+                        percent(f5["io_time_percent"][c]),
+                        str(f5["job_counts"][c]),
+                    ]
+                    for c in categories
+                ],
+            )
+        )
+        figures.append(
+            FigureData(
+                slug="figure5-io-share",
+                title="Figure 5 — I/O time share per workload category",
+                chart="bars",
+                categories=categories,
+                series={
+                    "I/O time (%)": [
+                        f5["io_time_percent"][c] for c in categories
+                    ]
+                },
+                y_label="I/O time (%)",
+            )
+        )
+    if "figure7" in fragments:
+        f7 = fragments["figure7"]
+        levels = f7["sensibilities_percent"]
+        figures.append(
+            FigureData(
+                slug="figure7",
+                title="Figure 7 — sensibility sweep",
+                chart="lines",
+                x=[float(level) for level in levels],
+                series={
+                    scheduler: list(series["system_efficiency"])
+                    for scheduler, series in f7["series"].items()
+                },
+                x_label="sensibility (%)",
+                y_label="SysEfficiency (%)",
+                caption=(
+                    f"Scenario {f7['scenario']}, {f7['n_repetitions']} mixes "
+                    "per level; flat curves reproduce the "
+                    "periodicity-insensitivity claim."
+                ),
+                table_headers=["Scheduler", "max relative variation"],
+                table_rows=[
+                    [scheduler, ratio(value)]
+                    for scheduler, value in f7["max_relative_variation"].items()
+                ],
+            )
+        )
+    return figures
+
+
+_EXTRACTORS = {
+    "grid": _grid_figures,
+    "figure6": _figure6_figures,
+    "congested-moments": _congested_figures,
+    "vesta": _vesta_figures,
+    "periodic": _periodic_figures,
+    "analysis": _analysis_figures,
+}
+
+
+def extract_figures(payload: Mapping) -> list[FigureData]:
+    """The report figures of one spec-run payload.
+
+    ``payload`` is the JSON dict produced by
+    :func:`repro.config.run.run_spec` (``SpecRunResult.payload`` or a loaded
+    ``results/*.json`` artifact).  Raises
+    :class:`~repro.utils.validation.ValidationError` for payloads without a
+    recognizable ``experiment.kind``.
+    """
+    try:
+        kind = payload["experiment"]["kind"]
+    except (KeyError, TypeError) as exc:
+        raise ValidationError(
+            "payload has no experiment.kind header; pass the JSON produced "
+            "by 'repro run' (or SpecRunResult.payload)"
+        ) from exc
+    extractor = _EXTRACTORS.get(kind)
+    if extractor is None:
+        raise ValidationError(
+            f"no figure extractor for experiment kind {kind!r}; "
+            f"known kinds: {sorted(_EXTRACTORS)}"
+        )
+    return extractor(payload)

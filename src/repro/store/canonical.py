@@ -1,0 +1,119 @@
+"""Canonical serialization for cache keys.
+
+A cache key must be a *pure function of the inputs that determine the
+result*: same scenario + same scheduler case + same horizon ⇒ same key, on
+any machine, in any process, in any order of construction.  Python's default
+``repr`` does not guarantee that (dict order, numpy scalar reprs, object
+identity), so this module defines one canonical JSON form:
+
+* mappings are emitted with **sorted keys**;
+* sequences (list / tuple) keep their order (order is semantic for
+  instances, scenarios, scheduler lists);
+* sets are sorted by their canonical encoding;
+* dataclasses become ``{"__dc__": <qualname>, <field>: ...}`` using only
+  their **declared fields** — ``cached_property`` memos and other
+  ``__dict__`` residue never leak into the key;
+* numpy scalars collapse to their Python equivalents (``.item()``), numpy
+  arrays to nested lists;
+* floats round-trip through ``repr`` via ``json.dumps`` (shortest exact
+  representation, deterministic for a given IEEE double; NaN/Infinity are
+  emitted as their JSON-extension tokens);
+* enums become their values.
+
+Anything else (functions, live RNGs, open files …) raises
+:class:`CanonicalizationError` — an unstable key must fail loudly, not
+silently produce a cache that never hits (or worse, wrongly hits).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Mapping, Sequence
+
+__all__ = [
+    "CanonicalizationError",
+    "canonicalize",
+    "canonical_json",
+    "digest",
+]
+
+
+class CanonicalizationError(TypeError):
+    """Raised for values with no stable canonical form."""
+
+
+_ATOMS = (str, int, bool, type(None))
+
+
+def canonicalize(value: object) -> object:
+    """Reduce ``value`` to plain JSON-able data with deterministic structure."""
+    if isinstance(value, _ATOMS):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__qualname__, "value": canonicalize(value.value)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: dict[str, object] = {"__dc__": type(value).__qualname__}
+        for field in dataclasses.fields(value):
+            out[field.name] = canonicalize(getattr(value, field.name))
+        return out
+    if isinstance(value, Mapping):
+        items = {str(k): canonicalize(v) for k, v in value.items()}
+        if len(items) != len(value):
+            raise CanonicalizationError(
+                f"mapping keys collide after str() conversion: {sorted(items)}"
+            )
+        return items
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(canonical_json(v) for v in value)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    # numpy without importing numpy at module scope (the store must stay
+    # dependency-light): scalars expose .item(), arrays expose .tolist().
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        return canonicalize(value.item())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist) and hasattr(value, "shape"):
+        return canonicalize(tolist())
+    raise CanonicalizationError(
+        f"cannot canonicalize {type(value).__qualname__!r} for a cache key; "
+        "give the store plain data, dataclasses, or numpy scalars/arrays"
+    )
+
+
+def canonical_json(value: object) -> str:
+    """The canonical JSON text of ``value`` (compact, sorted keys)."""
+    return json.dumps(
+        canonicalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,
+        ensure_ascii=True,
+    )
+
+
+def digest(*parts: object) -> str:
+    """SHA-256 hex digest over the canonical forms of ``parts``.
+
+    Each part is canonicalized independently and length-prefixed, so
+    ``digest("ab", "c") != digest("a", "bc")``.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        # Type-tag each part: a raw string and a canonicalized value with
+        # the same text (digest("3") vs digest(3)) must never collide.
+        if isinstance(part, str):
+            tag, text = b"s", part
+        else:
+            tag, text = b"c", canonical_json(part)
+        data = text.encode("utf-8")
+        h.update(tag)
+        h.update(str(len(data)).encode("ascii"))
+        h.update(b":")
+        h.update(data)
+    return h.hexdigest()

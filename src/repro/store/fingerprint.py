@@ -1,0 +1,84 @@
+"""Code fingerprint of the modules that *produce* simulation results.
+
+A content-addressed result is only trustworthy if its key covers the code
+that computed it.  :func:`code_fingerprint` hashes the source of every
+producing subpackage — the model, the engines, the schedulers, the workload
+generators and the experiment harnesses — so editing any of them invalidates
+every cached cell (conservative by design: a one-character change to a
+docstring also misses, which costs one recompute and never a wrong hit).
+
+``repro.config`` is included too — not for the parser (spec *objects* are
+canonicalized into each key, so a parser change that alters what gets built
+is already captured) but because ``config/run.py`` *assembles the study
+payloads that get stored*: a fragment-shape change there must invalidate the
+cached studies.  Deliberately excluded are the layers that only consume
+results: ``repro.cli``, ``repro.report`` and the store itself — reformatting
+the CLI must not nuke a campaign cache.
+
+``REPRO_CACHE_SALT`` (environment) is folded into the fingerprint — a manual
+big-red-button for invalidating a store without touching code, and the hook
+the cache-semantics tests use to simulate "a producing module changed".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["PRODUCING_PACKAGES", "code_fingerprint", "clear_fingerprint_cache"]
+
+#: Subpackages of :mod:`repro` whose source participates in every cache key.
+PRODUCING_PACKAGES: tuple[str, ...] = (
+    "core",
+    "simulator",
+    "online",
+    "periodic",
+    "analysis",
+    "workload",
+    "experiments",
+    "config",
+    "utils",
+)
+
+
+@lru_cache(maxsize=8)
+def _fingerprint_of_tree(root: str, salt: str) -> str:
+    base = Path(root)
+    h = hashlib.sha256()
+    h.update(salt.encode("utf-8"))
+    h.update(b"\0")
+    for package in PRODUCING_PACKAGES:
+        package_dir = base / package
+        if not package_dir.is_dir():  # pragma: no cover - defensive
+            h.update(f"missing:{package}".encode("ascii"))
+            continue
+        for source in sorted(package_dir.rglob("*.py")):
+            h.update(source.relative_to(base).as_posix().encode("utf-8"))
+            h.update(b"\0")
+            h.update(source.read_bytes())
+            h.update(b"\0")
+    return h.hexdigest()
+
+
+def code_fingerprint(root: Path | str | None = None) -> str:
+    """Hex fingerprint of the producing source tree (cached per process).
+
+    ``root`` defaults to the installed :mod:`repro` package directory; tests
+    pass a synthetic tree to exercise change detection without touching the
+    real sources.  The environment salt is read on every call, so setting
+    ``REPRO_CACHE_SALT`` takes effect immediately (each distinct
+    (root, salt) pair is memoized).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    salt = os.environ.get("REPRO_CACHE_SALT", "")
+    return _fingerprint_of_tree(str(root), salt)
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoized fingerprints (tests that rewrite source trees)."""
+    _fingerprint_of_tree.cache_clear()

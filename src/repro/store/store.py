@@ -1,0 +1,303 @@
+"""The content-addressed on-disk result store.
+
+Layout (``~/.cache/repro`` by default, relocatable via ``REPRO_STORE`` or
+``repro run --store PATH``)::
+
+    <root>/
+      v1/                     # store format version; a format change bumps it
+        ab/                   # first two hex digits of the key (git-style fan-out)
+          ab3f…e2.json        # one entry: {"key", "created", "payload"}
+
+Guarantees:
+
+* **atomic entries** — every entry is written to a temp sibling and
+  ``os.replace``d into place, so a crash or ``Ctrl-C`` mid-campaign can
+  never leave a truncated entry (interrupted campaigns resume from whatever
+  cells already landed);
+* **corruption-tolerant reads** — an unreadable / truncated / wrong-key
+  entry counts as a miss (and is deleted), never as an exception: the worst
+  a corrupt store can do is cost a recompute;
+* **byte-stable payloads** — entries round-trip through JSON with NaN /
+  Infinity preserved, so a decoded result re-serializes to the exact bytes
+  a fresh computation would produce;
+* **bounded growth** — :meth:`ResultStore.gc` evicts by age and by
+  count/size (least-recently-used first; hits refresh an entry's mtime).
+
+The store knows nothing about simulators or specs: callers bring a key
+(see :mod:`repro.store.canonical` / :mod:`repro.store.fingerprint`) and a
+JSON-able payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.utils.io import atomic_write_text
+from repro.utils.validation import ValidationError
+
+__all__ = ["StoreStats", "StoreEntryInfo", "ResultStore", "default_store_path"]
+
+#: On-disk format version; bump on any incompatible layout/payload change so
+#: an old store degrades to misses instead of mis-decoding.
+STORE_FORMAT = "v1"
+
+_KEY_HEX_LEN = 64  # sha256
+
+
+def default_store_path() -> Path:
+    """``$REPRO_STORE`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_STORE", "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _json_default(value: object) -> object:
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return value.item()
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy array
+        return value.tolist()
+    raise TypeError(
+        f"store payloads must be JSON-able, got {type(value).__qualname__!r}"
+    )
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of one store handle (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    write_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls (hits + misses; corrupt entries are misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for payload-free reporting (CLI line, report)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "write_errors": self.write_errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class StoreEntryInfo:
+    """Metadata of one on-disk entry (for ``gc`` ordering and ``info``)."""
+
+    path: Path
+    key: str
+    size: int
+    mtime: float
+
+
+class ResultStore:
+    """A content-addressed key → JSON-payload store on the local disk.
+
+    Opening a store never touches the disk; directories appear on the first
+    write, so a read-only consultation of a non-existent store is simply all
+    misses.  One handle's :attr:`stats` describe the lookups made *through
+    that handle* — ``repro run`` reports them as the campaign's hit/miss
+    line.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_store_path()
+        self.stats = StoreStats()
+        self._warned_unwritable = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def _objects(self) -> Path:
+        return self.root / STORE_FORMAT
+
+    def _entry_path(self, key: str) -> Path:
+        if len(key) != _KEY_HEX_LEN or not all(
+            c in "0123456789abcdef" for c in key
+        ):
+            raise ValidationError(
+                f"malformed store key {key!r} (expected {_KEY_HEX_LEN} hex chars)"
+            )
+        return self._objects / key[:2] / f"{key}.json"
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[dict]:
+        """The payload stored under ``key``, or ``None`` on miss.
+
+        Any defect — unreadable file, truncated JSON, an entry whose
+        recorded key disagrees with its filename — is treated as a miss:
+        the entry is deleted, ``stats.corrupt`` is bumped, and the caller
+        recomputes.  A hit refreshes the entry's mtime (LRU input for
+        :meth:`gc`).
+        """
+        path = self._entry_path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._discard(path)
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("store entry does not match its key")
+            payload = entry["payload"]
+        except (ValueError, KeyError):
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            self._discard(path)
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - mtime refresh is best-effort
+            pass
+        return payload
+
+    def put(self, key: str, payload: dict) -> Optional[Path]:
+        """Atomically persist ``payload`` under ``key`` (overwrites).
+
+        Write failures (disk full, read-only store, quota) are **fail-soft**:
+        the campaign that computed the result must never die on cache
+        bookkeeping, so the failure is counted (``stats.write_errors``),
+        warned about once per handle on stderr, and ``None`` is returned —
+        the run simply continues uncached.  A payload that is not JSON-able
+        is a programming error and still raises.
+        """
+        path = self._entry_path(key)
+        entry = {"key": key, "created": time.time(), "payload": payload}
+        text = json.dumps(entry, allow_nan=True, default=_json_default)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(path, text + "\n")
+        except OSError as exc:
+            self.stats.write_errors += 1
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                print(
+                    f"warning: result store at {self.root} is not writable "
+                    f"({exc}); continuing without caching new results",
+                    file=sys.stderr,
+                )
+            return None
+        self.stats.writes += 1
+        return path
+
+    def discard(self, key: str) -> None:
+        """Remove one entry if present (poisoned-payload eviction)."""
+        self._discard(self._entry_path(key))
+
+    def __contains__(self, key: str) -> bool:
+        return self._entry_path(key).is_file()
+
+    # ------------------------------------------------------------------ #
+    def entries(self) -> Iterator[StoreEntryInfo]:
+        """Iterate the on-disk entries (silently skipping vanished files)."""
+        if not self._objects.is_dir():
+            return
+        for path in sorted(self._objects.glob("??/*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield StoreEntryInfo(
+                path=path, key=path.stem, size=stat.st_size, mtime=stat.st_mtime
+            )
+
+    def info(self) -> dict[str, object]:
+        """Summary of the on-disk state (path, entry count, bytes, ages)."""
+        entries = list(self.entries())
+        total = sum(e.size for e in entries)
+        return {
+            "path": str(self.root),
+            "format": STORE_FORMAT,
+            "entries": len(entries),
+            "total_bytes": total,
+            "oldest_mtime": min((e.mtime for e in entries), default=None),
+            "newest_mtime": max((e.mtime for e in entries), default=None),
+        }
+
+    def gc(
+        self,
+        *,
+        max_age_days: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict entries; returns how many were removed.
+
+        ``max_age_days`` drops everything not touched within the window
+        (hits refresh mtime, so live cells survive).  ``max_entries`` /
+        ``max_bytes`` then trim least-recently-used entries until the store
+        fits both budgets.  With no arguments nothing is removed.
+        """
+        for name, bound in (
+            ("max_age_days", max_age_days),
+            ("max_entries", max_entries),
+            ("max_bytes", max_bytes),
+        ):
+            if bound is not None and bound < 0:
+                raise ValidationError(f"{name} must be >= 0, got {bound}")
+        entries = sorted(self.entries(), key=lambda e: e.mtime)  # oldest first
+        removed = 0
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            keep: list[StoreEntryInfo] = []
+            for entry in entries:
+                if entry.mtime < cutoff:
+                    self._discard(entry.path)
+                    removed += 1
+                else:
+                    keep.append(entry)
+            entries = keep
+        total = sum(e.size for e in entries)
+        index = 0
+        while entries[index:] and (
+            (max_entries is not None and len(entries) - index > max_entries)
+            or (max_bytes is not None and total > max_bytes)
+        ):
+            victim = entries[index]
+            self._discard(victim.path)
+            total -= victim.size
+            index += 1
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.entries():
+            self._discard(entry.path)
+            removed += 1
+        return removed

@@ -5,6 +5,7 @@ every other subpackage.  Nothing in here encodes paper semantics; the paper
 model lives in :mod:`repro.core`.
 """
 
+from repro.utils.io import atomic_write_bytes, atomic_write_text
 from repro.utils.rng import RngLike, as_rng, spawn_rngs
 from repro.utils.units import (
     GB,
@@ -26,6 +27,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
     "RngLike",
     "as_rng",
     "spawn_rngs",

@@ -1,0 +1,57 @@
+"""Atomic file-writing helpers shared by the reporting and store layers.
+
+POSIX ``rename(2)`` within one directory is atomic, so *write to a sibling
+temp file, then* :func:`os.replace` guarantees a reader (or a crash, or a
+``Ctrl-C`` mid-campaign) can only ever observe the old content or the new
+content — never a truncated half-write.  Both the experiment artefacts
+(``results/*.json`` / ``*.csv``) and every entry of the content-addressed
+result store go through here.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp sibling + ``os.replace``).
+
+    The temp file lives in the target's directory so the final rename never
+    crosses a filesystem boundary (which would silently fall back to a
+    non-atomic copy).  On any failure the temp file is removed; the target
+    is either absent/old or fully written, never truncated.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        # mkstemp creates 0600 files; artefacts must get the ordinary
+        # umask-governed mode (0644 under umask 022) like plain open() would,
+        # or shared results/ directories stop being group/world readable.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Best-effort cleanup; the original exception is what matters.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, *, encoding: str = "utf-8"
+) -> Path:
+    """Text-mode convenience wrapper around :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))

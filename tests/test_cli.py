@@ -204,6 +204,86 @@ class TestMain:
 
 
 # ---------------------------------------------------------------------- #
+# Result store & multi-spec validate surface (ISSUE 5)
+# ---------------------------------------------------------------------- #
+class TestStoreSurface:
+    def test_validate_accepts_multiple_paths(self, tiny_spec, tmp_path, capsys):
+        other = tmp_path / "other.toml"
+        other.write_text(TINY_GRID)
+        assert main(["validate", str(tiny_spec), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK:") == 2
+
+    def test_validate_all_reports_every_broken_spec(self, tmp_path, capsys):
+        (tmp_path / "good.toml").write_text(TINY_GRID)
+        (tmp_path / "bad1.toml").write_text('[experiment]\nkind = "nope"\n')
+        (tmp_path / "bad2.toml").write_text("[experiment]\n")
+        assert main(["validate", "--all", str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        # All specs are checked; each broken one gets a path-prefixed error.
+        assert "good.toml" in captured.out
+        assert "bad1.toml" in captured.err and "bad2.toml" in captured.err
+
+    def test_validate_without_paths_exits_2(self, capsys):
+        assert main(["validate"]) == 2
+        assert "at least one spec" in capsys.readouterr().err
+
+    def test_explicit_path_and_all_dir_dedupe(self, tiny_spec, capsys):
+        """A spec named both ways must be validated (and run) once."""
+        assert main(["validate", str(tiny_spec),
+                     "--all", str(tiny_spec.parent)]) == 0
+        assert capsys.readouterr().out.count("OK:") == 1
+
+    def test_run_second_invocation_is_served_from_store(
+        self, tiny_spec, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["run", str(tiny_spec), "--store", str(store),
+                     "--out", str(a)]) == 0
+        first = capsys.readouterr().out
+        assert "misses" in first  # the store line is part of the run output
+        # --require-cached: the whole run must come out of the store.
+        assert main(["run", str(tiny_spec), "--store", str(store),
+                     "--require-cached", "--out", str(b)]) == 0
+        second = capsys.readouterr().out
+        assert "0 misses" in second and "hit rate 100.0%" in second
+        assert a.read_text() == b.read_text()  # byte-identical artefact
+
+    def test_require_cached_fails_on_a_cold_store(self, tiny_spec, tmp_path, capsys):
+        assert main(["run", str(tiny_spec), "--store", str(tmp_path / "cold"),
+                     "--require-cached", "--quiet"]) == 2
+        assert "--require-cached" in capsys.readouterr().err
+
+    def test_no_cache_disables_the_store(self, tiny_spec, tmp_path, capsys):
+        assert main(["run", str(tiny_spec), "--no-cache"]) == 0
+        assert "store:" not in capsys.readouterr().out
+        assert main(["run", str(tiny_spec), "--no-cache",
+                     "--store", str(tmp_path)]) == 2
+        assert "--store has no effect" in capsys.readouterr().err
+        assert main(["run", str(tiny_spec), "--no-cache",
+                     "--require-cached"]) == 2
+
+    def test_store_info_gc_clear_cycle(self, tiny_spec, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["run", str(tiny_spec), "--store", str(store),
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["store", "info", "--store", str(store), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["entries"] == 2  # 1 scenario x 2 schedulers
+        assert main(["store", "gc", "--store", str(store),
+                     "--max-entries", "1"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+        assert main(["store", "clear", "--store", str(store)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_store_gc_without_budget_exits_2(self, tmp_path, capsys):
+        assert main(["store", "gc", "--store", str(tmp_path)]) == 2
+        assert "budget" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- #
 # Subprocess (python -m repro)
 # ---------------------------------------------------------------------- #
 class TestSubprocess:

@@ -1,0 +1,241 @@
+"""Tests of the report subsystem (:mod:`repro.report`).
+
+The acceptance shape: ``repro report`` renders figures + a self-contained
+HTML report for ``figure6.toml`` and ``analysis_figures.toml`` **with and
+without matplotlib installed**.  The text-fallback path is pinned via
+``REPRO_FORCE_TEXT_CHARTS``; the PNG path runs for real when matplotlib is
+importable and is otherwise exercised through a stub backend (asserting the
+wiring: PNG files written, base64-embedded, no ``<pre>`` fallback).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.report.build as build_module
+from repro.cli import main
+from repro.config import load_spec, run_spec
+from repro.report import (
+    FigureData,
+    build_report,
+    extract_figures,
+    matplotlib_available,
+    render_text,
+)
+from repro.store import ResultStore
+from repro.utils.validation import ValidationError
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIGURE6_SPEC = REPO_ROOT / "examples" / "specs" / "figure6.toml"
+ANALYSIS_SPEC = REPO_ROOT / "examples" / "specs" / "analysis_figures.toml"
+
+#: One warm store per test session: the specs under test run once and every
+#: report build afterwards is served from cache.
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    store = ResultStore(tmp_path_factory.mktemp("report-store"))
+    for path in (FIGURE6_SPEC, ANALYSIS_SPEC):
+        # Native spec depth: build_report must key-match `repro run` exactly.
+        run_spec(load_spec(path), store=store)
+    return store
+
+
+@pytest.fixture(autouse=True)
+def force_text_charts(monkeypatch):
+    """Default every test to the matplotlib-free path (deterministic in CI)."""
+    monkeypatch.setenv("REPRO_FORCE_TEXT_CHARTS", "1")
+
+
+def _spec_with_store(path, store):
+    result = run_spec(load_spec(path), store=store)
+    assert result.store_stats["misses"] == 0, "warm store expected"
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Figure extraction
+# ---------------------------------------------------------------------- #
+class TestExtractFigures:
+    def test_figure6_payload_yields_per_panel_figures(self, warm_store):
+        result = _spec_with_store(FIGURE6_SPEC, warm_store)
+        figures = extract_figures(result.payload)
+        assert [f.slug for f in figures] == [
+            "panel-10large-20-efficiency", "panel-10large-20-dilation",
+        ]
+        efficiency = figures[0]
+        assert efficiency.chart == "bars"
+        assert len(efficiency.categories) == 8  # the eight Figure 6 series
+        for values in efficiency.series.values():
+            assert len(values) == 8
+        assert efficiency.table_rows  # companion table present
+
+    def test_analysis_payload_yields_figures_1_5_7(self, warm_store):
+        result = _spec_with_store(ANALYSIS_SPEC, warm_store)
+        slugs = [f.slug for f in extract_figures(result.payload)]
+        assert slugs == [
+            "figure1", "figure5-usage", "figure5-io-share", "figure7",
+        ]
+
+    def test_figure7_is_a_line_chart_over_sensibilities(self, warm_store):
+        result = _spec_with_store(ANALYSIS_SPEC, warm_store)
+        figure7 = [f for f in extract_figures(result.payload)
+                   if f.slug == "figure7"][0]
+        assert figure7.chart == "lines"
+        assert figure7.x == [0.0, 15.0, 30.0]
+        assert set(figure7.series) == {"MinDilation", "MaxSysEff", "MinMax-0.5"}
+
+    def test_unknown_payload_is_rejected(self):
+        with pytest.raises(ValidationError):
+            extract_figures({"cells": []})
+        with pytest.raises(ValidationError):
+            extract_figures({"experiment": {"kind": "nope"}})
+
+    def test_series_length_mismatch_is_rejected(self):
+        with pytest.raises(ValidationError):
+            FigureData(
+                slug="bad", title="bad", chart="bars",
+                categories=["a", "b"], series={"s": [1.0]},
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Text rendering
+# ---------------------------------------------------------------------- #
+class TestTextCharts:
+    def test_bars_render_labels_values_and_bars(self):
+        figure = FigureData(
+            slug="x", title="T", chart="bars", categories=["alpha", "beta"],
+            series={"Efficiency": [50.0, 100.0]}, y_label="%",
+        )
+        text = render_text(figure)
+        assert "T\n=" in text
+        assert "alpha" in text and "beta" in text
+        assert "50.00" in text and "100.00" in text
+        assert "█" in text
+
+    def test_non_finite_values_render_as_gaps_not_crashes(self):
+        bars = FigureData(
+            slug="x", title="T", chart="bars", categories=["a", "b", "c"],
+            series={"v": [float("nan"), float("inf"), 1.0]},
+        )
+        text = render_text(bars)
+        assert "-" in text and "inf" in text
+        lines = FigureData(
+            slug="y", title="U", chart="lines", x=[1.0, 2.0],
+            series={"v": [float("nan"), 3.0]},
+        )
+        assert "·" in render_text(lines)
+
+    def test_lines_render_sparkline_and_values(self):
+        figure = FigureData(
+            slug="x", title="T", chart="lines", x=[0.0, 10.0, 20.0],
+            series={"MaxSysEff": [60.0, 61.0, 59.0]}, x_label="level",
+        )
+        text = render_text(figure)
+        assert "x (level): [0, 10, 20]" in text
+        assert any(c in text for c in "▁▂▃▄▅▆▇█")
+
+
+# ---------------------------------------------------------------------- #
+# Report building
+# ---------------------------------------------------------------------- #
+class TestBuildReport:
+    def test_html_report_is_self_contained_text_fallback(self, warm_store, tmp_path):
+        result = build_report(
+            [FIGURE6_SPEC, ANALYSIS_SPEC],
+            store=warm_store,
+            out_dir=tmp_path,
+            formats=("html", "markdown"),
+        )
+        assert not result.used_matplotlib
+        assert [p.name for p in result.report_paths] == ["report.html", "report.md"]
+        html = (tmp_path / "report.html").read_text()
+        # Self-contained: no external references, charts inline as <pre>.
+        assert "src=\"http" not in html and "href=\"http" not in html
+        assert html.count('<pre class="chart">') == 6  # 2 + 4 figures
+        assert "Figure 6" in html and "Figure 7" in html
+        # Metadata + store statistics are part of the artifact.
+        assert "result store" in html and "hit rate 100.0%" in html
+        md = (tmp_path / "report.md").read_text()
+        assert "## figure6-10large-20" in md
+        assert "```text" in md
+
+    def test_report_build_over_warm_store_does_no_simulation(
+        self, warm_store, tmp_path
+    ):
+        result = build_report(
+            [FIGURE6_SPEC], store=warm_store, out_dir=tmp_path
+        )
+        stats = result.sections[0].result.store_stats
+        assert stats["misses"] == 0 and stats["hit_rate"] == 1.0
+
+    def test_stub_png_backend_embeds_images(self, warm_store, tmp_path, monkeypatch):
+        """The matplotlib code path, minus matplotlib: wiring only."""
+        def fake_render_png(figure, path):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"\x89PNG fake")
+            return path
+
+        monkeypatch.setattr(build_module, "matplotlib_available", lambda: True)
+        monkeypatch.setattr(build_module, "render_png", fake_render_png)
+        result = build_report(
+            [FIGURE6_SPEC], store=warm_store, out_dir=tmp_path,
+            formats=("html", "markdown"),
+        )
+        assert result.used_matplotlib
+        assert len(result.figure_paths) == 2
+        assert all(p.exists() for p in result.figure_paths)
+        html = (tmp_path / "report.html").read_text()
+        assert "data:image/png;base64," in html
+        assert '<pre class="chart">' not in html
+
+    def test_real_matplotlib_png_rendering(self, warm_store, tmp_path, monkeypatch):
+        pytest.importorskip("matplotlib")
+        monkeypatch.delenv("REPRO_FORCE_TEXT_CHARTS")
+        assert matplotlib_available()
+        result = build_report([FIGURE6_SPEC], store=warm_store, out_dir=tmp_path)
+        assert result.used_matplotlib
+        for path in result.figure_paths:
+            assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+    def test_force_text_flag_beats_available_matplotlib(
+        self, warm_store, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(build_module, "matplotlib_available", lambda: True)
+        result = build_report(
+            [FIGURE6_SPEC], store=warm_store, out_dir=tmp_path, force_text=True
+        )
+        assert not result.used_matplotlib
+        assert result.figure_paths == []
+
+    def test_bad_arguments_are_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            build_report([], out_dir=tmp_path)
+        with pytest.raises(ValidationError):
+            build_report([FIGURE6_SPEC], out_dir=tmp_path, formats=("pdf",))
+
+
+# ---------------------------------------------------------------------- #
+# CLI surface
+# ---------------------------------------------------------------------- #
+class TestReportCli:
+    def test_repro_report_end_to_end(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        out_dir = tmp_path / "out"
+        rc = main([
+            "report", str(FIGURE6_SPEC), str(ANALYSIS_SPEC),
+            "--store", str(store), "--out-dir", str(out_dir),
+            "--format", "both",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "rendered figure6-10large-20" in captured.out
+        assert (out_dir / "report.html").exists()
+        assert (out_dir / "report.md").exists()
+
+    def test_report_requires_spec_paths(self, capsys):
+        assert main(["report"]) == 2
+        assert "at least one spec" in capsys.readouterr().err
