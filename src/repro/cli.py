@@ -454,7 +454,7 @@ def _validate_one(spec_path: str):
     # construction); run them too, so exit 0 really means "repro run will
     # accept this spec".
     if isinstance(spec.body, GridSpec):
-        build_grid_scenarios(spec.body, spec.seed)
+        build_grid_scenarios(spec.body, spec.seed, max_time=spec.max_time)
         build_cases(spec.body)
     elif isinstance(spec.body, PeriodicSpec):
         build_periodic_setup(spec.body, spec.seed)

@@ -45,7 +45,10 @@ from repro.config.spec import (
     AppSpec,
     BurstBufferTable,
     CongestedMomentsSpec,
+    CrashSpec,
     ExperimentSpec,
+    FaultsSpec,
+    FaultWindowSpec,
     Figure1Spec,
     Figure5Spec,
     Figure6Spec,
@@ -54,6 +57,8 @@ from repro.config.spec import (
     OutputSpec,
     PeriodicSpec,
     PlatformSpec,
+    RandomCrashesSpec,
+    RandomWindowsSpec,
     ScenarioEntry,
     SchedulerCaseSpec,
     VestaSpec,
@@ -72,6 +77,11 @@ __all__ = [
     "ScenarioEntry",
     "SchedulerCaseSpec",
     "OutputSpec",
+    "FaultWindowSpec",
+    "CrashSpec",
+    "RandomWindowsSpec",
+    "RandomCrashesSpec",
+    "FaultsSpec",
     "GridSpec",
     "Figure6Spec",
     "CongestedMomentsSpec",

@@ -10,6 +10,7 @@ every random draw comes from seeds derived by the contract documented in
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Optional
 
 import numpy as np
@@ -18,6 +19,7 @@ from repro.config.schema import SpecError
 from repro.config.spec import (
     AppSpec,
     ExperimentSpec,
+    FaultsSpec,
     GridSpec,
     PeriodicSpec,
     PlatformSpec,
@@ -27,6 +29,13 @@ from repro.config.spec import (
 from repro.core.application import Application
 from repro.core.platform import BurstBufferSpec, Platform, generic, intrepid, mira, vesta
 from repro.core.scenario import Scenario
+from repro.faults import (
+    BandwidthWindow,
+    CrashEvent,
+    FaultModel,
+    sample_crashes,
+    sample_windows,
+)
 from repro.experiments.runner import SchedulerCase
 from repro.periodic.period_search import minimum_period
 from repro.utils.rng import spawn_rngs
@@ -204,12 +213,82 @@ def build_entry_scenarios(
     return scenarios
 
 
-def build_grid_scenarios(grid: GridSpec, seed: int) -> list[Scenario]:
+def _realize_fault_model(
+    faults: FaultsSpec,
+    scenario: Scenario,
+    windows_rng: np.random.Generator,
+    crashes_rng: np.random.Generator,
+    horizon: float,
+) -> FaultModel:
+    """One realized :class:`FaultModel` for one scenario.
+
+    Deterministic windows/crashes translate directly; the stochastic
+    processes are sampled *here*, at build time, from the scenario's two
+    dedicated fault streams — the engines never draw randomness, which is
+    what keeps faulted runs byte-reproducible under any worker count.
+    """
+    unknown = {c.app for c in faults.crashes} - set(scenario.application_names)
+    if unknown:
+        raise SpecError(
+            f"[[faults.crashes]] names unknown application(s) "
+            f"{sorted(unknown)} — scenario {scenario.label!r} has "
+            f"{list(scenario.application_names)}"
+        )
+    windows = [
+        BandwidthWindow(
+            start=w.start,
+            end=w.end if w.end is not None else math.inf,
+            factor=w.factor,
+        )
+        for w in faults.windows
+    ]
+    crashes = [
+        CrashEvent(app_name=c.app, time=c.time, checkpoint_io=c.checkpoint_io)
+        for c in faults.crashes
+    ]
+    if faults.random_windows is not None:
+        rw = faults.random_windows
+        windows.extend(
+            sample_windows(
+                rate=rw.rate,
+                duration=rw.duration,
+                factor=rw.factor,
+                horizon=horizon,
+                rng=windows_rng,
+            )
+        )
+    if faults.random_crashes is not None:
+        rc = faults.random_crashes
+        crashes.extend(
+            sample_crashes(
+                scenario.application_names,
+                rate=rc.rate,
+                checkpoint_io=rc.checkpoint_io,
+                horizon=horizon,
+                rng=crashes_rng,
+            )
+        )
+    return FaultModel(windows=tuple(windows), crashes=tuple(crashes))
+
+
+def build_grid_scenarios(
+    grid: GridSpec, seed: int, *, max_time: float = float("inf")
+) -> list[Scenario]:
     """Every scenario of a grid experiment, in declaration order.
 
     Implements the determinism contract of :mod:`repro.config.spec`: one
     child generator per entry from ``spawn_rngs(seed, n_entries)``, then one
     per repetition inside each entry.
+
+    With a ``[faults]`` table each built scenario gets a realized
+    :class:`~repro.faults.FaultModel`.  Fault randomness comes from its own
+    seed tree — ``spawn_rngs(faults.seed or seed, n_scenarios)``, two child
+    streams (windows, crashes) per scenario — so adding or tuning faults
+    never perturbs the application draws, and vice versa.  With
+    ``baseline = true`` the healthy scenario is kept and its faulted twin
+    (labelled ``"<label>+faults"``) is inserted right after it, so reports
+    can pair the two.  ``max_time`` is the horizon the stochastic fault
+    processes are realized over.
     """
     platform = build_platform(grid.platform)
     entry_rngs = spawn_rngs(seed, len(grid.scenarios))
@@ -224,7 +303,28 @@ def build_grid_scenarios(grid: GridSpec, seed: int) -> list[Scenario]:
                 )
             labels.add(scenario.label)
             scenarios.append(scenario)
-    return scenarios
+    faults = grid.faults
+    if faults is None:
+        return scenarios
+    if faults.is_stochastic and not math.isfinite(max_time):
+        raise SpecError(
+            "stochastic fault processes need a finite max_time horizon "
+            "to realize their events over"
+        )
+    faults_seed = faults.seed if faults.seed is not None else seed
+    fault_rngs = spawn_rngs(faults_seed, len(scenarios))
+    out: list[Scenario] = []
+    for scenario, fault_rng in zip(scenarios, fault_rngs):
+        windows_rng, crashes_rng = spawn_rngs(fault_rng, 2)
+        model = _realize_fault_model(
+            faults, scenario, windows_rng, crashes_rng, max_time
+        )
+        if faults.baseline:
+            out.append(scenario)
+        out.append(
+            scenario.with_faults(model).with_label(f"{scenario.label}+faults")
+        )
+    return out
 
 
 def build_periodic_setup(

@@ -54,6 +54,7 @@ from repro.experiments.reporting import (
     grid_records,
     percent,
     ratio,
+    resilience_records,
     write_csv,
     write_json,
 )
@@ -131,7 +132,7 @@ def _run_grid_spec(
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
-    scenarios = build_grid_scenarios(body, spec.seed)
+    scenarios = build_grid_scenarios(body, spec.seed, max_time=spec.max_time)
     cases = build_cases(body)
     grid = run_grid(scenarios, cases, max_time=spec.max_time,
                     progress=progress, executor=executor, store=store)
@@ -158,6 +159,31 @@ def _run_grid_spec(
         _averages_rows(averages),
         title=f"{spec.name}: averages over {len(scenarios)} scenario(s)",
     )
+    resilience = resilience_records(grid)
+    if resilience:
+        # Keys present only for faulted grids: healthy payloads stay
+        # byte-identical to pre-fault-subsystem artefacts.
+        payload["resilience"] = resilience
+        text += "\n" + format_table(
+            ["Scheduler", "Retained (%)", "Crashes", "Brown-out (s)",
+             "Stall (s)", "Recovery I/O"],
+            [
+                [
+                    str(row["scheduler"]),
+                    percent(row["throughput_retained"]),
+                    str(row["total_crashes"]),
+                    ratio(row["mean_brownout_time"]),
+                    ratio(row["mean_stall_time"]),
+                    ratio(row["mean_recovery_io"]),
+                ]
+                for row in resilience
+            ],
+            title=(
+                f"Resilience under fault injection "
+                f"({resilience[0]['n_faulted_cells']} faulted scenario(s) "
+                "per scheduler)"
+            ),
+        )
     return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
 
 

@@ -68,6 +68,11 @@ __all__ = [
     "ScenarioEntry",
     "SchedulerCaseSpec",
     "OutputSpec",
+    "FaultWindowSpec",
+    "CrashSpec",
+    "RandomWindowsSpec",
+    "RandomCrashesSpec",
+    "FaultsSpec",
     "GridSpec",
     "Figure6Spec",
     "CongestedMomentsSpec",
@@ -427,6 +432,156 @@ def _parse_output(section: Optional[Section]) -> Optional[OutputSpec]:
 
 
 # ---------------------------------------------------------------------- #
+# Fault injection ([faults] table, grid experiments only)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultWindowSpec:
+    """One deterministic PFS degradation window (``[[faults.windows]]``).
+
+    ``factor`` scales the aggregate PFS bandwidth over ``[start, end)``;
+    0 is a full blackout.  ``end = None`` means the window never lifts.
+    """
+
+    start: float
+    factor: float
+    end: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One deterministic crash event (``[[faults.crashes]]``).
+
+    ``app`` must name an application of every scenario the grid builds
+    (checked at build time); ``checkpoint_io`` is the bytes of checkpoint
+    re-read charged before the lost instance restarts.
+    """
+
+    app: str
+    time: float
+    checkpoint_io: float
+
+
+@dataclass(frozen=True)
+class RandomWindowsSpec:
+    """Poisson brown-out process (``[faults.random_windows]``).
+
+    Window starts arrive with exponential inter-arrival times of mean
+    ``1 / rate`` seconds; each window lasts ``duration`` seconds at
+    ``factor`` of nominal bandwidth.  Realized per scenario at build time
+    from the fault seed, never inside the engines.
+    """
+
+    rate: float
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class RandomCrashesSpec:
+    """Poisson crash process (``[faults.random_crashes]``).
+
+    Each application draws its own exponential inter-arrival stream of mean
+    ``1 / rate`` seconds; every crash charges ``checkpoint_io`` bytes of
+    recovery I/O.
+    """
+
+    rate: float
+    checkpoint_io: float
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """The ``[faults]`` table: fault injection for a grid experiment.
+
+    ``seed`` pins the stochastic processes independently of the experiment
+    seed (default: the experiment seed).  With ``baseline = true`` (the
+    default) every scenario also runs healthy, so resilience metrics can
+    report throughput retained versus the fault-free twin.
+    """
+
+    seed: Optional[int] = None
+    baseline: bool = True
+    windows: tuple[FaultWindowSpec, ...] = ()
+    crashes: tuple[CrashSpec, ...] = ()
+    random_windows: Optional[RandomWindowsSpec] = None
+    random_crashes: Optional[RandomCrashesSpec] = None
+
+    @property
+    def is_stochastic(self) -> bool:
+        """True when any fault source needs random draws (and a horizon)."""
+        return self.random_windows is not None or self.random_crashes is not None
+
+
+def _parse_fault_factor(section: Section) -> float:
+    factor = section.get_float("factor", required=True, minimum=0.0, maximum=1.0)
+    if factor >= 1.0:
+        raise SpecError(
+            f"{section.path('factor')} must be < 1 (a factor of 1 is a "
+            "healthy platform; use 0 for a full blackout)"
+        )
+    return factor
+
+
+def _parse_faults(section: Optional[Section]) -> Optional[FaultsSpec]:
+    if section is None:
+        return None
+    windows: list[FaultWindowSpec] = []
+    for w in section.sections("windows"):
+        start = w.get_float("start", required=True, minimum=0.0)
+        end = w.get_float("end", positive=True)
+        factor = _parse_fault_factor(w)
+        if end is not None and end <= start:
+            raise SpecError(
+                f"{w.path('end')} must be > start ({start:g}), got {end:g}"
+            )
+        windows.append(FaultWindowSpec(start=start, factor=factor, end=end))
+        w.finish()
+    crashes: list[CrashSpec] = []
+    for c in section.sections("crashes"):
+        crashes.append(
+            CrashSpec(
+                app=c.get_str("app", required=True),
+                time=c.get_float("time", required=True, minimum=0.0),
+                checkpoint_io=c.get_float("checkpoint_io", required=True, minimum=0.0),
+            )
+        )
+        c.finish()
+    random_windows: Optional[RandomWindowsSpec] = None
+    rw = section.subsection("random_windows")
+    if rw is not None:
+        random_windows = RandomWindowsSpec(
+            rate=rw.get_float("rate", required=True, positive=True),
+            duration=rw.get_float("duration", required=True, positive=True),
+            factor=_parse_fault_factor(rw),
+        )
+        rw.finish()
+    random_crashes: Optional[RandomCrashesSpec] = None
+    rc = section.subsection("random_crashes")
+    if rc is not None:
+        random_crashes = RandomCrashesSpec(
+            rate=rc.get_float("rate", required=True, positive=True),
+            checkpoint_io=rc.get_float("checkpoint_io", required=True, minimum=0.0),
+        )
+        rc.finish()
+    spec = FaultsSpec(
+        seed=section.get_int("seed", minimum=0),
+        baseline=section.get_bool("baseline", True),
+        windows=tuple(windows),
+        crashes=tuple(crashes),
+        random_windows=random_windows,
+        random_crashes=random_crashes,
+    )
+    if not (spec.windows or spec.crashes or spec.is_stochastic):
+        raise section.error(
+            "a [faults] table needs at least one fault source: "
+            "[[faults.windows]], [[faults.crashes]], [faults.random_windows] "
+            "or [faults.random_crashes]"
+        )
+    section.finish()
+    return spec
+
+
+# ---------------------------------------------------------------------- #
 # Experiment bodies
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -436,6 +591,7 @@ class GridSpec:
     platform: PlatformSpec
     scenarios: tuple[ScenarioEntry, ...]
     cases: tuple[SchedulerCaseSpec, ...]
+    faults: Optional[FaultsSpec] = None
 
 
 @dataclass(frozen=True)
@@ -608,7 +764,8 @@ def _parse_grid_body(root: Section) -> GridSpec:
         )
     scenarios = tuple(_parse_scenario_entry(s) for s in scenario_sections)
     cases = _parse_schedulers(root.subsection("schedulers"), "schedulers")
-    return GridSpec(platform=platform, scenarios=scenarios, cases=cases)
+    faults = _parse_faults(root.subsection("faults"))
+    return GridSpec(platform=platform, scenarios=scenarios, cases=cases, faults=faults)
 
 
 def _parse_figure6_body(root: Section) -> Figure6Spec:
@@ -879,6 +1036,11 @@ def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> Exper
         )
     experiment.finish()
 
+    if kind != "grid" and root.has("faults"):
+        raise SpecError(
+            f"[faults] is only supported for kind 'grid', not {kind!r}"
+        )
+
     body: ExperimentBody
     if kind == "grid":
         body = _parse_grid_body(root)
@@ -892,6 +1054,20 @@ def parse_spec(data: Mapping[str, object], *, name: str = "experiment") -> Exper
         body = _parse_analysis_body(root)
     else:
         body = _parse_vesta_body(root)
+
+    if kind == "grid":
+        grid_body = body
+        assert isinstance(grid_body, GridSpec)
+        if (
+            grid_body.faults is not None
+            and grid_body.faults.is_stochastic
+            and max_time == float("inf")
+        ):
+            raise SpecError(
+                "stochastic fault processes ([faults.random_windows] / "
+                "[faults.random_crashes]) need a finite experiment.max_time "
+                "horizon to realize their events over"
+            )
 
     output = _parse_output(root.subsection("output"))
     root.finish()

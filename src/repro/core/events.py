@@ -32,6 +32,11 @@ class EventType(enum.Enum):
     BURST_BUFFER_TRANSITION = "burst_buffer_transition"
     #: A scheduler-initiated re-evaluation (e.g. periodic timetable boundary).
     SCHEDULER_TICK = "scheduler_tick"
+    #: A fault-injection crash: the application loses its in-flight instance
+    #: and must re-read its checkpoint before restarting it.
+    APP_CRASH = "app_crash"
+    #: Recovery I/O finished; the crashed instance restarts from scratch.
+    APP_RESTART = "app_restart"
 
 
 @dataclass(frozen=True)

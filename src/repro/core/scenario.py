@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.core.application import Application, total_processors
 from repro.core.platform import Platform
+from repro.faults.model import FaultModel
 from repro.utils.validation import ValidationError
 
 __all__ = ["Scenario"]
@@ -34,12 +35,19 @@ class Scenario:
         Free-form annotations (e.g. the I/O-to-compute ratio used by the
         generator, or the congested-moment index).  Not interpreted by the
         scheduler or the simulator.
+    faults:
+        Optional realized fault timeline (PFS brown-out windows and
+        application crash/restart events) the engines inject during the
+        run.  Being a declared dataclass field it is canonicalized into
+        every content-addressed store key, so changing any fault parameter
+        re-keys the affected cells.  ``None`` means a healthy platform.
     """
 
     platform: Platform
     applications: tuple[Application, ...]
     label: str = "scenario"
     metadata: Mapping[str, object] = field(default_factory=dict)
+    faults: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         apps = tuple(self.applications)
@@ -54,6 +62,11 @@ class Scenario:
             raise ValidationError(
                 f"applications use {used} processors but the platform "
                 f"{self.platform.name!r} only has {self.platform.total_processors}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultModel):
+            raise ValidationError(
+                f"scenario faults must be a FaultModel or None, "
+                f"got {type(self.faults).__name__}"
             )
         object.__setattr__(self, "applications", apps)
         object.__setattr__(self, "metadata", dict(self.metadata))
@@ -103,6 +116,10 @@ class Scenario:
     def with_applications(self, applications: Sequence[Application]) -> "Scenario":
         """Copy with a different application set."""
         return replace(self, applications=tuple(applications))
+
+    def with_faults(self, faults: Optional[FaultModel]) -> "Scenario":
+        """Copy with a (different) fault timeline, or a healthy copy (``None``)."""
+        return replace(self, faults=faults)
 
     def subset(self, names: Iterable[str]) -> "Scenario":
         """Scenario restricted to the named applications (order preserved)."""

@@ -35,9 +35,14 @@ __all__ = [
     "percent",
     "ratio",
     "grid_records",
+    "resilience_records",
     "write_json",
     "write_csv",
 ]
+
+#: Label suffix marking the faulted twin of a baseline scenario (see
+#: :func:`repro.config.build.build_grid_scenarios`).
+FAULTED_SUFFIX = "+faults"
 
 
 def percent(value: float) -> str:
@@ -126,9 +131,15 @@ def grid_records(grid: "ExperimentGrid") -> list[dict[str, object]]:
     and the full objective vector: ``system_efficiency`` and ``upper_limit``
     as percentages (0–100, the paper's convention), ``dilation`` as a ratio
     (>= 1), ``makespan`` in seconds and the simulator's ``n_events``.
+
+    Cells simulated under fault injection additionally carry flat
+    resilience columns (``fault_crashes``, ``fault_brownout_time``,
+    ``fault_blackout_time``, ``fault_stall_time``, ``fault_recovery_io``);
+    healthy cells omit them, so existing artefacts stay byte-identical.
     """
-    return [
-        {
+    records: list[dict[str, object]] = []
+    for case in grid.cases:
+        record: dict[str, object] = {
             "scenario": case.scenario_label,
             "scheduler": case.scheduler_label,
             "system_efficiency": case.system_efficiency,
@@ -137,8 +148,76 @@ def grid_records(grid: "ExperimentGrid") -> list[dict[str, object]]:
             "makespan": case.makespan,
             "n_events": case.n_events,
         }
-        for case in grid.cases
-    ]
+        if case.faults is not None:
+            record["fault_crashes"] = case.faults.n_crashes
+            record["fault_brownout_time"] = case.faults.brownout_time
+            record["fault_blackout_time"] = case.faults.blackout_time
+            record["fault_stall_time"] = case.faults.stall_time
+            record["fault_recovery_io"] = case.faults.recovery_io
+        records.append(record)
+    return records
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def resilience_records(grid: "ExperimentGrid") -> list[dict[str, object]]:
+    """Per-scheduler resilience summary of a grid's faulted cells.
+
+    Empty when the grid has no faulted cells.  One record per scheduler
+    (first-appearance order) with:
+
+    * ``throughput_retained`` — mean over scenario pairs of the faulted
+      cell's SysEfficiency as a percentage of its healthy twin's (pairs a
+      ``"<label>+faults"`` scenario with ``"<label>"``; NaN when the grid
+      was built without baselines so no pair exists);
+    * ``total_crashes`` / ``restarts`` — applied crash count, total and per
+      application (summed over the scheduler's faulted cells);
+    * ``mean_brownout_time`` / ``mean_stall_time`` — seconds of degraded
+      bandwidth and of degraded-while-wanting-I/O per faulted cell;
+    * ``mean_recovery_io`` — bytes of checkpoint re-reads per faulted cell.
+    """
+    records: list[dict[str, object]] = []
+    for scheduler in grid.schedulers():
+        faulted = [
+            c for c in grid.cases
+            if c.scheduler_label == scheduler and c.faults is not None
+        ]
+        if not faulted:
+            continue
+        retained: list[float] = []
+        for case in faulted:
+            if not case.scenario_label.endswith(FAULTED_SUFFIX):
+                continue
+            base_label = case.scenario_label[: -len(FAULTED_SUFFIX)]
+            try:
+                healthy = grid.cell(base_label, scheduler)
+            except KeyError:
+                continue
+            if healthy.system_efficiency > 0:
+                retained.append(
+                    100.0 * case.system_efficiency / healthy.system_efficiency
+                )
+        restarts: dict[str, int] = {}
+        for case in faulted:
+            for app, n in case.faults.restarts.items():
+                restarts[app] = restarts.get(app, 0) + n
+        records.append(
+            {
+                "scheduler": scheduler,
+                "n_faulted_cells": len(faulted),
+                "throughput_retained": _mean(retained),
+                "total_crashes": sum(c.faults.n_crashes for c in faulted),
+                "restarts": restarts,
+                "mean_brownout_time": _mean(
+                    [c.faults.brownout_time for c in faulted]
+                ),
+                "mean_stall_time": _mean([c.faults.stall_time for c in faulted]),
+                "mean_recovery_io": _mean([c.faults.recovery_io for c in faulted]),
+            }
+        )
+    return records
 
 
 def _jsonable(value: object) -> object:

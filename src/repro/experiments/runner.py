@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Optional, Sequence, TypeVar
 
@@ -54,7 +55,7 @@ from repro.core.scenario import Scenario
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.interface import SchedulerProtocol
-from repro.simulator.metrics import SimulationResult
+from repro.simulator.metrics import FaultStats, SimulationResult
 from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.utils.validation import ValidationError
 
@@ -88,6 +89,12 @@ _CHUNKS_PER_WORKER = 4
 #: draining progress in sub-grid bursts.  Payload copies stay O(workers) in
 #: every mode — never O(cells).
 _SHARED_CHUNKS_PER_WORKER = 2
+
+#: Maps whose estimated total serial cost (``cost_hint * n_items``) falls
+#: below this many seconds run inline even when a pool is configured: at
+#: that size pool spawn + payload pickling dominate and the pooled "speedup"
+#: measures pure overhead (the scale-1 regression of ``BENCH_grid.json``).
+_SERIAL_FALLBACK_SECONDS = 0.25
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -232,6 +239,7 @@ class ExperimentExecutor:
         progress: Optional[Callable[[int, _T, _R], None]] = None,
         shared: object = _NO_SHARED,
         cache: Optional[MapCache] = None,
+        cost_hint: Optional[float] = None,
     ) -> list[_R]:
         """Map ``fn`` over ``items`` on the (shared) pool.
 
@@ -262,6 +270,21 @@ class ExperimentExecutor:
         map resumes from every cell that already landed.  The returned list
         is always in submission order, element-for-element identical to an
         uncached map.
+
+        ``cost_hint`` is the caller's estimate of one item's serial cost in
+        seconds; when ``cost_hint * len(items)`` falls below
+        :data:`_SERIAL_FALLBACK_SECONDS` the map runs inline even with a
+        pool configured — dispatch overhead would dominate such maps.  The
+        fallback never changes results (pooled and serial maps are
+        element-for-element identical by contract), only where they compute.
+
+        Worker death (e.g. the OOM killer, a hard ``os._exit``) surfaces as
+        :class:`BrokenProcessPool` on every in-flight chunk.  The map does
+        not die with the pool: the broken pool is discarded and each
+        affected chunk is recomputed serially in the calling process, so the
+        campaign finishes and every cell still lands (cache write-back
+        rides the normal drain path).  Real exceptions raised by ``fn``
+        propagate unchanged.
         """
         if self._closed:
             raise ValidationError("ExperimentExecutor is closed")
@@ -292,11 +315,19 @@ class ExperimentExecutor:
                 [items[i] for i in miss_indexes],
                 progress=on_miss,
                 shared=shared,
+                cost_hint=cost_hint,
             )
             return results_by_index  # type: ignore[return-value]
         has_shared = shared is not _NO_SHARED
         n = len(items)
-        if self._n_workers <= 1 or n <= 1:
+        run_serial = self._n_workers <= 1 or n <= 1
+        if (
+            not run_serial
+            and cost_hint is not None
+            and cost_hint * n < _SERIAL_FALLBACK_SECONDS
+        ):
+            run_serial = True
+        if run_serial:
             results: list[_R] = []
             for index, item in enumerate(items):
                 result = fn(shared, item) if has_shared else fn(item)
@@ -321,15 +352,32 @@ class ExperimentExecutor:
             chunk = items[start:stop]
             if has_shared:
                 futures.append(
-                    (start, pool.submit(_run_shared_chunk, fn, shared, chunk))
+                    (start, chunk, pool.submit(_run_shared_chunk, fn, shared, chunk))
                 )
             else:
-                futures.append((start, pool.submit(_run_plain_chunk, fn, chunk)))
+                futures.append(
+                    (start, chunk, pool.submit(_run_plain_chunk, fn, chunk))
+                )
             start = stop
 
         results = []
-        for chunk_start, future in futures:
-            for offset, result in enumerate(future.result()):
+        for chunk_start, chunk, future in futures:
+            try:
+                chunk_results = future.result()
+            except BrokenProcessPool:
+                # A worker died mid-chunk (killed, crashed, os._exit): the
+                # pool is unusable and every other in-flight future will
+                # raise the same error.  Drop the pool — a later map spawns
+                # a fresh one — and recompute this chunk serially so the
+                # campaign still finishes with complete, identical results.
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                    self._pool = None
+                chunk_results = [
+                    fn(shared, item) if has_shared else fn(item)
+                    for item in chunk
+                ]
+            for offset, result in enumerate(chunk_results):
                 if progress is not None:
                     index = chunk_start + offset
                     progress(index, items[index], result)
@@ -346,6 +394,7 @@ def map_parallel(
     executor: Optional[ExperimentExecutor] = None,
     shared: object = _NO_SHARED,
     cache: Optional[MapCache] = None,
+    cost_hint: Optional[float] = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -368,7 +417,7 @@ def map_parallel(
     """
     if executor is not None:
         return executor.map(fn, items, progress=progress, shared=shared,
-                            cache=cache)
+                            cache=cache, cost_hint=cost_hint)
     # Ephemeral pool for this one call: never spawn more workers than there
     # are items (a persistent executor keeps its full size because later
     # maps may be larger).
@@ -376,7 +425,7 @@ def map_parallel(
     n_workers = max(1, min(resolve_workers(workers), len(items)))
     with ExperimentExecutor(n_workers) as pool:
         return pool.map(fn, items, progress=progress, shared=shared,
-                        cache=cache)
+                        cache=cache, cost_hint=cost_hint)
 
 
 @dataclass(frozen=True)
@@ -431,6 +480,9 @@ class CaseResult:
     summary: ObjectiveSummary
     makespan: float
     n_events: int
+    #: Resilience metrics when the scenario carried a fault model
+    #: (``None`` for healthy cells, which keeps their payloads byte-stable).
+    faults: Optional[FaultStats] = None
 
     @property
     def system_efficiency(self) -> float:
@@ -540,6 +592,7 @@ def run_case(
         summary=result.summary(),
         makespan=result.makespan,
         n_events=result.n_events,
+        faults=result.fault_stats,
     )
     if return_result:
         return case_result, result
@@ -553,23 +606,30 @@ def encode_case_result(result: CaseResult) -> dict:
     same shortest ``repr``), so a cell served from the result store yields a
     byte-identical artefact.
     """
-    return {
+    payload = {
         "scenario_label": result.scenario_label,
         "scheduler_label": result.scheduler_label,
         "summary": result.summary.as_dict(),
         "makespan": result.makespan,
         "n_events": result.n_events,
     }
+    if result.faults is not None:
+        # Key present only for faulted cells: healthy payloads (and their
+        # stored bytes) are unchanged by the fault subsystem's existence.
+        payload["faults"] = result.faults.as_dict()
+    return payload
 
 
 def decode_case_result(payload: dict) -> CaseResult:
     """Rebuild a :class:`CaseResult` from its stored payload."""
+    faults = payload.get("faults")
     return CaseResult(
         scenario_label=payload["scenario_label"],
         scheduler_label=payload["scheduler_label"],
         summary=ObjectiveSummary.from_dict(payload["summary"]),
         makespan=payload["makespan"],
         n_events=int(payload["n_events"]),
+        faults=FaultStats.from_dict(faults) if faults is not None else None,
     )
 
 
@@ -617,6 +677,28 @@ def _run_grid_cell_shared(
     scenarios, cases, max_time = shared
     i, j = cell
     return run_case(scenarios[i], cases[j], max_time=max_time)
+
+
+#: Rough per-event simulation cost backing the grid's serial-fallback hint.
+#: Deliberately coarse — it only needs to separate millisecond grids (where
+#: pool dispatch dominates) from second-plus grids (where workers pay off).
+_EVENT_COST_SECONDS = 2e-6
+
+
+def _grid_cost_hint(scenarios: Sequence[Scenario]) -> float:
+    """Estimated serial seconds of one *average* grid cell.
+
+    Event count scales with the total instance count and per-event work
+    scales with the number of concurrent applications, so a cell over
+    scenario ``s`` costs roughly ``n_apps(s) * n_instances(s)`` event-units.
+    """
+    if not scenarios:
+        return 0.0
+    per_cell = [
+        len(s.applications) * sum(len(a.instances) for a in s.applications)
+        for s in scenarios
+    ]
+    return _EVENT_COST_SECONDS * sum(per_cell) / len(per_cell)
 
 
 def run_grid(
@@ -697,6 +779,7 @@ def run_grid(
         executor=executor,
         shared=shared,
         cache=cache,
+        cost_hint=_grid_cost_hint(scenarios),
     ):
         grid.add(result)
     return grid

@@ -1,0 +1,252 @@
+"""Deterministic fault models: PFS brown-outs and application crash/restart.
+
+The paper's platform model is perfectly healthy — the parallel file system
+delivers its nominal aggregate bandwidth ``B`` forever and no application
+ever dies.  This module adds the two fault families the related failure
+literature models (limplocked storage running at a fraction of nominal
+speed, crash/restart with recovery traffic) as *data*, not behaviour:
+
+* :class:`BandwidthWindow` — over ``[start, end)`` the effective aggregate
+  PFS bandwidth is ``factor * B`` (``factor == 0`` is a full blackout;
+  ``end`` may be ``inf`` for a permanent degradation).  Only the shared
+  PFS is affected: per-node caps and burst-buffer ingest are fault-free.
+* :class:`CrashEvent` — at ``time`` the named application loses its
+  in-flight instance, re-reads its last checkpoint (``checkpoint_io``
+  bytes of recovery I/O that competes for bandwidth like any transfer)
+  and restarts the instance from scratch.
+
+A :class:`FaultModel` is a frozen aggregate of fully *realized* timelines:
+stochastic fault processes are sampled into concrete windows and crashes at
+build time (:mod:`repro.faults.sampling`), never inside the engines, so a
+faulted run is byte-reproducible regardless of worker count.  Being plain
+frozen dataclasses, fault models canonicalize like every other spec object
+and therefore participate in content-addressed store keys automatically —
+changing any fault parameter re-keys every affected cell.
+
+:class:`FaultTimeline` is the single shared interpreter of a model: a
+forward-only cursor that both engines (:mod:`repro.simulator.engine` and
+:mod:`repro.simulator.reference`) drive identically, so the fault
+arithmetic cannot diverge between them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.utils.validation import ValidationError, check_non_negative
+
+__all__ = [
+    "BandwidthWindow",
+    "CrashEvent",
+    "FaultModel",
+    "FaultTimeline",
+]
+
+#: Same time slack as the engines: boundaries reached within 1e-9 s count
+#: as crossed, so a float shortfall never re-arms a past window.
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BandwidthWindow:
+    """Effective PFS bandwidth is ``factor * B`` over ``[start, end)``.
+
+    ``factor`` must lie in ``[0, 1)`` — a window at factor 1 would be a
+    no-op, and anything above nominal is not a fault.  ``end`` may be
+    ``math.inf`` (the degradation never lifts).  Overlapping windows are
+    allowed; where they overlap the *worst* (smallest) factor applies.
+    """
+
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("fault window start", self.start)
+        if not self.end > self.start:
+            raise ValidationError(
+                f"fault window end must be > start, got [{self.start}, {self.end})"
+            )
+        if math.isnan(self.end):
+            raise ValidationError("fault window end must not be NaN")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValidationError(
+                "fault window factor must lie in [0, 1) — 0 is a blackout, "
+                f"1 would be a no-op — got {self.factor!r}"
+            )
+        object.__setattr__(self, "start", float(self.start))
+        object.__setattr__(self, "end", float(self.end))
+        object.__setattr__(self, "factor", float(self.factor))
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Application ``app_name`` crashes at ``time`` and re-reads its checkpoint.
+
+    The crash discards the in-flight instance (partial compute progress and
+    any unfinished transfer), charges ``checkpoint_io`` bytes of recovery
+    I/O, then restarts the same instance from scratch.  A crash aimed at an
+    application that has not been released yet, or that already finished,
+    is a no-op.
+    """
+
+    app_name: str
+    time: float
+    checkpoint_io: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.app_name:
+            raise ValidationError("crash event needs a non-empty application name")
+        check_non_negative("crash time", self.time)
+        check_non_negative("crash checkpoint_io", self.checkpoint_io)
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(self, "checkpoint_io", float(self.checkpoint_io))
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """A fully realized fault timeline for one scenario.
+
+    Windows and crashes are stored in the order they were declared/sampled
+    (the canonical store key preserves that order); :class:`FaultTimeline`
+    sorts its own working copies, so declaration order never changes the
+    simulated timeline.
+    """
+
+    windows: tuple[BandwidthWindow, ...] = ()
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "windows", tuple(self.windows))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        for window in self.windows:
+            if not isinstance(window, BandwidthWindow):
+                raise ValidationError(
+                    f"FaultModel.windows must hold BandwidthWindow, "
+                    f"got {type(window).__name__}"
+                )
+        for crash in self.crashes:
+            if not isinstance(crash, CrashEvent):
+                raise ValidationError(
+                    f"FaultModel.crashes must hold CrashEvent, "
+                    f"got {type(crash).__name__}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the model injects nothing at all."""
+        return not self.windows and not self.crashes
+
+    def crash_app_names(self) -> set[str]:
+        """Names of every application the crash timeline touches."""
+        return {crash.app_name for crash in self.crashes}
+
+
+def _degradation_segments(
+    windows: tuple[BandwidthWindow, ...],
+) -> list[tuple[float, float, float]]:
+    """Normalize possibly-overlapping windows into disjoint segments.
+
+    Returns ``(start, end, factor)`` triples sorted by start, covering only
+    degraded time (factor < 1), with the minimum factor where windows
+    overlap.  Segment arithmetic runs once per simulation, so the O(W²)
+    cover test over the handful of windows a model carries is irrelevant.
+    """
+    if not windows:
+        return []
+    boundaries: set[float] = set()
+    for w in windows:
+        boundaries.add(w.start)
+        if math.isfinite(w.end):
+            boundaries.add(w.end)
+    cuts = sorted(boundaries)
+    edges = list(zip(cuts, cuts[1:])) + [(cuts[-1], math.inf)]
+    segments: list[tuple[float, float, float]] = []
+    for lo, hi in edges:
+        factor = 1.0
+        for w in windows:
+            if w.start <= lo < w.end:
+                factor = min(factor, w.factor)
+        if factor < 1.0:
+            if segments and segments[-1][1] == lo and segments[-1][2] == factor:
+                segments[-1] = (segments[-1][0], hi, factor)
+            else:
+                segments.append((lo, hi, factor))
+    return segments
+
+
+@dataclass
+class FaultTimeline:
+    """Forward-only cursor over a realized :class:`FaultModel`.
+
+    One timeline serves one simulation run: the cursor methods assume times
+    are queried in non-decreasing order (simulation time only advances).
+    Both engines share this class, so degradation factors, breakpoints and
+    crash ordering are identical by construction.
+    """
+
+    model: FaultModel
+    _segments: list[tuple[float, float, float]] = field(init=False)
+    _seg_idx: int = field(init=False, default=0)
+    _crashes: list[CrashEvent] = field(init=False)
+    _crash_idx: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._segments = _degradation_segments(self.model.windows)
+        # Simultaneous crashes fire in name order (deterministic regardless
+        # of declaration/sampling order).
+        self._crashes = sorted(
+            self.model.crashes, key=lambda c: (c.time, c.app_name)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bandwidth degradation
+    # ------------------------------------------------------------------ #
+    def factor_at(self, time: float) -> float:
+        """Effective bandwidth factor for the interval starting at ``time``."""
+        segments = self._segments
+        i = self._seg_idx
+        while i < len(segments) and time >= segments[i][1] - _TIME_EPS:
+            i += 1
+        self._seg_idx = i
+        if i < len(segments) and time >= segments[i][0] - _TIME_EPS:
+            return segments[i][2]
+        return 1.0
+
+    def next_boundary(self, time: float) -> float | None:
+        """Next instant (strictly after ``time``) at which the factor changes."""
+        for start, end, _factor in self._segments[self._seg_idx :]:
+            if start > time + _TIME_EPS:
+                return start
+            if end > time + _TIME_EPS:
+                return end if math.isfinite(end) else None
+        return None
+
+    def active_windows(self, time: float) -> list[BandwidthWindow]:
+        """The declared windows covering ``time`` (for diagnostics)."""
+        return [
+            w
+            for w in self.model.windows
+            if w.start - _TIME_EPS <= time < w.end - _TIME_EPS
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Crash events
+    # ------------------------------------------------------------------ #
+    def peek_crash_time(self) -> float | None:
+        """Time of the next unfired crash, or ``None``."""
+        if self._crash_idx < len(self._crashes):
+            return self._crashes[self._crash_idx].time
+        return None
+
+    def pop_due_crashes(self, time: float) -> list[CrashEvent]:
+        """Pop every crash due at or before ``time`` (plus the usual slack)."""
+        due: list[CrashEvent] = []
+        crashes = self._crashes
+        i = self._crash_idx
+        while i < len(crashes) and crashes[i].time <= time + _TIME_EPS:
+            due.append(crashes[i])
+            i += 1
+        self._crash_idx = i
+        return due

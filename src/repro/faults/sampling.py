@@ -1,0 +1,78 @@
+"""Seeded stochastic fault processes, realized into concrete timelines.
+
+Fault *processes* (``[faults.random_windows]`` / ``[faults.random_crashes]``
+in a spec) are Poisson processes: exponential inter-arrival times over a
+finite horizon.  They are sampled **at build time** through the same
+``spawn_rngs`` determinism contract as every other stochastic component, so
+the engines only ever see concrete :class:`~repro.faults.model.FaultModel`
+timelines — a faulted campaign is byte-reproducible under any ``workers=N``
+and its store keys cover the exact sampled timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.faults.model import BandwidthWindow, CrashEvent
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["sample_windows", "sample_crashes"]
+
+
+def sample_windows(
+    *,
+    rate: float,
+    duration: float,
+    factor: float,
+    horizon: float,
+    rng: RngLike,
+) -> tuple[BandwidthWindow, ...]:
+    """Sample brown-out windows from a Poisson arrival process.
+
+    Window starts arrive with exponential inter-arrival times of mean
+    ``1 / rate`` over ``[0, horizon)``; each window degrades the PFS to
+    ``factor`` of nominal for ``duration`` seconds.  Windows may overlap —
+    the timeline applies the worst factor where they do.
+    """
+    check_positive("random_windows rate", rate)
+    check_positive("random_windows duration", duration)
+    # factor itself is validated by BandwidthWindow ([0, 1)).
+    check_positive("random_windows horizon", horizon)
+    generator = as_rng(rng)
+    windows: list[BandwidthWindow] = []
+    t = float(generator.exponential(1.0 / rate))
+    while t < horizon:
+        windows.append(BandwidthWindow(start=t, end=t + duration, factor=factor))
+        t += float(generator.exponential(1.0 / rate))
+    return tuple(windows)
+
+
+def sample_crashes(
+    app_names: Sequence[str],
+    *,
+    rate: float,
+    checkpoint_io: float,
+    horizon: float,
+    rng: RngLike,
+) -> tuple[CrashEvent, ...]:
+    """Sample per-application crash times from independent Poisson processes.
+
+    Each application (in declaration order — the order fixes which stream
+    it consumes) crashes with exponential inter-arrival times of mean
+    ``1 / rate`` over ``[0, horizon)``; every crash re-reads
+    ``checkpoint_io`` bytes of recovery I/O.
+    """
+    check_positive("random_crashes rate", rate)
+    check_in_range("random_crashes checkpoint_io", checkpoint_io, low=0.0)
+    check_positive("random_crashes horizon", horizon)
+    generator = as_rng(rng)
+    crashes: list[CrashEvent] = []
+    for name in app_names:
+        t = float(generator.exponential(1.0 / rate))
+        while t < horizon:
+            crashes.append(
+                CrashEvent(app_name=name, time=t, checkpoint_io=checkpoint_io)
+            )
+            t += float(generator.exponential(1.0 / rate))
+    return tuple(crashes)

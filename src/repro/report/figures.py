@@ -107,13 +107,91 @@ def _averages_figures(
 
 
 # ---------------------------------------------------------------------- #
+def _num(value: object) -> float:
+    """Payload number → float, tolerating the JSON round trip.
+
+    :func:`repro.experiments.reporting.write_json` rewrites NaN to ``null``
+    and infinities to ``"inf"`` / ``"-inf"``; a report rebuilt from a loaded
+    artefact must read them back the same way a live payload does.
+    """
+    if value is None:
+        return float("nan")
+    if isinstance(value, str):
+        return float(value)  # "inf" / "-inf" parse natively
+    return float(value)
+
+
+def _resilience_figures(payload: Mapping) -> list[FigureData]:
+    """Degradation figures for grids run under fault injection.
+
+    Keyed off the ``resilience`` payload section that
+    :func:`repro.config.run._run_grid_spec` emits only for faulted grids, so
+    healthy reports are unchanged.
+    """
+    resilience = payload.get("resilience")
+    if not resilience:
+        return []
+    schedulers = [str(row["scheduler"]) for row in resilience]
+    retained = [_num(row["throughput_retained"]) for row in resilience]
+    brownout = [_num(row["mean_brownout_time"]) for row in resilience]
+    stall = [_num(row["mean_stall_time"]) for row in resilience]
+    table_headers = [
+        "Scheduler", "Retained (%)", "Crashes", "Brown-out (s)", "Stall (s)",
+        "Recovery I/O",
+    ]
+    table_rows = [
+        [
+            str(row["scheduler"]),
+            percent(_num(row["throughput_retained"])),
+            str(row["total_crashes"]),
+            ratio(_num(row["mean_brownout_time"])),
+            ratio(_num(row["mean_stall_time"])),
+            ratio(_num(row["mean_recovery_io"])),
+        ]
+        for row in resilience
+    ]
+    n_cells = resilience[0]["n_faulted_cells"]
+    degradation = FigureData(
+        slug="faults-retained",
+        title="Fault injection — throughput retained",
+        chart="bars",
+        categories=schedulers,
+        series={"Throughput retained (%)": retained},
+        y_label="SysEfficiency vs healthy twin (%)",
+        caption=(
+            f"Faulted SysEfficiency as a share of the healthy baseline, "
+            f"averaged over {n_cells} faulted scenario(s) per scheduler."
+        ),
+        table_headers=table_headers,
+        table_rows=table_rows,
+    )
+    stalls = FigureData(
+        slug="faults-stall",
+        title="Fault injection — brown-out exposure",
+        chart="bars",
+        categories=schedulers,
+        series={
+            "Brown-out time (s)": brownout,
+            "Stall time (s)": stall,
+        },
+        y_label="Seconds per faulted scenario",
+        caption=(
+            "Mean seconds of degraded PFS bandwidth, and the subset spent "
+            "while at least one application wanted I/O."
+        ),
+    )
+    return [degradation, stalls]
+
+
 def _grid_figures(payload: Mapping) -> list[FigureData]:
-    return _averages_figures(
+    figures = _averages_figures(
         "averages",
         "Scheduler averages",
         payload["averages"],
         caption=f"Averaged over {payload['n_scenarios']} scenario(s).",
     )
+    figures.extend(_resilience_figures(payload))
+    return figures
 
 
 def _figure6_figures(payload: Mapping) -> list[FigureData]:

@@ -31,6 +31,7 @@ from repro.simulator.interface import (
 from repro.simulator.metrics import (
     ApplicationRecord,
     BurstBufferStats,
+    FaultStats,
     InstanceRecord,
     SimulationResult,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ApplicationRecord",
     "InstanceRecord",
     "BurstBufferStats",
+    "FaultStats",
     "SimulationResult",
 ]
 

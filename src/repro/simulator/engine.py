@@ -59,6 +59,7 @@ from repro.core.allocation import BandwidthAllocation
 from repro.core.application import Application
 from repro.core.events import Event, EventLog, EventType
 from repro.core.scenario import Scenario
+from repro.faults.model import CrashEvent, FaultTimeline
 from repro.simulator.bandwidth import fair_share
 from repro.simulator.burst_buffer import BurstBufferState
 from repro.simulator.interface import (
@@ -70,6 +71,7 @@ from repro.simulator.interface import (
 from repro.simulator.metrics import (
     ApplicationRecord,
     BurstBufferStats,
+    FaultStats,
     InstanceRecord,
     SimulationResult,
 )
@@ -96,7 +98,35 @@ class SimulationError(RuntimeError):
 
 
 class StallError(SimulationError):
-    """Raised when applications wait for I/O forever (scheduler deadlock)."""
+    """Raised when applications wait for I/O forever (scheduler deadlock,
+    or a permanent blackout window with applications still wanting I/O)."""
+
+
+def _stall_message(
+    scheduler_name: str,
+    app_names: list[str],
+    time: float,
+    timeline: Optional[FaultTimeline],
+) -> str:
+    """Diagnostic for a stall: who is stuck, when, and under which faults.
+
+    Shared by both engines so the diagnosis never diverges.  The message
+    keeps the ``"stalled"`` / ``"N application(s)"`` phrasing the guard-rail
+    tests (and downstream log scrapers) match on.
+    """
+    message = (
+        f"scheduler {scheduler_name!r} left {len(app_names)} application(s) "
+        "stalled with no future event to unblock them "
+        f"(stalled: {', '.join(app_names)}; simulation time t={time:g})"
+    )
+    if timeline is not None:
+        active = timeline.active_windows(time)
+        if active:
+            windows = ", ".join(
+                f"[{w.start:g}, {w.end:g}) factor={w.factor:g}" for w in active
+            )
+            message += f"; active fault window(s): {windows}"
+    return message
 
 
 @dataclass(frozen=True)
@@ -157,6 +187,11 @@ class _Runtime:
     total_io_transferred: float = 0.0
     current_rate: float = 0.0
     instance_records: list[InstanceRecord] = field(default_factory=list)
+    # Fault-injection state: a recovering application is re-reading its
+    # checkpoint (``remaining_io`` holds recovery bytes, not instance I/O).
+    recovering: bool = False
+    n_crashes: int = 0
+    recovery_io: float = 0.0
     # Fast-path bookkeeping.
     compute_epoch: int = 0
     view_epoch: int = 0
@@ -208,6 +243,12 @@ class Simulator:
                 f"use_burst_buffer=True but platform {self.platform.name!r} "
                 "has no burst buffer specification"
             )
+        if scenario.faults is not None:
+            unknown = sorted(scenario.faults.crash_app_names() - set(self._app_map))
+            if unknown:
+                raise ValidationError(
+                    f"fault model crashes name unknown application(s): {unknown}"
+                )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -240,8 +281,20 @@ class Simulator:
         self._heap = heap
         self._candidates: list[_Runtime] = []
         self._n_done = 0
+        self._runtimes = runtimes
         for rt in runtimes.values():
             heap.push(rt.app.release_time, (_RELEASE, rt, 0))
+
+        # Fault injection: one forward-only timeline cursor per run — the
+        # same :class:`FaultTimeline` the reference engine drives, so the
+        # fault arithmetic is shared rather than reimplemented.
+        faults = self.scenario.faults
+        timeline = FaultTimeline(faults) if faults is not None else None
+        self._timeline = timeline
+        fault_factor = 1.0
+        fault_brownout = 0.0
+        fault_blackout = 0.0
+        fault_stall = 0.0
 
         time = min(app.release_time for app in self.scenario)
         n_events = 0
@@ -264,7 +317,15 @@ class Simulator:
             candidates = self._candidates
             bb_ingest_rates: dict[str, float] = {}
             drain = bb.drain_rate() if bb is not None else 0.0
-            available = max(0.0, self.platform.system_bandwidth - drain)
+            if timeline is None:
+                available = max(0.0, self.platform.system_bandwidth - drain)
+            else:
+                # A brown-out degrades the shared PFS only; the per-node cap
+                # and the burst-buffer ingest fabric stay fault-free.
+                fault_factor = timeline.factor_at(time)
+                available = max(
+                    0.0, self.platform.system_bandwidth * fault_factor - drain
+                )
 
             if bb is not None and bb.can_absorb() and candidates:
                 # Writes are absorbed by the burst buffer: fair share of the
@@ -354,9 +415,12 @@ class Simulator:
             if dt is None:
                 if candidates:
                     raise StallError(
-                        f"scheduler {scheduler.name!r} left "
-                        f"{len(candidates)} application(s) stalled with no "
-                        "future event to unblock them"
+                        _stall_message(
+                            scheduler.name,
+                            [rt.app.name for rt in candidates],
+                            time,
+                            timeline,
+                        )
                     )
                 raise SimulationError("no future event but applications remain")
 
@@ -364,6 +428,13 @@ class Simulator:
                 dt = self.config.max_time - time
                 if dt <= _TIME_EPS:
                     break
+
+            if timeline is not None and fault_factor < 1.0:
+                fault_brownout += dt
+                if fault_factor <= 0.0:
+                    fault_blackout += dt
+                if candidates:
+                    fault_stall += dt
 
             # ---------------- advance the interval ------------------------
             for rt in io_active:
@@ -373,6 +444,8 @@ class Simulator:
                 moved = min(rt.current_rate * dt, rt.remaining_io)
                 rt.remaining_io = max(0.0, rt.remaining_io - moved)
                 rt.total_io_transferred += moved
+                if rt.recovering:
+                    rt.recovery_io += moved
                 rt.view_epoch += 1
             if bb is not None:
                 if not bb.can_absorb():
@@ -400,6 +473,20 @@ class Simulator:
                 final_level=bb.level,
                 time_full=time_bb_full,
             )
+        fault_stats = None
+        if timeline is not None:
+            fault_stats = FaultStats(
+                n_crashes=sum(rt.n_crashes for rt in runtimes.values()),
+                restarts={
+                    rt.app.name: rt.n_crashes
+                    for rt in runtimes.values()
+                    if rt.n_crashes
+                },
+                brownout_time=fault_brownout,
+                blackout_time=fault_blackout,
+                stall_time=fault_stall,
+                recovery_io=sum(rt.recovery_io for rt in runtimes.values()),
+            )
         return SimulationResult(
             scenario_label=self.scenario.label,
             scheduler_name=scheduler.name,
@@ -408,6 +495,7 @@ class Simulator:
             makespan=makespan,
             n_events=n_events,
             burst_buffer=bb_stats,
+            fault_stats=fault_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -424,15 +512,35 @@ class Simulator:
         insertion order, matching the reference engine's dict-order sweep so
         that event logs serialize identically.
         """
+        crashed: list[_Runtime] = []
+        if self._timeline is not None:
+            # Crashes fire before the ordinary transitions of the same
+            # instant: an instance whose I/O "just finished" when its
+            # application dies is lost, deterministically, in both engines.
+            runtimes = self._runtimes
+            for crash in self._timeline.pop_due_crashes(time):
+                rt = runtimes.get(crash.app_name)
+                if rt is not None and self._apply_crash(rt, crash, time, log):
+                    crashed.append(rt)
         due = self._heap.pop_due(time + _TIME_EPS, _entry_valid)
         fired = [entry[1] for entry in due]
+        fired.extend(crashed)
         for rt in io_active:
             if rt.remaining_io <= _VOLUME_EPS:
                 fired.append(rt)
         if len(fired) > 1:
             # Heap-due (NOT_RELEASED / COMPUTING) and transfer-due (I/O
-            # phases) populations are disjoint, so no deduplication needed.
+            # phases) populations are disjoint, so no deduplication needed —
+            # except for crashed runtimes, which can coincide with a
+            # transfer-due entry (a ~zero-byte checkpoint re-read) or repeat
+            # (two crashes of one application at the same instant).
             fired.sort(key=_by_index)
+            if crashed:
+                deduped = [fired[0]]
+                for rt in fired[1:]:
+                    if rt is not deduped[-1]:
+                        deduped.append(rt)
+                fired = deduped
         for rt in fired:
             self._transition(rt, time, log)
 
@@ -459,7 +567,62 @@ class Simulator:
             rt.view_epoch += 1
             self._request_io(rt, time, log)
         if rt.wants_io and rt.remaining_io <= _VOLUME_EPS:
-            self._complete_instance(rt, time, log)
+            if rt.recovering:
+                self._finish_recovery(rt, time, log)
+            else:
+                self._complete_instance(rt, time, log)
+
+    def _apply_crash(
+        self, rt: _Runtime, crash: CrashEvent, time: float, log: EventLog | None
+    ) -> bool:
+        """Crash ``rt``: discard the in-flight instance, queue recovery I/O.
+
+        Returns True when the crash actually landed (crashes aimed at
+        applications outside the system — not yet released, or already done
+        — are no-ops).  A crash during recovery restarts the checkpoint
+        re-read from scratch.
+        """
+        phase = rt.phase
+        if phase is ApplicationPhase.DONE or phase is ApplicationPhase.NOT_RELEASED:
+            return False
+        rt.n_crashes += 1
+        self._log(log, time, EventType.APP_CRASH, rt.app.name, rt.instance_idx)
+        if phase is ApplicationPhase.COMPUTING:
+            # Invalidate the pending compute-end heap entry; the application
+            # becomes an I/O candidate (the recovery read) instead.
+            rt.compute_epoch += 1
+            insort(self._candidates, rt, key=_by_index)
+        elif not rt.recovering:
+            # The instance's compute chunk was credited at compute end; the
+            # crash loses that progress (partial compute progress of a
+            # COMPUTING application was never credited, so there is nothing
+            # to subtract there).
+            rt.executed_work -= rt.current_instance().work
+        rt.recovering = True
+        rt.phase = ApplicationPhase.IO_PENDING
+        rt.remaining_io = crash.checkpoint_io
+        rt.io_started = False
+        rt.io_first_transfer = None
+        rt.io_request_time = time
+        rt.current_rate = 0.0
+        rt.view_epoch += 1
+        return True
+
+    def _finish_recovery(self, rt: _Runtime, time: float, log: EventLog | None) -> None:
+        """Checkpoint re-read done: restart the crashed instance from scratch."""
+        rt.recovering = False
+        rt.remaining_io = 0.0
+        rt.current_rate = 0.0
+        rt.io_started = False
+        rt.io_first_transfer = None
+        rt.io_request_time = None
+        rt.view_epoch += 1
+        candidates = self._candidates
+        i = bisect_left(candidates, rt.index, key=_by_index)
+        if i < len(candidates) and candidates[i] is rt:
+            del candidates[i]
+        self._log(log, time, EventType.APP_RESTART, rt.app.name, rt.instance_idx)
+        self._start_compute(rt, time, log)
 
     def _start_compute(self, rt: _Runtime, time: float, log: EventLog | None) -> None:
         inst = rt.current_instance()
@@ -564,6 +727,16 @@ class Simulator:
             transition = bb.next_transition(total_ingest)
             if transition is not None:
                 deltas.append(transition)
+        if self._timeline is not None:
+            # Fault breakpoints are time-certain events: the interval must be
+            # cut at every degradation-factor change and at every crash so
+            # rates stay piecewise-constant between events.
+            boundary = self._timeline.next_boundary(time)
+            if boundary is not None:
+                deltas.append(boundary - time)
+            crash_time = self._timeline.peek_crash_time()
+            if crash_time is not None:
+                deltas.append(max(0.0, crash_time - time))
         eligible = [d for d in deltas if d >= 0.0]
         if not eligible:
             return None
@@ -685,6 +858,7 @@ class Simulator:
             dedicated_io_time=dedicated_io_time,
             total_io_transferred=rt.total_io_transferred,
             instances=list(rt.instance_records),
+            restarts=rt.n_crashes,
         )
 
     # ------------------------------------------------------------------ #

@@ -10,7 +10,7 @@ throughput figures behind Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -24,7 +24,13 @@ from repro.core.objectives import (
 from repro.core.platform import Platform
 from repro.utils.validation import ValidationError
 
-__all__ = ["InstanceRecord", "ApplicationRecord", "BurstBufferStats", "SimulationResult"]
+__all__ = [
+    "InstanceRecord",
+    "ApplicationRecord",
+    "BurstBufferStats",
+    "FaultStats",
+    "SimulationResult",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +91,8 @@ class ApplicationRecord:
     dedicated_io_time: float
     total_io_transferred: float
     instances: list[InstanceRecord] = field(default_factory=list)
+    #: Crash/restart count under fault injection (0 on healthy platforms).
+    restarts: int = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -176,6 +184,62 @@ class BurstBufferStats:
     time_full: float
 
 
+@dataclass(frozen=True)
+class FaultStats:
+    """Resilience metrics of one faulted run (``None`` on healthy platforms).
+
+    Attributes
+    ----------
+    n_crashes:
+        Crash events actually applied (crashes aimed at unreleased or
+        already-finished applications are no-ops and do not count).
+    restarts:
+        Per-application applied crash counts, applications with at least
+        one restart only, in scenario declaration order.
+    brownout_time:
+        Simulated seconds during which the effective PFS bandwidth was
+        below nominal (factor < 1), within the run's horizon.
+    blackout_time:
+        The subset of ``brownout_time`` at factor 0 (no PFS bandwidth).
+    stall_time:
+        Seconds during which at least one application wanted I/O while the
+        PFS was degraded — the stall time attributable to brown-outs.
+    recovery_io:
+        Bytes of checkpoint re-reads actually transferred (the extra I/O
+        volume charged by crash/restart).
+    """
+
+    n_crashes: int
+    restarts: Mapping[str, int]
+    brownout_time: float
+    blackout_time: float
+    stall_time: float
+    recovery_io: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-JSON form (payloads, store entries, CSV flattening)."""
+        return {
+            "n_crashes": self.n_crashes,
+            "restarts": dict(self.restarts),
+            "brownout_time": self.brownout_time,
+            "blackout_time": self.blackout_time,
+            "stall_time": self.stall_time,
+            "recovery_io": self.recovery_io,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultStats":
+        """Inverse of :meth:`as_dict` (store decode path)."""
+        return cls(
+            n_crashes=int(payload["n_crashes"]),
+            restarts={str(k): int(v) for k, v in dict(payload["restarts"]).items()},
+            brownout_time=float(payload["brownout_time"]),
+            blackout_time=float(payload["blackout_time"]),
+            stall_time=float(payload["stall_time"]),
+            recovery_io=float(payload["recovery_io"]),
+        )
+
+
 @dataclass
 class SimulationResult:
     """Everything the simulator returns for one (scenario, scheduler) run."""
@@ -187,6 +251,7 @@ class SimulationResult:
     makespan: float
     n_events: int
     burst_buffer: Optional[BurstBufferStats] = None
+    fault_stats: Optional[FaultStats] = None
 
     def __post_init__(self) -> None:
         if not self.records:

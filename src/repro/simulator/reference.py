@@ -31,9 +31,15 @@ from repro.core.allocation import BandwidthAllocation
 from repro.core.application import Application
 from repro.core.events import Event, EventLog, EventType
 from repro.core.scenario import Scenario
+from repro.faults.model import CrashEvent, FaultTimeline
 from repro.simulator.bandwidth import fair_share
+from repro.simulator.engine import (
+    SimulationError,
+    SimulatorConfig,
+    StallError,
+    _stall_message,
+)
 from repro.simulator.burst_buffer import BurstBufferState
-from repro.simulator.engine import SimulationError, SimulatorConfig, StallError
 from repro.simulator.interface import (
     ApplicationPhase,
     ApplicationView,
@@ -43,6 +49,7 @@ from repro.simulator.interface import (
 from repro.simulator.metrics import (
     ApplicationRecord,
     BurstBufferStats,
+    FaultStats,
     InstanceRecord,
     SimulationResult,
 )
@@ -77,6 +84,11 @@ class _Runtime:
     total_io_transferred: float = 0.0
     current_rate: float = 0.0
     instance_records: list[InstanceRecord] = field(default_factory=list)
+    # Fault-injection state: a recovering application is re-reading its
+    # checkpoint (``remaining_io`` holds recovery bytes, not instance I/O).
+    recovering: bool = False
+    n_crashes: int = 0
+    recovery_io: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -103,6 +115,12 @@ class ReferenceSimulator:
                 f"use_burst_buffer=True but platform {self.platform.name!r} "
                 "has no burst buffer specification"
             )
+        if scenario.faults is not None:
+            unknown = sorted(scenario.faults.crash_app_names() - set(self._app_map))
+            if unknown:
+                raise ValidationError(
+                    f"fault model crashes name unknown application(s): {unknown}"
+                )
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -121,6 +139,17 @@ class ReferenceSimulator:
         log = event_log if event_log is not None else (
             EventLog() if self.config.record_events else None
         )
+
+        # Fault injection: one forward-only timeline cursor per run, shared
+        # semantics with the optimized engine (same class interprets the
+        # same model, so the engines cannot diverge on fault arithmetic).
+        faults = self.scenario.faults
+        timeline = FaultTimeline(faults) if faults is not None else None
+        self._timeline = timeline
+        fault_factor = 1.0
+        fault_brownout = 0.0
+        fault_blackout = 0.0
+        fault_stall = 0.0
 
         time = min(app.release_time for app in self.scenario)
         n_events = 0
@@ -141,7 +170,15 @@ class ReferenceSimulator:
             candidates = [rt for rt in runtimes.values() if rt.wants_io]
             bb_ingest_rates: dict[str, float] = {}
             drain = bb.drain_rate() if bb is not None else 0.0
-            available = max(0.0, self.platform.system_bandwidth - drain)
+            if timeline is None:
+                available = max(0.0, self.platform.system_bandwidth - drain)
+            else:
+                # A brown-out degrades the shared PFS only; the per-node cap
+                # and the burst-buffer ingest fabric stay fault-free.
+                fault_factor = timeline.factor_at(time)
+                available = max(
+                    0.0, self.platform.system_bandwidth * fault_factor - drain
+                )
 
             if bb is not None and bb.can_absorb() and candidates:
                 # Writes are absorbed by the burst buffer: fair share of the
@@ -191,9 +228,12 @@ class ReferenceSimulator:
             if dt is None:
                 if candidates:
                     raise StallError(
-                        f"scheduler {scheduler.name!r} left "
-                        f"{len(candidates)} application(s) stalled with no "
-                        "future event to unblock them"
+                        _stall_message(
+                            scheduler.name,
+                            [rt.app.name for rt in candidates],
+                            time,
+                            timeline,
+                        )
                     )
                 raise SimulationError("no future event but applications remain")
 
@@ -201,6 +241,13 @@ class ReferenceSimulator:
                 dt = self.config.max_time - time
                 if dt <= _TIME_EPS:
                     break
+
+            if timeline is not None and fault_factor < 1.0:
+                fault_brownout += dt
+                if fault_factor <= 0.0:
+                    fault_blackout += dt
+                if candidates:
+                    fault_stall += dt
 
             # ---------------- advance the interval ------------------------
             for rt in runtimes.values():
@@ -211,6 +258,8 @@ class ReferenceSimulator:
                     moved = min(rt.current_rate * dt, rt.remaining_io)
                     rt.remaining_io = max(0.0, rt.remaining_io - moved)
                     rt.total_io_transferred += moved
+                    if rt.recovering:
+                        rt.recovery_io += moved
             if bb is not None:
                 if not bb.can_absorb():
                     time_bb_full += dt
@@ -237,6 +286,20 @@ class ReferenceSimulator:
                 final_level=bb.level,
                 time_full=time_bb_full,
             )
+        fault_stats = None
+        if timeline is not None:
+            fault_stats = FaultStats(
+                n_crashes=sum(rt.n_crashes for rt in runtimes.values()),
+                restarts={
+                    rt.app.name: rt.n_crashes
+                    for rt in runtimes.values()
+                    if rt.n_crashes
+                },
+                brownout_time=fault_brownout,
+                blackout_time=fault_blackout,
+                stall_time=fault_stall,
+                recovery_io=sum(rt.recovery_io for rt in runtimes.values()),
+            )
         return SimulationResult(
             scenario_label=self.scenario.label,
             scheduler_name=scheduler.name,
@@ -245,6 +308,7 @@ class ReferenceSimulator:
             makespan=makespan,
             n_events=n_events,
             burst_buffer=bb_stats,
+            fault_stats=fault_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -254,6 +318,14 @@ class ReferenceSimulator:
         self, runtimes: dict[str, _Runtime], time: float, log: EventLog | None
     ) -> None:
         """Fire every transition due at ``time`` (releases, compute ends, I/O ends)."""
+        # Crashes fire before the ordinary transitions of the same instant:
+        # an instance whose I/O "just finished" when its application dies is
+        # lost, deterministically, in both engines.
+        if self._timeline is not None:
+            for crash in self._timeline.pop_due_crashes(time):
+                rt = runtimes.get(crash.app_name)
+                if rt is not None:
+                    self._apply_crash(rt, crash, time, log)
         for rt in runtimes.values():
             # Releases.
             if (
@@ -269,9 +341,52 @@ class ReferenceSimulator:
             ):
                 rt.executed_work += rt.current_instance().work
                 self._request_io(rt, time, log)
-            # I/O completions.
+            # I/O completions (a recovering application finished its
+            # checkpoint re-read instead: restart the crashed instance).
             if rt.wants_io and rt.remaining_io <= _VOLUME_EPS:
-                self._complete_instance(rt, time, log)
+                if rt.recovering:
+                    self._finish_recovery(rt, time, log)
+                else:
+                    self._complete_instance(rt, time, log)
+
+    def _apply_crash(
+        self, rt: _Runtime, crash: CrashEvent, time: float, log: EventLog | None
+    ) -> None:
+        """Crash ``rt``: discard the in-flight instance, queue recovery I/O.
+
+        Crashes aimed at applications outside the system (not yet released,
+        or already done) are no-ops.  A crash during recovery restarts the
+        checkpoint re-read from scratch.
+        """
+        phase = rt.phase
+        if phase is ApplicationPhase.DONE or phase is ApplicationPhase.NOT_RELEASED:
+            return
+        rt.n_crashes += 1
+        self._log(log, time, EventType.APP_CRASH, rt.app.name, rt.instance_idx)
+        if phase is not ApplicationPhase.COMPUTING and not rt.recovering:
+            # The instance's compute chunk was credited at compute end; the
+            # crash loses that progress (partial compute progress of a
+            # COMPUTING application was never credited, so there is nothing
+            # to subtract there).
+            rt.executed_work -= rt.current_instance().work
+        rt.recovering = True
+        rt.phase = ApplicationPhase.IO_PENDING
+        rt.remaining_io = crash.checkpoint_io
+        rt.io_started = False
+        rt.io_first_transfer = None
+        rt.io_request_time = time
+        rt.current_rate = 0.0
+
+    def _finish_recovery(self, rt: _Runtime, time: float, log: EventLog | None) -> None:
+        """Checkpoint re-read done: restart the crashed instance from scratch."""
+        rt.recovering = False
+        rt.remaining_io = 0.0
+        rt.current_rate = 0.0
+        rt.io_started = False
+        rt.io_first_transfer = None
+        rt.io_request_time = None
+        self._log(log, time, EventType.APP_RESTART, rt.app.name, rt.instance_idx)
+        self._start_compute(rt, time, log)
 
     def _start_compute(self, rt: _Runtime, time: float, log: EventLog | None) -> None:
         inst = rt.current_instance()
@@ -355,6 +470,16 @@ class ReferenceSimulator:
             transition = bb.next_transition(total_ingest)
             if transition is not None:
                 deltas.append(transition)
+        if self._timeline is not None:
+            # Fault breakpoints are time-certain events: the interval must be
+            # cut at every degradation-factor change and at every crash so
+            # rates stay piecewise-constant between events.
+            boundary = self._timeline.next_boundary(time)
+            if boundary is not None:
+                deltas.append(boundary - time)
+            crash_time = self._timeline.peek_crash_time()
+            if crash_time is not None:
+                deltas.append(max(0.0, crash_time - time))
         eligible = [d for d in deltas if d >= 0.0]
         if not eligible:
             return None
@@ -446,6 +571,7 @@ class ReferenceSimulator:
             dedicated_io_time=dedicated_io_time,
             total_io_transferred=rt.total_io_transferred,
             instances=list(rt.instance_records),
+            restarts=rt.n_crashes,
         )
 
     # ------------------------------------------------------------------ #

@@ -39,6 +39,7 @@ PRODUCING_PACKAGES: tuple[str, ...] = (
     "workload",
     "experiments",
     "config",
+    "faults",
     "utils",
 )
 

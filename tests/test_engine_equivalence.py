@@ -22,6 +22,7 @@ import pytest
 from repro.core.application import Application
 from repro.core.platform import BurstBufferSpec, Platform
 from repro.core.scenario import Scenario
+from repro.faults import BandwidthWindow, CrashEvent, FaultModel
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.reference import reference_simulate
@@ -96,6 +97,10 @@ def assert_equivalent(scenario, scheduler_name, config=None):
             ref_rec.total_io_transferred, abs=TOL
         )
         assert len(rec.instances) == len(ref_rec.instances)
+        assert rec.restarts == ref_rec.restarts, name
+    assert (fast.fault_stats is None) == (seed_engine.fault_stats is None)
+    if fast.fault_stats is not None:
+        assert fast.fault_stats == seed_engine.fault_stats
     return fast, seed_engine
 
 
@@ -178,3 +183,172 @@ class TestAwkwardShapes:
             (e.time, e.event_type, e.app_name, e.instance_index) for e in seed_log
         ]
         assert fast_events == seed_events
+
+
+def random_fault_model(
+    seed: int,
+    scenario: Scenario,
+    *,
+    with_windows: bool = True,
+    with_crashes: bool = True,
+    with_blackout: bool = False,
+) -> FaultModel:
+    """A randomized (but seed-deterministic) fault model for ``scenario``."""
+    rng = np.random.default_rng(1000 + seed)
+    windows: list[BandwidthWindow] = []
+    if with_windows:
+        t = 0.0
+        for _ in range(4):
+            t += float(rng.uniform(30.0, 200.0))
+            duration = float(rng.uniform(20.0, 120.0))
+            windows.append(
+                BandwidthWindow(
+                    start=t,
+                    end=t + duration,
+                    factor=float(rng.uniform(0.0, 0.8)),
+                )
+            )
+            t += duration
+    if with_blackout:
+        windows.append(BandwidthWindow(start=250.0, end=320.0, factor=0.0))
+    crashes: list[CrashEvent] = []
+    if with_crashes:
+        names = list(scenario.application_names)
+        for _ in range(5):
+            name = names[int(rng.integers(0, len(names)))]
+            app = scenario.application(name)
+            crashes.append(
+                CrashEvent(
+                    app_name=name,
+                    time=float(rng.uniform(10.0, 800.0)),
+                    checkpoint_io=float(rng.uniform(0.0, 1.0))
+                    * app.instances[0].io_volume,
+                )
+            )
+    return FaultModel(windows=tuple(windows), crashes=tuple(crashes))
+
+
+class TestFaultedEquivalence:
+    """Tentpole acceptance: equivalence extends to faulted scenarios.
+
+    Degradation windows (brown-outs and full blackouts), crash/restart
+    cycles and their combination must leave the two engines bit-for-bit
+    identical — including the new resilience counters and the APP_CRASH /
+    APP_RESTART events.
+    """
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_all_heuristics_with_faults(self, seed, scheduler):
+        scenario = random_scenario(seed)
+        faulted = scenario.with_faults(random_fault_model(seed, scenario))
+        fast, _ = assert_equivalent(faulted, scheduler)
+        assert fast.fault_stats is not None
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_degradation_windows_only(self, seed):
+        scenario = random_scenario(seed)
+        faulted = scenario.with_faults(
+            random_fault_model(seed, scenario, with_crashes=False,
+                               with_blackout=True)
+        )
+        fast, _ = assert_equivalent(faulted, "MaxSysEff")
+        assert fast.fault_stats.n_crashes == 0
+        assert fast.fault_stats.blackout_time > 0.0
+        assert fast.fault_stats.brownout_time >= fast.fault_stats.blackout_time
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_crashes_only(self, seed):
+        scenario = random_scenario(seed)
+        faulted = scenario.with_faults(
+            random_fault_model(seed, scenario, with_windows=False)
+        )
+        fast, _ = assert_equivalent(faulted, "MinDilation")
+        assert fast.fault_stats.brownout_time == 0.0
+        total_restarts = sum(
+            rec.restarts for rec in fast.records.values()
+        )
+        assert total_restarts == fast.fault_stats.n_crashes
+
+    def test_zero_checkpoint_crash(self):
+        # A crash with no checkpoint to re-read restarts the instance at the
+        # crash instant — the chain the fast engine must fire without a full
+        # sweep backing it up.
+        scenario = random_scenario(3, n_apps=6)
+        faulted = scenario.with_faults(
+            FaultModel(
+                crashes=(
+                    CrashEvent(app_name="app-00", time=40.0, checkpoint_io=0.0),
+                    CrashEvent(app_name="app-03", time=40.0, checkpoint_io=0.0),
+                )
+            )
+        )
+        assert_equivalent(faulted, "MaxSysEff")
+
+    def test_repeated_crashes_same_app(self):
+        # Crash during recovery: the checkpoint re-read restarts from zero.
+        scenario = random_scenario(6, n_apps=6)
+        app = scenario.applications[0]
+        faulted = scenario.with_faults(
+            FaultModel(
+                crashes=tuple(
+                    CrashEvent(
+                        app_name=app.name,
+                        time=50.0 + 30.0 * k,
+                        checkpoint_io=app.instances[0].io_volume,
+                    )
+                    for k in range(4)
+                )
+            )
+        )
+        fast, _ = assert_equivalent(faulted, "RoundRobin")
+        assert fast.records[app.name].restarts > 0
+
+    @pytest.mark.parametrize("max_time", (100.0, 333.3, 1000.0))
+    def test_faulted_max_time_truncation(self, max_time):
+        scenario = random_scenario(4)
+        faulted = scenario.with_faults(
+            random_fault_model(4, scenario, with_blackout=True)
+        )
+        assert_equivalent(
+            faulted, "MaxSysEff", SimulatorConfig(max_time=max_time)
+        )
+
+    @pytest.mark.parametrize("scheduler", ("Intrepid", "MaxSysEff"))
+    def test_faulted_with_burst_buffer(self, scheduler):
+        scenario = random_scenario(1, with_bb=True)
+        faulted = scenario.with_faults(random_fault_model(1, scenario))
+        fast, seed_engine = assert_equivalent(
+            faulted, scheduler, SimulatorConfig(use_burst_buffer=True)
+        )
+        assert fast.burst_buffer is not None
+        assert fast.burst_buffer.total_absorbed == pytest.approx(
+            seed_engine.burst_buffer.total_absorbed, abs=TOL
+        )
+
+    def test_faulted_event_logs_serialize_identically(self):
+        from repro.core.events import EventLog, EventType
+
+        scenario = random_scenario(5, n_apps=6)
+        faulted = scenario.with_faults(
+            random_fault_model(5, scenario, with_blackout=True)
+        )
+        config = SimulatorConfig(record_events=True)
+        fast_log, seed_log = EventLog(), EventLog()
+        simulate(faulted, make_scheduler("MaxSysEff"), config, fast_log)
+        reference_simulate(
+            faulted, make_scheduler("MaxSysEff"), config, seed_log
+        )
+        fast_events = [
+            (e.time, e.event_type, e.app_name, e.instance_index) for e in fast_log
+        ]
+        seed_events = [
+            (e.time, e.event_type, e.app_name, e.instance_index) for e in seed_log
+        ]
+        assert fast_events == seed_events
+        crash_events = [e for e in fast_log if e.event_type is EventType.APP_CRASH]
+        restart_events = [
+            e for e in fast_log if e.event_type is EventType.APP_RESTART
+        ]
+        assert crash_events
+        assert len(restart_events) <= len(crash_events)

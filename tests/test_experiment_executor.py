@@ -16,6 +16,8 @@ Three concerns:
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -38,6 +40,21 @@ def _square(x: int) -> int:
 
 
 def _scale(shared: int, x: int) -> int:
+    return shared * x
+
+
+def _square_or_die(x: int) -> int:
+    # Kills the *worker process* outright (no exception, no cleanup) — the
+    # parent sees a BrokenProcessPool.  The serial retry runs in the main
+    # process, where parent_process() is None, and succeeds.
+    if x == 3 and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return x * x
+
+
+def _scale_or_die(shared: int, x: int) -> int:
+    if x == 3 and multiprocessing.parent_process() is not None:
+        os._exit(1)
     return shared * x
 
 
@@ -117,6 +134,81 @@ class TestExecutorMap:
         with ExperimentExecutor(workers=None) as pool:
             out = map_parallel(_square, [2, 3], workers=4, executor=pool)
         assert out == [4, 9]
+
+
+class TestWorkerDeath:
+    """Satellite 1: a dying worker must not kill the campaign."""
+
+    def test_map_survives_worker_death(self):
+        items = list(range(8))
+        with ExperimentExecutor(workers=2) as pool:
+            out = pool.map(_square_or_die, items)
+            # The broken pool was discarded; the results are still complete
+            # and in submission order.
+            assert out == [x * x for x in items]
+            assert pool._pool is None
+
+    def test_map_survives_worker_death_with_shared_payload(self):
+        items = list(range(8))
+        with ExperimentExecutor(workers=2) as pool:
+            out = pool.map(_scale_or_die, items, shared=10)
+        assert out == [10 * x for x in items]
+
+    def test_progress_still_fires_for_retried_chunks(self):
+        seen: list[int] = []
+        items = list(range(8))
+        with ExperimentExecutor(workers=2) as pool:
+            pool.map(
+                _square_or_die,
+                items,
+                progress=lambda i, item, r: seen.append(i),
+            )
+        assert seen == list(range(len(items)))
+
+    def test_executor_remains_usable_after_pool_death(self):
+        with ExperimentExecutor(workers=2) as pool:
+            assert pool.map(_square_or_die, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            # A later map on the same executor lazily re-spawns a pool.
+            assert pool.map(_square, [5, 6]) == [25, 36]
+
+    def test_ordinary_exceptions_still_propagate(self):
+        # Only pool death is absorbed — a plain bug in fn must surface.
+        with ExperimentExecutor(workers=2) as pool:
+            with pytest.raises(Exception, match="(?i)unsupported|str"):
+                pool.map(_square, ["not-a-number", 2, 3, 4])
+
+
+class TestSerialFallback:
+    """Satellite 2: tiny maps skip the pool when the cost hint says so."""
+
+    def test_cheap_map_never_spawns_a_pool(self):
+        with ExperimentExecutor(workers=4) as pool:
+            out = pool.map(_square, [1, 2, 3], cost_hint=1e-6)
+            assert out == [1, 4, 9]
+            assert pool._pool is None
+
+    def test_expensive_map_still_uses_the_pool(self):
+        with ExperimentExecutor(workers=2) as pool:
+            out = pool.map(_square, [1, 2, 3], cost_hint=1.0)
+            assert out == [1, 4, 9]
+            assert pool._pool is not None
+
+    def test_no_hint_preserves_old_behaviour(self):
+        with ExperimentExecutor(workers=2) as pool:
+            pool.map(_square, [1, 2])
+            assert pool._pool is not None
+
+    def test_grid_cost_hint_scales_with_scenario_size(self):
+        from repro.experiments.runner import _grid_cost_hint
+
+        scenarios, _cases = _grid_axes()
+        small = _grid_cost_hint(scenarios)
+        assert small > 0.0
+        # The bundled BENCH grid regression shape: scale-1 scenarios must
+        # fall under the fallback threshold at any worker count.
+        from repro.experiments.runner import _SERIAL_FALLBACK_SECONDS
+
+        assert small * len(scenarios) * 2 < _SERIAL_FALLBACK_SECONDS
 
 
 class TestGridThroughExecutor:

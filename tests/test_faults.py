@@ -1,0 +1,389 @@
+"""Fault-injection unit and determinism tests (ISSUE 6 tentpole).
+
+Covers the fault vocabulary (:mod:`repro.faults.model`), the seeded
+stochastic processes (:mod:`repro.faults.sampling`), the ``[faults]`` spec
+surface, and the end-to-end determinism contract: a faulted campaign is
+byte-identical between serial and multi-worker runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.config import SpecError, build_grid_scenarios, parse_spec, run_spec
+from repro.experiments.reporting import _jsonable
+from repro.faults import (
+    BandwidthWindow,
+    CrashEvent,
+    FaultModel,
+    FaultTimeline,
+    sample_crashes,
+    sample_windows,
+)
+from repro.faults.model import _degradation_segments
+from repro.utils.validation import ValidationError
+
+# --------------------------------------------------------------------------- #
+# Model vocabulary
+# --------------------------------------------------------------------------- #
+
+
+class TestBandwidthWindow:
+    def test_accepts_blackout_and_infinite_end(self):
+        w = BandwidthWindow(start=5.0, end=math.inf, factor=0.0)
+        assert w.factor == 0.0
+        assert math.isinf(w.end)
+
+    @pytest.mark.parametrize("factor", (1.0, 1.5, -0.1))
+    def test_rejects_factor_outside_unit_interval(self, factor):
+        with pytest.raises(ValidationError):
+            BandwidthWindow(start=0.0, end=10.0, factor=factor)
+
+    def test_rejects_empty_or_inverted_interval(self):
+        with pytest.raises(ValidationError):
+            BandwidthWindow(start=10.0, end=10.0, factor=0.5)
+        with pytest.raises(ValidationError):
+            BandwidthWindow(start=10.0, end=5.0, factor=0.5)
+        with pytest.raises(ValidationError):
+            BandwidthWindow(start=0.0, end=math.nan, factor=0.5)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValidationError):
+            BandwidthWindow(start=-1.0, end=10.0, factor=0.5)
+
+
+class TestCrashEvent:
+    def test_defaults_and_coercion(self):
+        c = CrashEvent(app_name="a", time=3)
+        assert c.checkpoint_io == 0.0
+        assert isinstance(c.time, float)
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValidationError):
+            CrashEvent(app_name="", time=1.0)
+        with pytest.raises(ValidationError):
+            CrashEvent(app_name="a", time=-1.0)
+        with pytest.raises(ValidationError):
+            CrashEvent(app_name="a", time=1.0, checkpoint_io=-5.0)
+
+
+class TestFaultModel:
+    def test_is_empty(self):
+        assert FaultModel().is_empty
+        assert not FaultModel(
+            windows=(BandwidthWindow(start=0.0, end=1.0, factor=0.5),)
+        ).is_empty
+
+    def test_rejects_wrong_element_types(self):
+        with pytest.raises(ValidationError):
+            FaultModel(windows=({"start": 0.0},))
+        with pytest.raises(ValidationError):
+            FaultModel(crashes=("a@3",))
+
+    def test_crash_app_names(self):
+        model = FaultModel(
+            crashes=(
+                CrashEvent(app_name="a", time=1.0),
+                CrashEvent(app_name="b", time=2.0),
+                CrashEvent(app_name="a", time=3.0),
+            )
+        )
+        assert model.crash_app_names() == {"a", "b"}
+
+
+# --------------------------------------------------------------------------- #
+# Segment normalization and the shared timeline cursor
+# --------------------------------------------------------------------------- #
+
+
+class TestDegradationSegments:
+    def test_overlap_takes_worst_factor(self):
+        segments = _degradation_segments(
+            (
+                BandwidthWindow(start=0.0, end=10.0, factor=0.5),
+                BandwidthWindow(start=5.0, end=15.0, factor=0.2),
+            )
+        )
+        assert segments == [(0.0, 5.0, 0.5), (5.0, 15.0, 0.2)]
+
+    def test_adjacent_equal_factor_windows_merge(self):
+        segments = _degradation_segments(
+            (
+                BandwidthWindow(start=0.0, end=5.0, factor=0.3),
+                BandwidthWindow(start=5.0, end=9.0, factor=0.3),
+            )
+        )
+        assert segments == [(0.0, 9.0, 0.3)]
+
+    def test_infinite_window(self):
+        segments = _degradation_segments(
+            (BandwidthWindow(start=4.0, end=math.inf, factor=0.0),)
+        )
+        assert segments == [(4.0, math.inf, 0.0)]
+
+    def test_declaration_order_is_irrelevant(self):
+        a = (
+            BandwidthWindow(start=0.0, end=10.0, factor=0.5),
+            BandwidthWindow(start=20.0, end=30.0, factor=0.1),
+        )
+        assert _degradation_segments(a) == _degradation_segments(tuple(reversed(a)))
+
+
+class TestFaultTimeline:
+    def _timeline(self):
+        return FaultTimeline(
+            FaultModel(
+                windows=(
+                    BandwidthWindow(start=10.0, end=20.0, factor=0.5),
+                    BandwidthWindow(start=30.0, end=math.inf, factor=0.0),
+                ),
+                crashes=(
+                    CrashEvent(app_name="b", time=12.0),
+                    CrashEvent(app_name="a", time=12.0),
+                    CrashEvent(app_name="c", time=40.0),
+                ),
+            )
+        )
+
+    def test_factor_at_forward_cursor(self):
+        tl = self._timeline()
+        assert tl.factor_at(0.0) == 1.0
+        assert tl.factor_at(10.0) == 0.5
+        assert tl.factor_at(19.5) == 0.5
+        assert tl.factor_at(20.0) == 1.0
+        assert tl.factor_at(30.0) == 0.0
+        assert tl.factor_at(1e9) == 0.0
+
+    def test_next_boundary(self):
+        tl = self._timeline()
+        assert tl.next_boundary(0.0) == 10.0
+        assert tl.next_boundary(10.0) == 20.0
+        assert tl.next_boundary(20.0) == 30.0
+        # Inside a permanent blackout the factor never changes again.
+        assert tl.next_boundary(30.0) is None
+
+    def test_active_windows_diagnostic(self):
+        tl = self._timeline()
+        assert tl.active_windows(5.0) == []
+        active = tl.active_windows(15.0)
+        assert len(active) == 1 and active[0].factor == 0.5
+
+    def test_pop_due_crashes_sorted_by_time_then_name(self):
+        tl = self._timeline()
+        assert tl.pop_due_crashes(5.0) == []
+        due = tl.pop_due_crashes(12.0)
+        assert [c.app_name for c in due] == ["a", "b"]
+        # Already-popped crashes never fire twice.
+        assert tl.pop_due_crashes(12.0) == []
+        assert [c.app_name for c in tl.pop_due_crashes(100.0)] == ["c"]
+
+    def test_peek_crash_time(self):
+        tl = self._timeline()
+        assert tl.peek_crash_time() == 12.0
+        tl.pop_due_crashes(12.0)
+        assert tl.peek_crash_time() == 40.0
+        tl.pop_due_crashes(40.0)
+        assert tl.peek_crash_time() is None
+
+
+# --------------------------------------------------------------------------- #
+# Stochastic sampling
+# --------------------------------------------------------------------------- #
+
+
+class TestSampling:
+    def test_sample_windows_deterministic(self):
+        kwargs = dict(rate=0.01, duration=50.0, factor=0.3, horizon=5000.0)
+        a = sample_windows(rng=np.random.default_rng(7), **kwargs)
+        b = sample_windows(rng=np.random.default_rng(7), **kwargs)
+        assert a == b
+        assert a  # the rate/horizon combination is near-certain to arrive
+        assert all(
+            w.factor == 0.3 and w.end - w.start == pytest.approx(50.0)
+            for w in a
+        )
+        c = sample_windows(rng=np.random.default_rng(8), **kwargs)
+        assert a != c
+
+    def test_sample_crashes_deterministic_and_per_app(self):
+        kwargs = dict(rate=0.01, checkpoint_io=5.0, horizon=2000.0)
+        a = sample_crashes(["x", "y"], rng=np.random.default_rng(3), **kwargs)
+        b = sample_crashes(["x", "y"], rng=np.random.default_rng(3), **kwargs)
+        assert a == b
+        assert {c.app_name for c in a} <= {"x", "y"}
+        assert all(c.checkpoint_io == 5.0 for c in a)
+
+    def test_sampling_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            sample_windows(rate=0.0, duration=1.0, factor=0.5, horizon=10.0, rng=rng)
+        with pytest.raises(ValidationError):
+            sample_windows(
+                rate=1.0, duration=1.0, factor=0.5, horizon=math.inf, rng=rng
+            )
+        with pytest.raises(ValidationError):
+            sample_crashes(["a"], rate=1.0, checkpoint_io=-1.0, horizon=10.0, rng=rng)
+
+
+# --------------------------------------------------------------------------- #
+# [faults] spec surface
+# --------------------------------------------------------------------------- #
+
+FAULTED_GRID = {
+    "experiment": {"name": "faulted", "kind": "grid", "seed": 11,
+                   "max_time": 2000.0},
+    "platform": {
+        "preset": "generic",
+        "processors": 40,
+        "node_bandwidth": 1.0e6,
+        "system_bandwidth": 8.0e6,
+    },
+    "scenarios": [
+        {
+            "kind": "apps",
+            "label": "duo",
+            "apps": [
+                {"name": "a0", "processors": 16, "work": 40.0,
+                 "io_volume": 2.0e8, "instances": 3},
+                {"name": "a1", "processors": 16, "work": 60.0,
+                 "io_volume": 1.0e8, "instances": 3},
+            ],
+        }
+    ],
+    "faults": {
+        "windows": [{"start": 100.0, "end": 300.0, "factor": 0.25}],
+        "crashes": [{"app": "a1", "time": 150.0, "checkpoint_io": 1.0e8}],
+    },
+    "schedulers": {"names": ["FairShare", "MaxSysEff"]},
+}
+
+
+def _spec_dict(**updates):
+    spec = json.loads(json.dumps(FAULTED_GRID))
+    for path, value in updates.items():
+        cursor = spec
+        *parents, leaf = path.split(".")
+        for key in parents:
+            cursor = cursor.setdefault(key, {})
+        if value is None:
+            cursor.pop(leaf, None)
+        else:
+            cursor[leaf] = value
+    return spec
+
+
+class TestFaultsSpec:
+    def test_parses_and_builds_with_baseline_twins(self):
+        spec = parse_spec(FAULTED_GRID)
+        assert spec.body.faults is not None
+        assert spec.body.faults.baseline is True
+        scenarios = build_grid_scenarios(spec.body, spec.seed,
+                                         max_time=spec.max_time)
+        labels = [s.label for s in scenarios]
+        assert labels == ["duo", "duo+faults"]
+        assert scenarios[0].faults is None
+        faulted = scenarios[1].faults
+        assert faulted is not None
+        assert [w.factor for w in faulted.windows] == [0.25]
+        assert [c.app_name for c in faulted.crashes] == ["a1"]
+
+    def test_baseline_false_drops_healthy_twin(self):
+        spec = parse_spec(_spec_dict(**{"faults.baseline": False}))
+        scenarios = build_grid_scenarios(spec.body, spec.seed,
+                                         max_time=spec.max_time)
+        assert [s.label for s in scenarios] == ["duo+faults"]
+
+    def test_unknown_crash_app_is_a_spec_error(self):
+        spec = parse_spec(_spec_dict(**{
+            "faults.crashes":
+            [{"app": "ghost", "time": 5.0, "checkpoint_io": 0.0}]}))
+        with pytest.raises(SpecError, match="ghost"):
+            build_grid_scenarios(spec.body, spec.seed, max_time=spec.max_time)
+
+    def test_factor_one_rejected_at_parse_time(self):
+        with pytest.raises(SpecError, match="factor"):
+            parse_spec(_spec_dict(**{
+                "faults.windows": [{"start": 0.0, "factor": 1.0}]}))
+
+    def test_empty_faults_section_rejected(self):
+        with pytest.raises(SpecError, match="at least one"):
+            parse_spec(_spec_dict(**{
+                "faults.windows": None, "faults.crashes": None}))
+
+    def test_faults_rejected_for_non_grid_kinds(self):
+        spec = _spec_dict()
+        spec["experiment"]["kind"] = "periodic"
+        spec["experiment"].pop("max_time")
+        spec["periodic"] = {"target_period": 100.0}
+        with pytest.raises(SpecError, match="faults"):
+            parse_spec(spec)
+
+    def test_stochastic_faults_need_finite_horizon(self):
+        spec = _spec_dict(**{
+            "faults.random_windows": {"rate": 1e-3, "duration": 50.0,
+                                      "factor": 0.5}})
+        spec["experiment"].pop("max_time")
+        with pytest.raises(SpecError, match="max_time"):
+            parse_spec(spec)
+
+    def test_stochastic_realization_pinned_by_fault_seed(self):
+        spec = parse_spec(_spec_dict(**{
+            "faults.seed": 42,
+            "faults.random_crashes": {"rate": 2e-3, "checkpoint_io": 1.0e8},
+        }))
+        first = build_grid_scenarios(spec.body, spec.seed,
+                                     max_time=spec.max_time)
+        second = build_grid_scenarios(spec.body, spec.seed,
+                                      max_time=spec.max_time)
+        assert first[-1].faults == second[-1].faults
+        # The fault seed is independent of the experiment seed.
+        third = build_grid_scenarios(spec.body, spec.seed + 1,
+                                     max_time=spec.max_time)
+        assert first[-1].faults == third[-1].faults
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end determinism: serial vs pooled byte-identity (satellite 4)
+# --------------------------------------------------------------------------- #
+
+
+def _payload_bytes(result) -> str:
+    return json.dumps(_jsonable(dict(result.payload)), indent=2, sort_keys=False)
+
+
+class TestFaultedDeterminism:
+    def test_serial_and_pooled_runs_are_byte_identical(self):
+        spec = parse_spec(_spec_dict(**{
+            "faults.seed": 13,
+            "faults.random_windows": {"rate": 1e-3, "duration": 100.0,
+                                      "factor": 0.3},
+        }))
+        serial = run_spec(spec.with_overrides(workers=1))
+        pooled = run_spec(spec.with_overrides(workers=2))
+        assert _payload_bytes(serial) == _payload_bytes(pooled)
+        again = run_spec(spec.with_overrides(workers=1))
+        assert _payload_bytes(serial) == _payload_bytes(again)
+
+    def test_resilience_payload_present_for_faulted_grids(self):
+        spec = parse_spec(FAULTED_GRID)
+        result = run_spec(spec)
+        resilience = result.payload.get("resilience")
+        assert resilience, "faulted grid must publish resilience records"
+        schedulers = {row["scheduler"] for row in resilience}
+        assert schedulers == {"FairShare", "MaxSysEff"}
+        for row in resilience:
+            assert row["total_crashes"] >= 1
+            assert row["n_faulted_cells"] == 1
+            assert 0.0 < row["throughput_retained"] <= 150.0
+        assert "Resilience under fault injection" in result.text
+
+    def test_healthy_grid_payload_has_no_fault_keys(self):
+        healthy = _spec_dict(**{"faults": None})
+        result = run_spec(parse_spec(healthy))
+        assert "resilience" not in result.payload
+        for row in result.payload["cells"]:
+            assert not any(k.startswith("fault_") for k in row)

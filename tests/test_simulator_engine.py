@@ -259,6 +259,61 @@ class TestGuardRails:
         # late release did fire before the stall was declared.
         assert "2 application(s)" in str(err.value)
 
+    def test_permanent_blackout_raises_stall_error_not_livelock(
+        self, small_platform
+    ):
+        # Satellite 3 regression: a blackout window that never lifts leaves
+        # every I/O candidate waiting on bandwidth that never returns.  The
+        # engines must diagnose the stall — naming the stalled applications,
+        # the simulation time, and the active fault window — instead of
+        # spinning forever.
+        from repro.faults import BandwidthWindow, FaultModel
+
+        apps = tuple(
+            Application.periodic(
+                f"dark-{i}", 10, work=10.0, io_volume=1e8, n_instances=2
+            )
+            for i in range(2)
+        )
+        scenario = Scenario(
+            platform=small_platform, applications=apps
+        ).with_faults(
+            FaultModel(
+                windows=(
+                    BandwidthWindow(start=5.0, end=math.inf, factor=0.0),
+                )
+            )
+        )
+        for run in (simulate, reference_simulate):
+            with pytest.raises(StallError) as err:
+                run(scenario, ideal_fair_share())
+            message = str(err.value)
+            assert "stalled" in message
+            assert "2 application(s)" in message
+            assert "dark-0" in message and "dark-1" in message
+            assert "simulation time" in message
+            assert "fault window" in message
+            assert "factor=0" in message
+
+    def test_finite_blackout_does_not_stall(self, small_platform):
+        # The same blackout with an end is just a delay: once the window
+        # lifts the transfers resume and the run completes.
+        from repro.faults import BandwidthWindow, FaultModel
+
+        app = Application.periodic(
+            "waits", 10, work=10.0, io_volume=1e8, n_instances=1
+        )
+        scenario = Scenario(
+            platform=small_platform, applications=(app,)
+        ).with_faults(
+            FaultModel(
+                windows=(BandwidthWindow(start=5.0, end=50.0, factor=0.0),)
+            )
+        )
+        result = simulate(scenario, ideal_fair_share())
+        assert result.record("waits").completion_time > 50.0
+        assert result.fault_stats.blackout_time > 0.0
+
     def test_max_events_exhaustion_message(self, simple_scenario):
         with pytest.raises(SimulationError, match="max_events=3"):
             simulate(

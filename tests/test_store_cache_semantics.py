@@ -243,3 +243,92 @@ class TestDegradedStores:
             rng=None, store=store,
         )
         assert store.stats.writes == 0 and store.stats.lookups == 0
+
+
+# ---------------------------------------------------------------------- #
+TINY_FAULTED = {
+    "experiment": {"name": "tiny-faulted", "kind": "grid", "seed": 5,
+                   "max_time": 800.0},
+    "platform": {
+        "preset": "generic",
+        "processors": 40,
+        "node_bandwidth": 1.0e6,
+        "system_bandwidth": 8.0e6,
+    },
+    "scenarios": [
+        {
+            "kind": "apps",
+            "label": "duo",
+            "apps": [
+                {"name": "f0", "processors": 16, "work": 30.0,
+                 "io_volume": 1.0e8, "instances": 2},
+                {"name": "f1", "processors": 16, "work": 50.0,
+                 "io_volume": 5.0e7, "instances": 2},
+            ],
+        }
+    ],
+    "faults": {
+        "windows": [{"start": 40.0, "end": 120.0, "factor": 0.25}],
+        "crashes": [{"app": "f1", "time": 60.0, "checkpoint_io": 5.0e7}],
+    },
+    "schedulers": {"names": ["FairShare", "MaxSysEff"]},
+}
+
+
+def _faulted_variant(**fault_updates):
+    spec = json.loads(json.dumps(TINY_FAULTED))
+    spec["faults"].update(fault_updates)
+    return parse_spec(spec)
+
+
+class TestFaultedCacheSemantics:
+    """Satellite 4: fault parameters are first-class cache-key ingredients."""
+
+    def test_faulted_rerun_is_all_hits_with_zero_simulation(
+        self, tmp_path, monkeypatch
+    ):
+        spec = parse_spec(TINY_FAULTED)
+        first = run_spec(spec, store=ResultStore(tmp_path))
+        # 2 scenarios (healthy twin + faulted) x 2 schedulers.
+        assert first.store_stats["misses"] == 4
+
+        _forbid_simulation(monkeypatch)
+        second = run_spec(spec, store=ResultStore(tmp_path))
+        assert second.store_stats["hits"] == 4
+        assert second.store_stats["misses"] == 0
+        assert _payload_bytes(second) == _payload_bytes(first)
+
+    @pytest.mark.parametrize(
+        "variant",
+        (
+            {"windows": [{"start": 40.0, "end": 120.0, "factor": 0.3}]},
+            {"windows": [{"start": 45.0, "end": 120.0, "factor": 0.25}]},
+            {"crashes": [{"app": "f1", "time": 61.0, "checkpoint_io": 5.0e7}]},
+            {"crashes": [{"app": "f1", "time": 60.0, "checkpoint_io": 6.0e7}]},
+            {"crashes": [{"app": "f0", "time": 60.0, "checkpoint_io": 5.0e7}]},
+        ),
+        ids=("factor", "window-start", "crash-time", "checkpoint-io",
+             "crash-app"),
+    )
+    def test_changing_any_fault_parameter_misses_faulted_cells_only(
+        self, tmp_path, variant
+    ):
+        run_spec(parse_spec(TINY_FAULTED), store=ResultStore(tmp_path))
+        second = run_spec(_faulted_variant(**variant),
+                          store=ResultStore(tmp_path))
+        # Healthy baseline cells are untouched by the fault edit and hit;
+        # both faulted cells re-key and recompute.
+        assert second.store_stats["hits"] == 2
+        assert second.store_stats["misses"] == 2
+
+    def test_changing_fault_seed_rekeys_stochastic_timelines(self, tmp_path):
+        stochastic = {"seed": 1,
+                      "random_windows": {"rate": 2e-3, "duration": 50.0,
+                                         "factor": 0.5}}
+        run_spec(_faulted_variant(**stochastic), store=ResultStore(tmp_path))
+        second = run_spec(
+            _faulted_variant(**dict(stochastic, seed=2)),
+            store=ResultStore(tmp_path),
+        )
+        assert second.store_stats["hits"] == 2
+        assert second.store_stats["misses"] == 2
