@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.platform import Platform, intrepid
-from repro.experiments.runner import ExperimentExecutor, map_parallel
+from repro.experiments.runner import ExperimentExecutor, engine_runner, map_parallel
 from repro.online.baselines import FairShare
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.interference import InterferenceModel
@@ -99,7 +99,8 @@ def _run_figure1_batch(shared: tuple, batch: tuple[int, np.random.Generator]) ->
     a spawned generator, so a worker replays exactly the draws the serial
     loop would have made.
     """
-    platform, n_small, n_large, io_ratio, release_spread, interference, max_time = shared
+    (platform, n_small, n_large, io_ratio, release_spread, interference,
+     max_time, engine) = shared
     index, batch_rng = batch
     scenario = generate_mix(
         MixSpec(n_small=n_small, n_large=n_large),
@@ -123,7 +124,8 @@ def _run_figure1_batch(shared: tuple, batch: tuple[int, np.random.Generator]) ->
         if interference is not None
         else FairShare()
     )
-    result = simulate(scenario, scheduler, SimulatorConfig(max_time=max_time))
+    run_simulation = engine_runner(engine)
+    result = run_simulation(scenario, scheduler, SimulatorConfig(max_time=max_time))
     return [100.0 * d for d in result.throughput_decreases().values()]
 
 
@@ -140,6 +142,7 @@ def throughput_decrease_study(
     max_time: float = float("inf"),
     workers: int | None = None,
     executor: Optional[ExperimentExecutor] = None,
+    engine: Optional[str] = None,
 ) -> ThroughputDecreaseStudy:
     """Replay ~``n_applications`` applications under congestion (Figure 1).
 
@@ -156,7 +159,8 @@ def throughput_decrease_study(
     Batches are mutually independent (each owns one spawned generator), so
     ``workers`` / ``executor`` fan them out over processes exactly like a
     grid — results are collected in batch order and are identical to the
-    serial loop.
+    serial loop.  ``engine`` picks the simulation kernel per batch
+    (``"heap"`` or ``"batched"``; ``None`` uses the default engine).
     """
     if n_applications <= 0:
         raise ValidationError("n_applications must be positive")
@@ -177,7 +181,7 @@ def throughput_decrease_study(
     n_large = applications_per_batch - n_small
     shared = (
         platform, n_small, n_large, io_ratio, release_spread, interference,
-        max_time,
+        max_time, engine,
     )
     batch_results = map_parallel(
         _run_figure1_batch,

@@ -117,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="override the experiment seed"
     )
     run.add_argument(
+        "--engine",
+        choices=("heap", "batched"),
+        default=None,
+        help=(
+            "simulation kernel for every cell (bit-identical results either "
+            "way; default: spec value)"
+        ),
+    )
+    run.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -361,7 +370,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "or an [output] table to the spec"
         )
     spec = spec.with_overrides(
-        seed=args.seed, workers=args.workers, max_time=args.max_time
+        seed=args.seed, workers=args.workers, max_time=args.max_time,
+        engine=args.engine,
     )
     progress = None
     if args.progress:

@@ -135,7 +135,8 @@ def _run_grid_spec(
     scenarios = build_grid_scenarios(body, spec.seed, max_time=spec.max_time)
     cases = build_cases(body)
     grid = run_grid(scenarios, cases, max_time=spec.max_time,
-                    progress=progress, executor=executor, store=store)
+                    progress=progress, executor=executor, store=store,
+                    engine=spec.engine)
     records = grid_records(grid)
     averages = grid.averages()
     payload = {
@@ -209,6 +210,7 @@ def _run_figure6_spec(
             progress=progress,
             executor=executor,
             store=store,
+            engine=spec.engine,
         )
         if progress is not None:
             progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
@@ -258,6 +260,7 @@ def _run_congested_spec(
         progress=progress,
         executor=executor,
         store=store,
+        engine=spec.engine,
     )
     records = grid_records(result.grid)
     averages = result.grid.averages()
@@ -307,6 +310,7 @@ def _run_vesta_spec(
         progress=progress,
         executor=executor,
         store=store,
+        engine=spec.engine,
     )
     records = [
         {
@@ -462,6 +466,7 @@ def _run_periodic_spec(
             progress=progress,
             executor=executor,
             store=store,
+            engine=spec.engine,
         )
         for case in grid.cases:
             online_payload[case.scheduler_label] = {
@@ -539,6 +544,7 @@ def _analysis_figure1(
         bin_width=f1.bin_width,
         max_time=spec.max_time,
         executor=executor,
+        engine=spec.engine,
     )
     fragment = {
         "n_applications_requested": study.n_applications_requested,
@@ -664,6 +670,7 @@ def _analysis_figure7(
         max_time=spec.max_time,
         progress=progress,
         executor=executor,
+        engine=spec.engine,
     )
     fragment = {
         "scenario": f7.scenario,
@@ -760,6 +767,7 @@ def _run_analysis_spec(
                 canonical_json(getattr(body, figure)),
                 spec.seed,
                 spec.max_time,
+                spec.engine,
             )
             cached = store.get(study_key)
         if cached is not None:

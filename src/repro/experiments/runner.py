@@ -53,6 +53,7 @@ from repro.core.objectives import ObjectiveSummary
 from repro.core.platform import Platform
 from repro.core.scenario import Scenario
 from repro.online.registry import make_scheduler
+from repro.simulator.batched import batched_simulate
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.interface import SchedulerProtocol
 from repro.simulator.metrics import FaultStats, SimulationResult
@@ -60,6 +61,10 @@ from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
+    "engine_runner",
     "SchedulerCase",
     "CaseResult",
     "ExperimentGrid",
@@ -75,6 +80,38 @@ __all__ = [
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Simulation engines selectable per campaign.  Both are pinned bit-identical
+#: to the frozen reference engine (tests/test_engine_equivalence.py and
+#: tests/test_engine_differential.py), so the choice only affects speed:
+#: "batched" (the columnar numpy kernel) wins on wide scenarios and is the
+#: default; "heap" (the indexed event queue) wins on very small ones and
+#: serves as the fallback for custom scheduler objects.
+ENGINES = ("heap", "batched")
+DEFAULT_ENGINE = "batched"
+
+_ENGINE_RUNNERS = {"heap": simulate, "batched": batched_simulate}
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Normalize an engine selector: ``None`` means the default engine."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in _ENGINE_RUNNERS:
+        raise ValidationError(
+            f"unknown engine {engine!r}; choose one of {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def engine_runner(engine: str | None):
+    """The ``simulate``-compatible callable behind an engine selector.
+
+    Harnesses that call the simulator directly (instead of through
+    :func:`run_case`) use this to honor the same ``engine`` knob.
+    """
+    return _ENGINE_RUNNERS[resolve_engine(engine)]
+
 
 #: Sentinel distinguishing "no shared payload" from a shared payload of None.
 _NO_SHARED = object()
@@ -573,8 +610,14 @@ def run_case(
     *,
     max_time: float = float("inf"),
     return_result: bool = False,
+    engine: str | None = None,
 ) -> CaseResult | tuple[CaseResult, SimulationResult]:
-    """Run one scenario under one scheduler case."""
+    """Run one scenario under one scheduler case.
+
+    ``engine`` selects the simulation kernel (``"heap"`` or ``"batched"``,
+    default :data:`DEFAULT_ENGINE`); both produce bit-identical results.
+    """
+    run_simulation = _ENGINE_RUNNERS[resolve_engine(engine)]
     run_scenario = scenario
     if case.use_burst_buffer:
         platform = case.burst_buffer_platform or scenario.platform
@@ -585,7 +628,7 @@ def run_case(
             )
         run_scenario = scenario.with_platform(platform)
     config = SimulatorConfig(use_burst_buffer=case.use_burst_buffer, max_time=max_time)
-    result = simulate(run_scenario, case.build_scheduler(), config)
+    result = run_simulation(run_scenario, case.build_scheduler(), config)
     case_result = CaseResult(
         scenario_label=scenario.label,
         scheduler_label=case.display,
@@ -648,9 +691,14 @@ class _GridCellCache(MapCache):
         scenarios: Sequence[Scenario],
         cases: Sequence[SchedulerCase],
         max_time: float,
+        engine: str,
     ):
         super().__init__(store)
-        prefix = digest("grid-cell", code_fingerprint(), max_time)
+        # The engine lands in the key prefix: both engines are pinned
+        # bit-identical, but a stored cell should stay honest about the
+        # kernel that produced it, so an engine switch recomputes rather
+        # than silently re-labelling old results.
+        prefix = digest("grid-cell", code_fingerprint(), max_time, engine)
         scenario_texts = [canonical_json(s) for s in scenarios]
         case_texts = [canonical_json(c) for c in cases]
         self._keys = [
@@ -670,13 +718,13 @@ class _GridCellCache(MapCache):
 
 
 def _run_grid_cell_shared(
-    shared: tuple[tuple[Scenario, ...], tuple[SchedulerCase, ...], float],
+    shared: tuple[tuple[Scenario, ...], tuple[SchedulerCase, ...], float, str],
     cell: tuple[int, int],
 ) -> CaseResult:
     """Shared-payload grid cell: the axes travel once per worker, not per cell."""
-    scenarios, cases, max_time = shared
+    scenarios, cases, max_time, engine = shared
     i, j = cell
-    return run_case(scenarios[i], cases[j], max_time=max_time)
+    return run_case(scenarios[i], cases[j], max_time=max_time, engine=engine)
 
 
 #: Rough per-event simulation cost backing the grid's serial-fallback hint.
@@ -710,6 +758,7 @@ def run_grid(
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
+    engine: str | None = None,
 ) -> ExperimentGrid:
     """Run every scenario under every scheduler case.
 
@@ -742,19 +791,24 @@ def run_grid(
         already stored are served without simulating anything, and fresh
         cells are written back as they complete.  Cached grids are
         cell-for-cell identical to cold ones (the key covers the canonical
-        scenario, case, horizon and producing-code fingerprint).
+        scenario, case, horizon, engine and producing-code fingerprint).
+    engine:
+        Simulation kernel for every cell (``"heap"`` or ``"batched"``;
+        ``None`` uses :data:`DEFAULT_ENGINE`).  Both engines are pinned
+        bit-identical, so this is purely a speed knob.
     """
     if not scenarios:
         raise ValidationError("run_grid needs at least one scenario")
     if not cases:
         raise ValidationError("run_grid needs at least one scheduler case")
-    shared = (tuple(scenarios), tuple(cases), max_time)
+    engine = resolve_engine(engine)
+    shared = (tuple(scenarios), tuple(cases), max_time, engine)
     cells = [
         (i, j) for i in range(len(scenarios)) for j in range(len(cases))
     ]
     cache = None
     if store is not None:
-        cache = _GridCellCache(store, shared[0], shared[1], max_time)
+        cache = _GridCellCache(store, shared[0], shared[1], max_time, engine)
 
     on_cell = None
     if progress is not None:

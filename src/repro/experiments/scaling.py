@@ -3,7 +3,8 @@
 The paper's campaigns replay thousands of (scenario × scheduler) cells, so
 the events-per-second throughput of the discrete-event engine bounds every
 experiment in this repository.  This module builds synthetic congested
-scenarios of controlled size, times the optimized engine
+scenarios of controlled size, times the batched numpy engine
+(:mod:`repro.simulator.batched`) and the event-heap engine
 (:mod:`repro.simulator.engine`) against the preserved seed engine
 (:mod:`repro.simulator.reference`) on identical windows, and emits a
 machine-readable payload (``BENCH_engine.json``) that future PRs diff to
@@ -16,11 +17,12 @@ Two entry points consume it:
 
 Methodology
 -----------
-Each cell simulates the *same* scenario under the *same* scheduler with both
-engines, truncated at the same ``max_time`` horizon (chosen so a cell stays
+Each cell simulates the *same* scenario under the *same* scheduler with every
+engine, truncated at the same ``max_time`` horizon (chosen so a cell stays
 benchmark-sized even at 500 applications × 100 instances — a full run of the
 largest cell takes minutes on the seed engine, which is exactly the problem
-this PR addresses).  Both engines traverse the identical event timeline —
+the optimized engines address).  All engines traverse the identical event
+timeline —
 the suite asserts equal event counts and makespans, piggybacking a coarse
 equivalence check onto every benchmark run — so events/sec ratios compare
 like with like.
@@ -38,6 +40,7 @@ from repro.core.application import Application
 from repro.core.platform import Platform
 from repro.core.scenario import Scenario
 from repro.online.registry import make_scheduler
+from repro.simulator.batched import batched_simulate
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.reference import reference_simulate
@@ -167,12 +170,16 @@ def measure_cell(
     events_budget: int = 4000,
     include_reference: bool = True,
 ) -> dict:
-    """Time one grid cell; optionally also on the reference (seed) engine.
+    """Time one grid cell on the heap and batched engines (and the oracle).
 
     Returns a JSON-ready mapping with per-engine ``n_events`` / ``seconds`` /
-    ``events_per_sec`` and, when the reference runs too, the ``speedup``
-    ratio plus an ``identical`` flag (equal event counts and makespans — the
-    engines must traverse the same timeline or the ratio is meaningless).
+    ``events_per_sec`` (keys ``engine`` for the heap engine — the historical
+    name, kept so BENCH diffs stay readable — and ``batched`` for the
+    columnar numpy engine), the ``batched_speedup_vs_heap`` ratio, and, when
+    the reference runs too, the ``speedup`` / ``batched_speedup`` ratios
+    against it plus an ``identical`` flag (equal event counts and makespans
+    across *all* engines run — they must traverse the same timeline or the
+    ratios are meaningless).
     """
     scenario = scaling_scenario(n_apps, n_instances, seed=seed)
     max_time = cell_horizon(scenario, events_budget)
@@ -183,16 +190,28 @@ def measure_cell(
         "seed": seed,
         "max_time": max_time,
         "engine": _timed(simulate, scenario, scheduler, max_time),
+        "batched": _timed(batched_simulate, scenario, scheduler, max_time),
     }
+    cell["batched_speedup_vs_heap"] = (
+        cell["batched"]["events_per_sec"] / cell["engine"]["events_per_sec"]
+    )
+    identical = (
+        cell["engine"]["n_events"] == cell["batched"]["n_events"]
+        and cell["engine"]["makespan"] == cell["batched"]["makespan"]
+    )
     if include_reference:
         cell["reference"] = _timed(reference_simulate, scenario, scheduler, max_time)
         cell["speedup"] = (
             cell["engine"]["events_per_sec"] / cell["reference"]["events_per_sec"]
         )
-        cell["identical"] = (
+        cell["batched_speedup"] = (
+            cell["batched"]["events_per_sec"] / cell["reference"]["events_per_sec"]
+        )
+        identical = identical and (
             cell["engine"]["n_events"] == cell["reference"]["n_events"]
             and cell["engine"]["makespan"] == cell["reference"]["makespan"]
         )
+    cell["identical"] = identical
     return cell
 
 
@@ -227,12 +246,14 @@ def run_scaling_suite(
         if progress is not None:
             line = (
                 f"{n_apps:4d} apps x {n_instances:3d} inst: "
-                f"{cell['engine']['events_per_sec']:8.0f} ev/s"
+                f"batched {cell['batched']['events_per_sec']:8.0f} ev/s, "
+                f"heap {cell['engine']['events_per_sec']:8.0f} ev/s "
+                f"({cell['batched_speedup_vs_heap']:.2f}x)"
             )
             if include_reference:
                 line += (
                     f"  (reference {cell['reference']['events_per_sec']:8.0f} ev/s, "
-                    f"speedup {cell['speedup']:.2f}x)"
+                    f"batched speedup {cell['batched_speedup']:.2f}x)"
                 )
             progress(line)
     return {
@@ -298,18 +319,17 @@ def run_bench_cli(
         path = write_bench_json(payload, out)
         if progress is not None:
             progress(f"wrote {path}")
-        if include_reference:
-            broken = [
-                f"{c['n_apps']}x{c['n_instances']}"
-                for c in payload["cells"]
-                if not c["identical"]
-            ]
-            if broken:
-                error(
-                    f"ENGINE MISMATCH on cells: {', '.join(broken)} — the "
-                    "optimized engine no longer reproduces the reference timeline"
-                )
-                status = 1
+        broken = [
+            f"{c['n_apps']}x{c['n_instances']}"
+            for c in payload["cells"]
+            if not c["identical"]
+        ]
+        if broken:
+            error(
+                f"ENGINE MISMATCH on cells: {', '.join(broken)} — an "
+                "optimized engine no longer reproduces the reference timeline"
+            )
+            status = 1
 
     if grid_out is not None:
         from repro.experiments.grid_bench import grid_bench_broken, run_grid_bench

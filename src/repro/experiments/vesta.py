@@ -42,7 +42,13 @@ from repro.experiments.overhead import (
     OverheadModel,
     scenario_overhead_fractions,
 )
-from repro.experiments.runner import ExperimentExecutor, MapCache, map_parallel
+from repro.experiments.runner import (
+    ExperimentExecutor,
+    MapCache,
+    engine_runner,
+    map_parallel,
+    resolve_engine,
+)
 from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.online.baselines import ior_scheduler
 from repro.online.registry import make_scheduler
@@ -163,8 +169,13 @@ def run_vesta_case(
     overhead: OverheadModel = DEFAULT_OVERHEAD,
     rng: RngLike = 0,
     jitter: float = 0.05,
+    engine: Optional[str] = None,
 ) -> VestaCase:
-    """Run one (node mix, configuration) cell of the Vesta grid."""
+    """Run one (node mix, configuration) cell of the Vesta grid.
+
+    ``engine`` selects the simulation kernel (``"heap"`` or ``"batched"``;
+    ``None`` uses the default engine) — bit-identical either way.
+    """
     if configuration not in VESTA_CONFIGURATIONS:
         raise ValidationError(
             f"unknown Vesta configuration {configuration!r}; "
@@ -179,16 +190,17 @@ def run_vesta_case(
         )
     scenario = ior_scenario(scenario_name, base_platform, rng=rng, jitter=jitter)
     config = SimulatorConfig(use_burst_buffer=use_bb)
+    run_simulation = engine_runner(engine)
 
     if scheduler_key == "IOR":
-        result = simulate(scenario, ior_scheduler(), config)
+        result = run_simulation(scenario, ior_scheduler(), config)
         summary = result.summary()
         dilations = result.dilations()
         makespan = result.makespan
     else:
         scheduler = make_scheduler(_HEURISTIC_NAMES[scheduler_key])
         inflated = overhead.apply_to_scenario(scenario)
-        result = simulate(inflated, scheduler, config)
+        result = run_simulation(inflated, scheduler, config)
         summary, dilations = score_with_overhead(scenario, result)
         makespan = result.makespan
     return VestaCase(
@@ -211,10 +223,17 @@ class _VestaCellCache(MapCache):
     have no canonical form (the caller skips caching for them).
     """
 
-    def __init__(self, store: ResultStore, overhead: OverheadModel, seed: object):
+    def __init__(
+        self,
+        store: ResultStore,
+        overhead: OverheadModel,
+        seed: object,
+        engine: str,
+    ):
         super().__init__(store)
         self._prefix = digest(
-            "vesta-cell", code_fingerprint(), canonical_json(overhead), seed
+            "vesta-cell", code_fingerprint(), canonical_json(overhead), seed,
+            engine,
         )
 
     def key(self, item: tuple[str, str]) -> str:
@@ -240,12 +259,14 @@ class _VestaCellCache(MapCache):
 
 
 def _run_vesta_cell_shared(
-    shared: tuple[OverheadModel, RngLike], cell: tuple[str, str]
+    shared: tuple[OverheadModel, RngLike, str], cell: tuple[str, str]
 ) -> VestaCase:
-    """Shared-payload Vesta cell: overhead model + seed travel once per worker."""
-    overhead, rng = shared
+    """Shared-payload Vesta cell: overhead, seed and engine travel once."""
+    overhead, rng, engine = shared
     scenario, configuration = cell
-    return run_vesta_case(scenario, configuration, overhead=overhead, rng=rng)
+    return run_vesta_case(
+        scenario, configuration, overhead=overhead, rng=rng, engine=engine
+    )
 
 
 def _check_parallel_rng(
@@ -286,6 +307,7 @@ def vesta_experiment(
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
+    engine: Optional[str] = None,
 ) -> VestaExperimentResult:
     """The full Figure 15 grid.
 
@@ -303,6 +325,7 @@ def vesta_experiment(
     per run; both run silently uncached).
     """
     _check_parallel_rng(rng, workers, executor)
+    engine = resolve_engine(engine)
     cells = [
         (scenario, configuration)
         for scenario in scenarios
@@ -324,7 +347,7 @@ def vesta_experiment(
     # memoizing it would freeze one run's random draw forever; live
     # generators have no canonical form.  Both run uncached.
     if store is not None and isinstance(rng, int) and not isinstance(rng, bool):
-        cache = _VestaCellCache(store, overhead, rng)
+        cache = _VestaCellCache(store, overhead, rng, engine)
     result = VestaExperimentResult()
     result.cases.extend(
         map_parallel(
@@ -333,7 +356,7 @@ def vesta_experiment(
             workers=workers,
             progress=on_cell,
             executor=executor,
-            shared=(overhead, rng),
+            shared=(overhead, rng, engine),
             cache=cache,
         )
     )

@@ -113,6 +113,7 @@ class PeriodicHeuristic(abc.ABC):
         period: float,
         *,
         profiles: Mapping[str, ApplicationProfile] | None = None,
+        track_validity: bool = True,
     ) -> tuple[PeriodicSchedule, float]:
         """Build a schedule plus the period up to which it provably persists.
 
@@ -121,16 +122,20 @@ class PeriodicHeuristic(abc.ABC):
         placements (see the period-validity analysis in
         :mod:`repro.periodic.insertion`), so the sweep may reuse this
         schedule via :meth:`PeriodicSchedule.with_period` instead of
-        rebuilding.
+        rebuilding.  With ``track_validity=False`` the bound bookkeeping is
+        skipped (placements are unchanged) and ``valid_until`` is ``period``
+        itself — i.e. no reuse is claimed.
         """
         if not applications:
             raise ValidationError("need at least one application")
         if profiles is None:
             profiles = application_profiles(platform, applications)
         schedule = PeriodicSchedule(platform, applications, period)
-        inserter = GreedyInserter(schedule)
+        inserter = GreedyInserter(schedule, track_validity=track_validity)
         self._fill(schedule, inserter, list(applications), profiles)
         schedule.validate()
+        if not track_validity:
+            return schedule, period
         return schedule, inserter.period_needed
 
     @abc.abstractmethod

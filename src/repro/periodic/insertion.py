@@ -74,13 +74,17 @@ class GreedyInserter:
         failure is seen).  See the module docstring.
     """
 
-    def __init__(self, schedule: PeriodicSchedule):
+    def __init__(self, schedule: PeriodicSchedule, *, track_validity: bool = True):
         self.schedule = schedule
         self.period_needed: float = math.inf
+        #: Bound tracking is pure bookkeeping — it never changes placements —
+        #: so sweeps too small to ever reuse a build switch it off (see
+        #: :func:`repro.periodic.period_search.search_period`).
+        self._track_validity = track_validity
 
     def _note(self, bound: float) -> None:
         """Record that a decision could flip once the period reaches ``bound``."""
-        if bound < self.period_needed:
+        if self._track_validity and bound < self.period_needed:
             self.period_needed = bound
 
     # ------------------------------------------------------------------ #

@@ -78,6 +78,12 @@ class PeriodSearchResult:
         raise RuntimeError("best period missing from sweep")  # pragma: no cover
 
 
+#: Sweeps with fewer estimated points than this run naive (no warm-start
+#: reuse, no validity bookkeeping): reuse hits are too rare at that size to
+#: pay for the tracking.  Pinned by tests/test_period_warm_start.py.
+_WARM_START_MIN_POINTS = 32
+
+
 def minimum_period(platform: Platform, applications: Sequence[Application]) -> float:
     """``max_k (w^{(k)} + time_io^{(k)})`` — the smallest sensible period."""
     if not applications:
@@ -122,7 +128,11 @@ def search_period(
         Reuse the previous greedy build for sweep points at which it
         provably cannot change (the default; see the module docstring).
         ``False`` rebuilds at every point — same results, used by the
-        equivalence tests and as the benchmark baseline.
+        equivalence tests and as the benchmark baseline.  The warm start is
+        adaptive: sweeps shorter than ``_WARM_START_MIN_POINTS`` fall back
+        to naive rebuilds (with validity bookkeeping switched off), because
+        at that size the tracking overhead outweighs the occasional reuse —
+        results are bit-identical either way.
     """
     check_positive("epsilon", epsilon)
     t_min = minimum_period(platform, applications)
@@ -133,6 +143,22 @@ def search_period(
         )
     if objective not in ("system_efficiency", "dilation"):
         raise ValidationError(f"unknown objective {objective!r}")
+    # Adaptive warm start: estimate the sweep length up front (the ladder is
+    # t_min * (1+eps)^k capped at t_max, so the count is a closed form) and
+    # drop to the naive path when it is too short to amortize the validity
+    # bookkeeping.  Placements never depend on the bookkeeping, so this is a
+    # pure speed decision.
+    track_validity = warm_start
+    if warm_start:
+        if t_max <= t_min:
+            estimated_points = 1
+        else:
+            estimated_points = (
+                math.floor(math.log(t_max / t_min) / math.log(1.0 + epsilon)) + 2
+            )
+        if estimated_points < _WARM_START_MIN_POINTS:
+            warm_start = False
+            track_validity = False
 
     profiles = application_profiles(platform, applications)
     best_schedule: PeriodicSchedule | None = None
@@ -153,7 +179,8 @@ def search_period(
             schedule = cached_build.with_period(period)
         else:
             schedule, valid_until = heuristic.build_with_validity(
-                platform, applications, period, profiles=profiles
+                platform, applications, period, profiles=profiles,
+                track_validity=track_validity,
             )
             cached_build = schedule
             cached_valid_until = valid_until

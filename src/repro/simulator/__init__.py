@@ -9,6 +9,7 @@ objectives (and every figure-level metric) can be computed.
 """
 
 from repro.simulator.bandwidth import fair_share, favor_in_order, single_application_rate
+from repro.simulator.batched import BatchedSimulator, batched_simulate
 from repro.simulator.burst_buffer import BurstBufferState
 from repro.simulator.engine import (
     SimulationError,
@@ -44,6 +45,8 @@ __all__ = [
     "simulate",
     "ReferenceSimulator",
     "reference_simulate",
+    "BatchedSimulator",
+    "batched_simulate",
     "EventHeap",
     "SimulationError",
     "StallError",

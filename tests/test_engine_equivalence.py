@@ -24,6 +24,7 @@ from repro.core.platform import BurstBufferSpec, Platform
 from repro.core.scenario import Scenario
 from repro.faults import BandwidthWindow, CrashEvent, FaultModel
 from repro.online.registry import make_scheduler
+from repro.simulator.batched import batched_simulate
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.simulator.reference import reference_simulate
 
@@ -80,27 +81,39 @@ def random_scenario(
 
 
 def assert_equivalent(scenario, scheduler_name, config=None):
-    """Run both engines and compare everything the ISSUE requires."""
+    """Run all three engines and compare everything the ISSUE requires.
+
+    The heap engine ("fast") and the batched numpy engine are each checked
+    against the seed reference engine; the batched engine is additionally
+    held to *exact* equality of the full record set (it claims bit-identity,
+    not just tolerance-level agreement).
+    """
     config = config or SimulatorConfig()
-    fast = simulate(scenario, make_scheduler(scheduler_name), config)
     seed_engine = reference_simulate(scenario, make_scheduler(scheduler_name), config)
-    assert fast.n_events == seed_engine.n_events
-    assert fast.makespan == pytest.approx(seed_engine.makespan, abs=TOL)
-    assert set(fast.records) == set(seed_engine.records)
-    for name, rec in fast.records.items():
-        ref_rec = seed_engine.records[name]
-        assert rec.completion_time == pytest.approx(
-            ref_rec.completion_time, abs=TOL
-        ), name
-        assert rec.executed_work == pytest.approx(ref_rec.executed_work, abs=TOL)
-        assert rec.total_io_transferred == pytest.approx(
-            ref_rec.total_io_transferred, abs=TOL
-        )
-        assert len(rec.instances) == len(ref_rec.instances)
-        assert rec.restarts == ref_rec.restarts, name
-    assert (fast.fault_stats is None) == (seed_engine.fault_stats is None)
-    if fast.fault_stats is not None:
-        assert fast.fault_stats == seed_engine.fault_stats
+    fast = simulate(scenario, make_scheduler(scheduler_name), config)
+    batched = batched_simulate(scenario, make_scheduler(scheduler_name), config)
+    for result in (fast, batched):
+        assert result.n_events == seed_engine.n_events
+        assert result.makespan == pytest.approx(seed_engine.makespan, abs=TOL)
+        assert set(result.records) == set(seed_engine.records)
+        for name, rec in result.records.items():
+            ref_rec = seed_engine.records[name]
+            assert rec.completion_time == pytest.approx(
+                ref_rec.completion_time, abs=TOL
+            ), name
+            assert rec.executed_work == pytest.approx(ref_rec.executed_work, abs=TOL)
+            assert rec.total_io_transferred == pytest.approx(
+                ref_rec.total_io_transferred, abs=TOL
+            )
+            assert len(rec.instances) == len(ref_rec.instances)
+            assert rec.restarts == ref_rec.restarts, name
+        assert (result.fault_stats is None) == (seed_engine.fault_stats is None)
+        if result.fault_stats is not None:
+            assert result.fault_stats == seed_engine.fault_stats
+    # Bit-identity, not just tolerance: the batched engine's contract.
+    assert batched.records == seed_engine.records
+    assert batched.makespan == seed_engine.makespan
+    assert batched.burst_buffer == seed_engine.burst_buffer
     return fast, seed_engine
 
 
@@ -173,16 +186,18 @@ class TestAwkwardShapes:
 
         scenario = random_scenario(5, n_apps=6)
         config = SimulatorConfig(record_events=True)
-        fast_log, seed_log = EventLog(), EventLog()
+        fast_log, seed_log, batched_log = EventLog(), EventLog(), EventLog()
         simulate(scenario, make_scheduler("MaxSysEff"), config, fast_log)
         reference_simulate(scenario, make_scheduler("MaxSysEff"), config, seed_log)
-        fast_events = [
-            (e.time, e.event_type, e.app_name, e.instance_index) for e in fast_log
-        ]
-        seed_events = [
-            (e.time, e.event_type, e.app_name, e.instance_index) for e in seed_log
-        ]
-        assert fast_events == seed_events
+        batched_simulate(scenario, make_scheduler("MaxSysEff"), config, batched_log)
+
+        def flatten(log):
+            return [
+                (e.time, e.event_type, e.app_name, e.instance_index) for e in log
+            ]
+
+        assert flatten(fast_log) == flatten(seed_log)
+        assert flatten(batched_log) == flatten(seed_log)
 
 
 def random_fault_model(
@@ -334,18 +349,20 @@ class TestFaultedEquivalence:
             random_fault_model(5, scenario, with_blackout=True)
         )
         config = SimulatorConfig(record_events=True)
-        fast_log, seed_log = EventLog(), EventLog()
+        fast_log, seed_log, batched_log = EventLog(), EventLog(), EventLog()
         simulate(faulted, make_scheduler("MaxSysEff"), config, fast_log)
         reference_simulate(
             faulted, make_scheduler("MaxSysEff"), config, seed_log
         )
-        fast_events = [
-            (e.time, e.event_type, e.app_name, e.instance_index) for e in fast_log
-        ]
-        seed_events = [
-            (e.time, e.event_type, e.app_name, e.instance_index) for e in seed_log
-        ]
-        assert fast_events == seed_events
+        batched_simulate(faulted, make_scheduler("MaxSysEff"), config, batched_log)
+
+        def flatten(log):
+            return [
+                (e.time, e.event_type, e.app_name, e.instance_index) for e in log
+            ]
+
+        assert flatten(fast_log) == flatten(seed_log)
+        assert flatten(batched_log) == flatten(seed_log)
         crash_events = [e for e in fast_log if e.event_type is EventType.APP_CRASH]
         restart_events = [
             e for e in fast_log if e.event_type is EventType.APP_RESTART

@@ -137,6 +137,51 @@ class TestWarmStartEquivalence:
         assert naive.n_builds == len(naive.sweep)
         assert result.sweep == naive.sweep
 
+    def test_small_sweep_falls_back_to_naive(self):
+        """Below ``_WARM_START_MIN_POINTS`` the warm start must step aside.
+
+        Regression test for the BENCH_grid scale-1 period sweep: at ~20
+        sweep points the validity bookkeeping cost more than the (zero)
+        reuse it bought, so ``warm_start=True`` ran 0.91–0.94x the naive
+        sweep.  The adaptive warm start drops to naive rebuilds there —
+        builds at every point, bit-identical trace and placements.
+        """
+        from repro.periodic.period_search import _WARM_START_MIN_POINTS
+
+        platform = _platform()
+        apps = _spec_apps()
+        # eps=0.1 over a 6x range gives ~20 points — the regressing regime.
+        kwargs = dict(epsilon=0.1, max_period_factor=6.0)
+        for heuristic_cls in HEURISTICS:
+            warm = search_period(
+                heuristic_cls(), platform, apps, warm_start=True, **kwargs
+            )
+            naive = search_period(
+                heuristic_cls(), platform, apps, warm_start=False, **kwargs
+            )
+            assert len(warm.sweep) < _WARM_START_MIN_POINTS
+            # The adaptive fallback rebuilds at every point, exactly like
+            # the naive sweep it replaced.
+            assert warm.n_builds == len(warm.sweep)
+            assert warm.sweep == naive.sweep
+            assert warm.best_period == naive.best_period
+            assert _placements(warm.best_schedule) == _placements(
+                naive.best_schedule
+            )
+
+    def test_fine_sweep_still_warm_starts(self):
+        """Above the threshold the warm start keeps skipping rebuilds."""
+        from repro.periodic.period_search import _WARM_START_MIN_POINTS
+
+        platform = _platform()
+        apps = _spec_apps()
+        result = search_period(
+            InsertInScheduleThrou(), platform, apps, epsilon=0.005,
+            max_period_factor=6.0,
+        )
+        assert len(result.sweep) >= _WARM_START_MIN_POINTS
+        assert result.n_builds < len(result.sweep)
+
     def test_single_point_sweep(self):
         platform = _platform()
         apps = _spec_apps()
