@@ -14,10 +14,10 @@ from __future__ import annotations
 import numpy as np
 from conftest import run_once
 
-from repro.core import Application, Scenario, generic, intrepid
+from repro.core import Application, generic, intrepid
 from repro.core.platform import BurstBufferSpec
 from repro.experiments import SchedulerCase, format_table, run_grid
-from repro.online import FairShare, make_scheduler
+from repro.online import FairShare
 from repro.periodic import InsertInScheduleThrou, search_period
 from repro.simulator import NO_INTERFERENCE, SimulatorConfig, simulate
 from repro.workload import intrepid_congested_moments

@@ -16,14 +16,14 @@ ready to print or plot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.core.platform import Platform, intrepid
 from repro.experiments.runner import ExperimentExecutor, engine_runner, map_parallel
 from repro.online.baselines import FairShare
-from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.engine import SimulatorConfig
 from repro.simulator.interference import InterferenceModel
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import ValidationError

@@ -16,7 +16,6 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.platform import Platform, intrepid
 from repro.utils.validation import ValidationError
 from repro.workload.categories import Category
 from repro.workload.darshan import DarshanRecord

@@ -1,6 +1,6 @@
 """``repro`` — the unified command-line entry point of the reproduction.
 
-Seven subcommands cover the whole surface:
+Eight subcommands cover the whole surface:
 
 * ``repro run <spec>`` — execute a declarative scenario/experiment spec
   (TOML or JSON; see ``docs/scenarios.md`` and ``examples/specs/``);
@@ -19,7 +19,9 @@ Seven subcommands cover the whole surface:
 * ``repro bench`` — the engine-scaling benchmark, writing the
   ``BENCH_engine.json`` trajectory payload;
 * ``repro list`` — discoverability: scheduler names, workload categories,
-  experiment kinds and the bundled example specs.
+  experiment kinds and the bundled example specs;
+* ``repro lint`` — the static determinism/contract linter (``reprolint``,
+  rules D001–D005/C001; see ``docs/determinism.md``).
 
 Installed as a console script (``pip install -e .``) and also runnable
 without installation as ``PYTHONPATH=src python -m repro ...``.
@@ -118,11 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--engine",
-        choices=("heap", "batched"),
+        choices=("heap", "batched", "auto"),
         default=None,
         help=(
-            "simulation kernel for every cell (bit-identical results either "
-            "way; default: spec value)"
+            "simulation kernel for every cell ('auto' picks per scenario by "
+            "application count; bit-identical results either way; default: "
+            "spec value)"
         ),
     )
     run.add_argument(
@@ -358,6 +361,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lister.set_defaults(func=_cmd_list)
 
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism/contract linter (reprolint)",
+        description=(
+            "Run the AST-based determinism linter over the given paths "
+            "(default: src).  Rules D001-D005 catch per-file hazards "
+            "(global RNG state, wall-clock reads, unordered set iteration, "
+            "non-canonical JSON, mutable defaults); C001 checks that every "
+            "dataclass reachable from store-key construction serializes "
+            "canonically.  See docs/determinism.md.  Exit status: 0 clean, "
+            "1 findings, 2 usage/baseline error."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=(
+            "baseline file of grandfathered findings (default: "
+            "reprolint-baseline.json next to the scanned tree, if present; "
+            "--no-baseline disables).  Entries under simulator/ or store/ "
+            "are rejected outright."
+        ),
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write the current findings out as a fresh baseline and exit 0",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="PREFIX[:RULE]=LEVEL",
+        help=(
+            "per-path severity override, e.g. 'report/=warning' or "
+            "'analysis/:D003=warning'; repeatable, longest prefix wins"
+        ),
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -530,7 +597,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "info":
         info = store.info()
         if args.json:
-            print(json.dumps(info, indent=2))
+            print(json.dumps(info, indent=2, sort_keys=True))
         else:
             print(f"store:   {info['path']} (format {info['format']})")
             print(f"entries: {info['entries']}")
@@ -674,6 +741,79 @@ def _cmd_list(args: argparse.Namespace) -> int:
             except SpecError as exc:
                 print(f"  {path.name:<28} INVALID: {exc}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the linter is a dev tool; `repro run` should not pay for
+    # loading it (and vice versa, the linter imports no simulation code).
+    from repro.lint import (
+        PROJECT_RULE_REGISTRY,
+        RULE_REGISTRY,
+        BaselineError,
+        format_json,
+        format_text,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id in sorted(RULE_REGISTRY):
+            print(f"{rule_id}  {RULE_REGISTRY[rule_id].title}")
+        for rule_id in sorted(PROJECT_RULE_REGISTRY):
+            print(f"{rule_id}  {PROJECT_RULE_REGISTRY[rule_id].title}")
+        return 0
+
+    overrides: dict[str, str] = {}
+    for item in args.severity:
+        pattern, sep, level = item.partition("=")
+        if not sep or not pattern:
+            print(
+                f"error: --severity expects PREFIX[:RULE]=LEVEL, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        overrides[pattern] = level
+
+    baseline = None
+    if not args.no_baseline and args.write_baseline is None:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else Path("reprolint-baseline.json")
+        )
+        if baseline_path.exists():
+            try:
+                baseline = load_baseline(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_lint(
+            [Path(p) for p in args.paths],
+            baseline=baseline,
+            severity_overrides=overrides or None,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), result.errors)
+        print(
+            f"wrote {len(result.errors)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(format_json(result), indent=2, sort_keys=True))
+    else:
+        print(format_text(result))
+    return result.exit_code()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

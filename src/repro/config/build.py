@@ -18,17 +18,16 @@ import numpy as np
 from repro.config.schema import SpecError
 from repro.config.spec import (
     AppSpec,
-    ExperimentSpec,
     FaultsSpec,
     GridSpec,
     PeriodicSpec,
     PlatformSpec,
     ScenarioEntry,
-    SchedulerCaseSpec,
 )
 from repro.core.application import Application
 from repro.core.platform import BurstBufferSpec, Platform, generic, intrepid, mira, vesta
 from repro.core.scenario import Scenario
+from repro.experiments.runner import SchedulerCase
 from repro.faults import (
     BandwidthWindow,
     CrashEvent,
@@ -36,7 +35,6 @@ from repro.faults import (
     sample_crashes,
     sample_windows,
 )
-from repro.experiments.runner import SchedulerCase
 from repro.periodic.period_search import minimum_period
 from repro.utils.rng import spawn_rngs
 from repro.workload.congested import CongestedMomentSpec, generate_congested_moment

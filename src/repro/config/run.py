@@ -40,7 +40,6 @@ from repro.config.spec import (
     ExperimentSpec,
     Figure6Spec,
     GridSpec,
-    OutputSpec,
     PeriodicSpec,
     VestaSpec,
 )

@@ -15,7 +15,7 @@ with the list of keys that *would* have been accepted.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Literal, Mapping, Optional, Sequence, overload
 
 from repro.utils.validation import ValidationError
 
@@ -94,6 +94,40 @@ class Section:
             raise SpecError(f"missing required key {self.path(key)!r}")
         return default
 
+    # The getters narrow statically the same way they behave dynamically:
+    # a non-None default or required=True can never return None, so those
+    # call shapes type as the bare value — spec dataclass fields annotated
+    # non-Optional accept them under mypy --strict without casts.
+    @overload
+    def get_str(
+        self,
+        key: str,
+        default: str,
+        *,
+        required: bool = ...,
+        choices: Optional[Sequence[str]] = ...,
+    ) -> str: ...
+
+    @overload
+    def get_str(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: Literal[True],
+        choices: Optional[Sequence[str]] = ...,
+    ) -> str: ...
+
+    @overload
+    def get_str(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: bool = ...,
+        choices: Optional[Sequence[str]] = ...,
+    ) -> Optional[str]: ...
+
     def get_str(
         self,
         key: str,
@@ -116,6 +150,21 @@ class Section:
             )
         return value
 
+    @overload
+    def get_bool(
+        self, key: str, default: bool, *, required: bool = ...
+    ) -> bool: ...
+
+    @overload
+    def get_bool(
+        self, key: str, default: None = ..., *, required: Literal[True]
+    ) -> bool: ...
+
+    @overload
+    def get_bool(
+        self, key: str, default: None = ..., *, required: bool = ...
+    ) -> Optional[bool]: ...
+
     def get_bool(
         self, key: str, default: Optional[bool] = None, *, required: bool = False
     ) -> Optional[bool]:
@@ -128,6 +177,39 @@ class Section:
                 f"{self.path(key)} must be a boolean, got {_type_name(value)}"
             )
         return value
+
+    @overload
+    def get_int(
+        self,
+        key: str,
+        default: int,
+        *,
+        required: bool = ...,
+        minimum: Optional[int] = ...,
+        maximum: Optional[int] = ...,
+    ) -> int: ...
+
+    @overload
+    def get_int(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: Literal[True],
+        minimum: Optional[int] = ...,
+        maximum: Optional[int] = ...,
+    ) -> int: ...
+
+    @overload
+    def get_int(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: bool = ...,
+        minimum: Optional[int] = ...,
+        maximum: Optional[int] = ...,
+    ) -> Optional[int]: ...
 
     def get_int(
         self,
@@ -151,6 +233,45 @@ class Section:
         if maximum is not None and value > maximum:
             raise SpecError(f"{self.path(key)} must be <= {maximum}, got {value}")
         return value
+
+    @overload
+    def get_float(
+        self,
+        key: str,
+        default: float,
+        *,
+        required: bool = ...,
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+        positive: bool = ...,
+        allow_inf: bool = ...,
+    ) -> float: ...
+
+    @overload
+    def get_float(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: Literal[True],
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+        positive: bool = ...,
+        allow_inf: bool = ...,
+    ) -> float: ...
+
+    @overload
+    def get_float(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: bool = ...,
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+        positive: bool = ...,
+        allow_inf: bool = ...,
+    ) -> Optional[float]: ...
 
     def get_float(
         self,
@@ -193,6 +314,39 @@ class Section:
             raise SpecError(f"{self.path(key)} must be <= {maximum}, got {value}")
         return value
 
+    @overload
+    def get_str_list(
+        self,
+        key: str,
+        default: Sequence[str],
+        *,
+        required: bool = ...,
+        non_empty: bool = ...,
+        unique: bool = ...,
+    ) -> list[str]: ...
+
+    @overload
+    def get_str_list(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: Literal[True],
+        non_empty: bool = ...,
+        unique: bool = ...,
+    ) -> list[str]: ...
+
+    @overload
+    def get_str_list(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: bool = ...,
+        non_empty: bool = ...,
+        unique: bool = ...,
+    ) -> Optional[list[str]]: ...
+
     def get_str_list(
         self,
         key: str,
@@ -230,6 +384,45 @@ class Section:
         if non_empty and not out:
             raise SpecError(f"{self.path(key)} must not be empty")
         return out
+
+    @overload
+    def get_float_list(
+        self,
+        key: str,
+        default: Sequence[float],
+        *,
+        required: bool = ...,
+        non_empty: bool = ...,
+        unique: bool = ...,
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+    ) -> list[float]: ...
+
+    @overload
+    def get_float_list(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: Literal[True],
+        non_empty: bool = ...,
+        unique: bool = ...,
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+    ) -> list[float]: ...
+
+    @overload
+    def get_float_list(
+        self,
+        key: str,
+        default: None = ...,
+        *,
+        required: bool = ...,
+        non_empty: bool = ...,
+        unique: bool = ...,
+        minimum: Optional[float] = ...,
+        maximum: Optional[float] = ...,
+    ) -> Optional[list[float]]: ...
 
     def get_float_list(
         self,
@@ -286,6 +479,14 @@ class Section:
         return out
 
     # ------------------------------------------------------------------ #
+    @overload
+    def subsection(self, key: str, *, required: Literal[True]) -> "Section": ...
+
+    @overload
+    def subsection(
+        self, key: str, *, required: bool = ...
+    ) -> Optional["Section"]: ...
+
     def subsection(self, key: str, *, required: bool = False) -> Optional["Section"]:
         """A nested table, or ``None`` when absent and not required."""
         value = self._take(key, None, required)

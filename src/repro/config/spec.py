@@ -39,12 +39,12 @@ hand-built :func:`repro.experiments.runner.run_grid` call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Mapping, Optional, Union
 
+from repro.analysis.sensitivity import FIGURE7_SCHEDULERS
 from repro.config.schema import Section, SpecError
 from repro.core.platform import vesta as vesta_platform
-from repro.analysis.sensitivity import FIGURE7_SCHEDULERS
 from repro.experiments.comparison import (
     FIGURE6_SCENARIOS,
     FIGURE6_SCHEDULERS,
@@ -101,7 +101,7 @@ EXPERIMENT_KINDS: tuple[str, ...] = (
 #: (heuristic class, period-sweep objective).  Single source of truth — the
 #: parser validates against its keys and the runner instantiates from it,
 #: so a new heuristic cannot pass ``repro validate`` yet crash ``repro run``.
-PERIODIC_HEURISTIC_TABLE: dict[str, tuple[type, str]] = {
+PERIODIC_HEURISTIC_TABLE: dict[str, tuple[type[object], str]] = {
     "throughput": (InsertInScheduleThrou, "system_efficiency"),
     "congestion": (InsertInScheduleCong, "dilation"),
 }

@@ -17,7 +17,7 @@ constructor accepts per-instance sequences and is what the sensibility study
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterable, Optional, Sequence
 

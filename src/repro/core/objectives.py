@@ -19,11 +19,11 @@ scores every heuristic, every baseline and the upper limit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.utils.validation import ValidationError, check_non_negative, check_positive
+from repro.utils.validation import ValidationError, check_non_negative
 
 __all__ = [
     "ApplicationOutcome",

@@ -19,7 +19,6 @@ from typing import Callable, Literal, Optional, Sequence
 import numpy as np
 
 from repro.core.platform import Platform, intrepid, mira
-from repro.core.scenario import Scenario
 from repro.experiments.runner import (
     ExperimentExecutor,
     ExperimentGrid,

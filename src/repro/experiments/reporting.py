@@ -267,7 +267,7 @@ def write_json(payload: Mapping[str, object], path: Union[str, Path]) -> Path:
     try:
         atomic_write_text(
             path,
-            json.dumps(_jsonable(dict(payload)), indent=2, sort_keys=False) + "\n",
+            json.dumps(_jsonable(dict(payload)), indent=2, sort_keys=False) + "\n",  # reprolint: ignore[D004] — artefact sections keep construction order for readers; never digested
         )
     except OSError as exc:
         raise ValidationError(f"cannot write results to {path}: {exc}") from exc

@@ -45,7 +45,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+from typing import Callable, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -63,7 +63,9 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "ENGINES",
     "DEFAULT_ENGINE",
+    "AUTO_DISPATCH_MIN_APPS",
     "resolve_engine",
+    "dispatch_engine",
     "engine_runner",
     "SchedulerCase",
     "CaseResult",
@@ -81,16 +83,50 @@ __all__ = [
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
-#: Simulation engines selectable per campaign.  Both are pinned bit-identical
-#: to the frozen reference engine (tests/test_engine_equivalence.py and
-#: tests/test_engine_differential.py), so the choice only affects speed:
-#: "batched" (the columnar numpy kernel) wins on wide scenarios and is the
-#: default; "heap" (the indexed event queue) wins on very small ones and
-#: serves as the fallback for custom scheduler objects.
-ENGINES = ("heap", "batched")
+#: Simulation engines selectable per campaign.  The concrete kernels are
+#: pinned bit-identical to the frozen reference engine
+#: (tests/test_engine_equivalence.py and tests/test_engine_differential.py),
+#: so the choice only affects speed: "batched" (the columnar numpy kernel)
+#: wins on wide scenarios and is the default; "heap" (the indexed event
+#: queue) wins on very small ones and serves as the fallback for custom
+#: scheduler objects; "auto" picks per scenario by application count (heap
+#: below :data:`AUTO_DISPATCH_MIN_APPS`, batched at or above).
+ENGINES = ("heap", "batched", "auto")
 DEFAULT_ENGINE = "batched"
 
-_ENGINE_RUNNERS = {"heap": simulate, "batched": batched_simulate}
+#: Width threshold of the "auto" engine: below this many applications the
+#: per-breakpoint numpy call overhead of the batched kernel exceeds its
+#: vectorization win and the heap engine is faster (the BENCH_engine.json
+#: scaling curve crosses between ~20 and ~50 apps depending on the machine;
+#: 32 splits that band).  Dispatch is per *scenario*, so one campaign mixing
+#: narrow and wide scenarios uses the right kernel for each — and because
+#: both kernels are bit-identical, the threshold can move without changing
+#: any result (store keys record the kernel actually dispatched, so moving
+#: it recomputes only the cells whose kernel flipped).
+AUTO_DISPATCH_MIN_APPS = 32
+
+
+def _auto_simulate(
+    scenario: Scenario,
+    scheduler: SchedulerProtocol,
+    config: SimulatorConfig | None = None,
+    event_log=None,
+) -> SimulationResult:
+    """Width-dispatching kernel behind ``engine="auto"``.
+
+    Module-level (picklable) so auto-engined grids parallelize exactly like
+    concrete-engined ones.
+    """
+    if len(scenario.applications) < AUTO_DISPATCH_MIN_APPS:
+        return simulate(scenario, scheduler, config, event_log)
+    return batched_simulate(scenario, scheduler, config, event_log)
+
+
+_ENGINE_RUNNERS = {
+    "heap": simulate,
+    "batched": batched_simulate,
+    "auto": _auto_simulate,
+}
 
 
 def resolve_engine(engine: str | None) -> str:
@@ -104,11 +140,22 @@ def resolve_engine(engine: str | None) -> str:
     return engine
 
 
+def dispatch_engine(engine: str | None, n_apps: int) -> str:
+    """The concrete kernel that will simulate a scenario of ``n_apps``
+    applications under ``engine`` — resolves ``"auto"`` by width, passes
+    concrete selectors through."""
+    resolved = resolve_engine(engine)
+    if resolved == "auto":
+        return "heap" if n_apps < AUTO_DISPATCH_MIN_APPS else "batched"
+    return resolved
+
+
 def engine_runner(engine: str | None):
     """The ``simulate``-compatible callable behind an engine selector.
 
     Harnesses that call the simulator directly (instead of through
-    :func:`run_case`) use this to honor the same ``engine`` knob.
+    :func:`run_case`) use this to honor the same ``engine`` knob; the
+    ``"auto"`` selector returns a wrapper that dispatches per scenario.
     """
     return _ENGINE_RUNNERS[resolve_engine(engine)]
 
@@ -614,8 +661,9 @@ def run_case(
 ) -> CaseResult | tuple[CaseResult, SimulationResult]:
     """Run one scenario under one scheduler case.
 
-    ``engine`` selects the simulation kernel (``"heap"`` or ``"batched"``,
-    default :data:`DEFAULT_ENGINE`); both produce bit-identical results.
+    ``engine`` selects the simulation kernel (``"heap"``, ``"batched"`` or
+    the width-dispatching ``"auto"``, default :data:`DEFAULT_ENGINE`); every
+    selector produces bit-identical results.
     """
     run_simulation = _ENGINE_RUNNERS[resolve_engine(engine)]
     run_scenario = scenario
@@ -694,16 +742,28 @@ class _GridCellCache(MapCache):
         engine: str,
     ):
         super().__init__(store)
-        # The engine lands in the key prefix: both engines are pinned
+        # The engine lands in the key prefix: all engines are pinned
         # bit-identical, but a stored cell should stay honest about the
         # kernel that produced it, so an engine switch recomputes rather
-        # than silently re-labelling old results.
-        prefix = digest("grid-cell", code_fingerprint(), max_time, engine)
+        # than silently re-labelling old results.  The "auto" selector is
+        # resolved per scenario *before* keying — an auto cell stores under
+        # the kernel that actually ran it, so auto campaigns share cells
+        # with explicit heap/batched campaigns of the same width.
+        fingerprint = code_fingerprint()
+        prefixes = [
+            digest(
+                "grid-cell",
+                fingerprint,
+                max_time,
+                dispatch_engine(engine, len(scenario.applications)),
+            )
+            for scenario in scenarios
+        ]
         scenario_texts = [canonical_json(s) for s in scenarios]
         case_texts = [canonical_json(c) for c in cases]
         self._keys = [
-            [digest(prefix, s_text, c_text) for c_text in case_texts]
-            for s_text in scenario_texts
+            [digest(prefixes[i], s_text, c_text) for c_text in case_texts]
+            for i, s_text in enumerate(scenario_texts)
         ]
 
     def key(self, item: tuple[int, int]) -> str:
@@ -793,8 +853,9 @@ def run_grid(
         cell-for-cell identical to cold ones (the key covers the canonical
         scenario, case, horizon, engine and producing-code fingerprint).
     engine:
-        Simulation kernel for every cell (``"heap"`` or ``"batched"``;
-        ``None`` uses :data:`DEFAULT_ENGINE`).  Both engines are pinned
+        Simulation kernel for every cell (``"heap"``, ``"batched"`` or
+        ``"auto"``, which picks per scenario by application count;
+        ``None`` uses :data:`DEFAULT_ENGINE`).  Every selector is pinned
         bit-identical, so this is purely a speed knob.
     """
     if not scenarios:

@@ -49,11 +49,11 @@ from repro.experiments.runner import (
     map_parallel,
     resolve_engine,
 )
-from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.online.baselines import ior_scheduler
 from repro.online.registry import make_scheduler
-from repro.simulator.engine import SimulatorConfig, simulate
+from repro.simulator.engine import SimulatorConfig
 from repro.simulator.metrics import SimulationResult
+from repro.store import ResultStore, canonical_json, code_fingerprint, digest
 from repro.utils.rng import RngLike
 from repro.utils.validation import ValidationError
 from repro.workload.ior import VESTA_SCENARIOS, ior_scenario

@@ -1,0 +1,102 @@
+"""Baseline file support: grandfather old findings, never new ones.
+
+A baseline is a committed JSON file listing findings that predate the
+linter and are accepted for now.  Matching findings are suppressed;
+anything not listed fails as usual, and baseline entries under the
+protected package prefixes (``simulator/``, ``store/`` — see
+:data:`repro.lint.framework.PROTECTED_PREFIXES`) are themselves an error:
+the determinism core may not accumulate debt.  The shipped baseline
+(``reprolint-baseline.json``) is empty — every finding in the tree was
+fixed or waived in source — and the CI lint job keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .framework import PROTECTED_PREFIXES, Finding, package_path
+
+__all__ = ["Baseline", "BaselineError", "load_baseline", "write_baseline"]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files or protected-prefix entries."""
+
+
+class Baseline:
+    """An allow-list of finding identities ``(path, rule, line)``."""
+
+    def __init__(self, entries: Iterable[tuple[str, str, int]] = ()):
+        self.entries: set[tuple[str, str, int]] = set(entries)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.key() in self.entries
+
+    def protected_entries(self) -> list[tuple[str, str, int]]:
+        """Entries under the protected prefixes (each one is an error)."""
+        return sorted(
+            entry
+            for entry in self.entries
+            if package_path(entry[0]).startswith(PROTECTED_PREFIXES)
+        )
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """Split off baselined findings; returns (kept, n_suppressed)."""
+        kept = [finding for finding in findings if finding not in self]
+        return kept, len(findings) - len(kept)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse a baseline file, rejecting protected-prefix entries."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} must be an object with version={_BASELINE_VERSION}"
+        )
+    raw = payload.get("findings", [])
+    if not isinstance(raw, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    entries: list[tuple[str, str, int]] = []
+    for item in raw:
+        if (
+            not isinstance(item, dict)
+            or not isinstance(item.get("path"), str)
+            or not isinstance(item.get("rule"), str)
+            or not isinstance(item.get("line"), int)
+        ):
+            raise BaselineError(
+                f"baseline {path}: each finding needs string 'path'/'rule' "
+                "and integer 'line'"
+            )
+        entries.append((item["path"], item["rule"], item["line"]))
+    baseline = Baseline(entries)
+    protected = baseline.protected_entries()
+    if protected:
+        listing = ", ".join(f"{p}:{line} [{rule}]" for p, rule, line in protected)
+        raise BaselineError(
+            f"baseline {path} grandfathers findings under the protected "
+            f"prefixes {PROTECTED_PREFIXES} — fix or waive them in source: "
+            f"{listing}"
+        )
+    return baseline
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Serialize ``findings`` as a fresh baseline (``--write-baseline``)."""
+    payload = {
+        "version": _BASELINE_VERSION,
+        "findings": [
+            {"path": f.path, "rule": f.rule, "line": f.line}
+            for f in sorted(findings, key=lambda f: f.key())
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

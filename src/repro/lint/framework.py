@@ -1,0 +1,294 @@
+"""Rule framework of ``reprolint``: findings, registry, waivers, severity.
+
+Every determinism guarantee of this reproduction (three bit-identical
+engines, byte-identical parallel campaigns, stable store keys) is enforced
+*dynamically* by equivalence tests — after a hazard has already shipped.
+``reprolint`` is the static half of that contract: an AST pass (stdlib
+:mod:`ast`, no dependencies) that rejects determinism hazards at review
+time.  This module is the machinery; the rules themselves live in
+:mod:`repro.lint.rules` (per-file AST rules ``D0xx``) and
+:mod:`repro.lint.contracts` (cross-module contract rules ``C0xx``).
+
+Three mechanisms keep the gate workable on a living tree:
+
+* **inline waivers** — ``# reprolint: ignore[D001]`` (optionally with a
+  justification after a dash) suppresses named rules on that line;
+* **a committed baseline** (:mod:`repro.lint.baseline`) grandfathers
+  pre-existing findings without blessing new ones — except under the
+  :data:`PROTECTED_PREFIXES`, where baselining is itself an error;
+* **per-path severity config** — :func:`severity_for` downgrades rules to
+  ``warning`` under configured path prefixes (warnings are reported but do
+  not fail the run).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterable, Mapping, Optional
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "ProjectRule",
+    "RULE_REGISTRY",
+    "PROJECT_RULE_REGISTRY",
+    "register_rule",
+    "register_project_rule",
+    "all_rule_ids",
+    "package_path",
+    "parse_waivers",
+    "severity_for",
+    "PROTECTED_PREFIXES",
+    "SEVERITIES",
+]
+
+#: Accepted severity levels, in increasing order of consequence.  ``error``
+#: findings fail the run; ``warning`` findings are reported only.
+SEVERITIES = ("warning", "error")
+
+#: Package-relative path prefixes whose findings may never be baselined:
+#: the simulator engines and the content-addressed store are the two layers
+#: whose determinism every other guarantee rests on, so a hazard there must
+#: be fixed or explicitly waived in the source, never grandfathered.
+PROTECTED_PREFIXES = ("simulator/", "store/")
+
+_RULE_ID_RE = re.compile(r"^[DC][0-9]{3}$")
+
+#: ``# reprolint: ignore[D001]`` or ``# reprolint: ignore[D001,D003] — why``.
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*ignore\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the path as reported to the user (relative to the scanned
+    root); ``line`` is 1-based.  The triple ``(path, rule, line)`` is the
+    baseline identity of a finding (see :mod:`repro.lint.baseline`).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def key(self) -> tuple[str, str, int]:
+        """Baseline identity of this finding."""
+        return (self.path, self.rule, self.line)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON form — the schema the ``--format json`` output commits to."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def package_path(rel_path: str) -> str:
+    """The package-relative portion of a reported path.
+
+    Rule scopes are phrased against the ``repro`` package layout
+    (``simulator/engine.py``), while scans may start anywhere
+    (``src/repro/...``, a test fixture tree, an installed checkout).  The
+    portion after the last ``repro/`` segment is the scope key; paths with
+    no ``repro/`` segment (fixture trees) are used as-is.
+    """
+    normalized = rel_path.replace("\\", "/")
+    marker = "repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        return normalized[index + len(marker):]
+    return normalized
+
+
+def parse_waivers(source: str) -> dict[int, set[str]]:
+    """Map 1-based line numbers to the rule IDs waived on that line.
+
+    A waiver names the rules it silences — ``# reprolint: ignore[D001]`` —
+    and may carry a justification after the bracket.  Several IDs separate
+    with commas.  Waivers are line-scoped: they apply to findings anchored
+    on the same physical line.
+    """
+    waivers: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        waivers.setdefault(lineno, set()).update(ids)
+    return waivers
+
+
+def severity_for(
+    rule_id: str,
+    rel_path: str,
+    overrides: Optional[Mapping[str, str]] = None,
+    default: str = "error",
+) -> str:
+    """Severity of ``rule_id`` findings at ``rel_path``.
+
+    ``overrides`` maps path prefixes (against :func:`package_path`) or
+    ``"prefix:RULE"`` pairs to severities; the longest matching prefix wins,
+    and a rule-specific entry beats a path-wide one at the same prefix.
+    Everything defaults to ``error`` — this reproduction's core packages
+    earn no leniency — but e.g. ``{"report/": "warning"}`` relaxes a
+    presentation layer wholesale.
+    """
+    if overrides:
+        scoped = package_path(rel_path)
+        best: Optional[tuple[int, int, str]] = None
+        for pattern, severity in overrides.items():
+            if severity not in SEVERITIES:
+                raise ValueError(
+                    f"unknown severity {severity!r} for {pattern!r}; "
+                    f"choose one of {SEVERITIES}"
+                )
+            prefix, _, rule = pattern.partition(":")
+            if rule and rule != rule_id:
+                continue
+            if not scoped.startswith(prefix):
+                continue
+            candidate = (len(prefix), 1 if rule else 0, severity)
+            if best is None or candidate[:2] > best[:2]:
+                best = candidate
+        if best is not None:
+            return best[2]
+    return default
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule may look at for one source file."""
+
+    #: Path as reported in findings (relative to the scanned root).
+    rel_path: str
+    #: Raw source text (rules occasionally need the physical lines).
+    source: str
+    #: Parsed module body.
+    tree: ast.Module
+    #: Line number -> waived rule IDs (see :func:`parse_waivers`).
+    waivers: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def scope_path(self) -> str:
+        """Package-relative path used for rule scoping."""
+        return package_path(self.rel_path)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class of per-file AST rules.
+
+    Subclasses set the class attributes, implement ``visit_*`` methods and
+    call :meth:`report` for each violation.  Registration is explicit via
+    :func:`register_rule` so a rule cannot exist without a stable ID — and
+    the self-check test asserts every shipped ID is present, so deleting a
+    rule fails CI loudly.
+    """
+
+    #: Stable identifier (``D0xx`` determinism, ``C0xx`` contract).
+    id: ClassVar[str] = ""
+    #: One-line summary shown by ``repro lint --list-rules`` and the docs.
+    title: ClassVar[str] = ""
+    #: Package-relative path prefixes the rule applies to; empty = all files.
+    scopes: ClassVar[tuple[str, ...]] = ()
+    #: Package-relative paths the rule never applies to (exact file matches).
+    exempt_files: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, context: FileContext):
+        self.context = context
+        self.findings: list[Finding] = []
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        """Whether this rule runs on ``rel_path`` at all."""
+        scoped = package_path(rel_path)
+        if scoped in cls.exempt_files:
+            return False
+        if not cls.scopes:
+            return True
+        return any(scoped.startswith(prefix) for prefix in cls.scopes)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one finding anchored at ``node`` (waivers apply here)."""
+        line = getattr(node, "lineno", 1)
+        waived = self.context.waivers.get(line, set())
+        if self.id in waived:
+            return
+        self.findings.append(
+            Finding(
+                rule=self.id,
+                path=self.context.rel_path,
+                line=line,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        """Visit the whole module and return the findings."""
+        self.visit(self.context.tree)
+        return self.findings
+
+
+class ProjectRule:
+    """Base class of cross-module rules (one run per scan, not per file).
+
+    Subclasses implement :meth:`check` over the full set of parsed files —
+    the shape needed by contract rules that walk a graph spanning modules
+    (e.g. the dataclass-serializability closure of C001).  Waivers still
+    apply: findings anchored on a waived line are dropped by the runner.
+    """
+
+    id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    def check(self, files: list[FileContext]) -> list[Finding]:
+        """Return the findings over the whole scanned tree."""
+        raise NotImplementedError
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+PROJECT_RULE_REGISTRY: dict[str, type[ProjectRule]] = {}
+
+
+def _check_id(rule_id: str) -> None:
+    if not _RULE_ID_RE.match(rule_id):
+        raise ValueError(
+            f"rule id {rule_id!r} must match D0xx/C0xx (stable, grep-able IDs)"
+        )
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a per-file rule to the registry."""
+    _check_id(cls.id)
+    if cls.id in RULE_REGISTRY or cls.id in PROJECT_RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def register_project_rule(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a cross-module rule to the registry."""
+    _check_id(cls.id)
+    if cls.id in RULE_REGISTRY or cls.id in PROJECT_RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    PROJECT_RULE_REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_ids() -> list[str]:
+    """Every registered rule ID, sorted (the CI no-deleted-rules check)."""
+    return sorted(RULE_REGISTRY) + sorted(PROJECT_RULE_REGISTRY)
+
+
+def iter_rule_classes() -> Iterable[type[Rule]]:
+    """Registered per-file rule classes in stable ID order."""
+    for rule_id in sorted(RULE_REGISTRY):
+        yield RULE_REGISTRY[rule_id]

@@ -1,0 +1,460 @@
+"""Per-file determinism rules ``D001``–``D005``.
+
+Each rule targets one concrete way a change can silently poison the
+determinism contract (see ``docs/determinism.md``): hidden global RNG
+state, ambient wall-clock/entropy reads, unordered set iteration feeding
+order-sensitive sinks, non-canonical JSON, and mutable default arguments.
+All rules are pure :mod:`ast` visitors — no imports of the code under
+analysis, so the linter can scan broken or dependency-missing trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Optional, Union
+
+from .framework import Rule, register_rule
+
+__all__ = [
+    "UnseededRngRule",
+    "WallClockRule",
+    "UnorderedSetIterationRule",
+    "UnsortedJsonRule",
+    "MutableDefaultRule",
+]
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an Attribute/Name chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportAwareRule(Rule):
+    """Rule base that tracks import aliases so ``np.random`` and
+    ``numpy.random`` (or ``from numpy import random as npr``) resolve to
+    the same canonical dotted name."""
+
+    def __init__(self, context):  # noqa: ANN001 - see framework.Rule
+        super().__init__(context)
+        #: local alias -> canonical module path (``np`` -> ``numpy``).
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a call target, alias-resolved."""
+        dotted = _dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self.aliases.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+#: ``random`` module functions that consume the hidden global Mersenne
+#: Twister state (anything on the module is suspect; these are the common
+#: entry points, and the rule also flags any other ``random.*`` call).
+_NUMPY_LEGACY_GLOBAL = (
+    "numpy.random.seed",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.random",
+    "numpy.random.random_sample",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.uniform",
+    "numpy.random.normal",
+    "numpy.random.exponential",
+    "numpy.random.poisson",
+    "numpy.random.binomial",
+    "numpy.random.standard_normal",
+    "numpy.random.get_state",
+    "numpy.random.set_state",
+)
+
+
+@register_rule
+class UnseededRngRule(_ImportAwareRule):
+    """D001 — unseeded or global-state RNG use.
+
+    The determinism contract allows exactly one RNG pattern in the
+    simulation packages: ``numpy.random.Generator`` objects spawned from
+    a seed that is part of the experiment identity (``spawn_rngs`` /
+    ``SeedSequence.spawn``).  Everything else is flagged:
+
+    * any ``random.*`` module function — hidden global Mersenne state;
+    * the legacy ``numpy.random.*`` global-state API (``seed``, ``rand``,
+      ``randint``, ...) — process-wide state that parallel workers share;
+    * ``numpy.random.default_rng()`` / ``Generator(...)`` / ``RandomState()``
+      *without a seed argument* inside the strict-scope packages — OS
+      entropy, different on every call.
+
+    Seeded ``default_rng(seed)`` is allowed everywhere: the seed may be an
+    arbitrary expression (the linter cannot prove it derived from the
+    experiment seed — that is what ``docs/determinism.md`` review is for).
+    """
+
+    id: ClassVar[str] = "D001"
+    title: ClassVar[str] = "unseeded or global-state RNG use"
+    #: Unseeded-constructor strictness applies here; global-state APIs are
+    #: flagged everywhere the rule runs (all files).
+    strict_scopes: ClassVar[tuple[str, ...]] = (
+        "simulator/",
+        "faults/",
+        "analysis/",
+        "workload/",
+    )
+
+    def _in_strict_scope(self) -> bool:
+        scoped = self.context.scope_path
+        return any(scoped.startswith(prefix) for prefix in self.strict_scopes)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.canonical(node.func)
+        if target is not None:
+            if target.startswith("random."):
+                self.report(
+                    node,
+                    f"call to `{target}` uses the hidden global Mersenne "
+                    "state; derive a `numpy.random.Generator` from the "
+                    "experiment seed instead (see utils/rng.py)",
+                )
+            elif target in _NUMPY_LEGACY_GLOBAL:
+                self.report(
+                    node,
+                    f"legacy numpy global-state RNG `{target}`; spawn a "
+                    "`Generator` from the experiment seed instead "
+                    "(process-wide state breaks parallel determinism)",
+                )
+            elif (
+                target in ("numpy.random.default_rng", "numpy.random.RandomState")
+                and not node.args
+                and not node.keywords
+                and self._in_strict_scope()
+            ):
+                self.report(
+                    node,
+                    f"`{target}()` without a seed draws OS entropy; pass a "
+                    "seed derived from the experiment seed",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(_ImportAwareRule):
+    """D002 — wall-clock / entropy reads in simulation, store or periodic
+    code.
+
+    Simulated time is the only clock those packages may consult: a
+    ``time.time()`` or ``datetime.now()`` that leaks into a payload, a
+    store key, or a scheduling decision makes reruns non-identical.
+    ``os.urandom`` and ``uuid.uuid4`` are entropy reads with the same
+    effect.  Timing *instrumentation* (``perf_counter`` for bench output
+    that never enters a payload) is expected — waive it with a
+    justification.
+    """
+
+    id: ClassVar[str] = "D002"
+    title: ClassVar[str] = "wall-clock or entropy read in deterministic code"
+    scopes: ClassVar[tuple[str, ...]] = (
+        "simulator/",
+        "store/",
+        "periodic/",
+        "core/",
+        "faults/",
+    )
+
+    _FORBIDDEN: ClassVar[dict[str, str]] = {
+        "time.time": "wall-clock read",
+        "time.time_ns": "wall-clock read",
+        "time.monotonic": "wall-clock read",
+        "time.perf_counter": "wall-clock read (timing instrumentation "
+        "must be waived, never enter payloads)",
+        "datetime.datetime.now": "wall-clock read",
+        "datetime.datetime.utcnow": "wall-clock read",
+        "datetime.datetime.today": "wall-clock read",
+        "datetime.date.today": "wall-clock read",
+        "os.urandom": "OS entropy read",
+        "uuid.uuid4": "random UUID (OS entropy)",
+        "uuid.uuid1": "host/time-derived UUID",
+        "secrets.token_bytes": "OS entropy read",
+        "secrets.token_hex": "OS entropy read",
+    }
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.canonical(node.func)
+        if target is not None:
+            # `from datetime import datetime` makes the canonical path
+            # `datetime.datetime.now` already; a bare `datetime.now` from
+            # that import style resolves the same way via the alias map.
+            reason = self._FORBIDDEN.get(target)
+            if reason is not None:
+                self.report(
+                    node,
+                    f"`{target}` is a {reason}; simulation/store code must "
+                    "be a pure function of its inputs",
+                )
+        self.generic_visit(node)
+
+
+#: Call targets that neutralize set ordering before it matters.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "frozenset", "set"}
+)
+
+
+@register_rule
+class UnorderedSetIterationRule(Rule):
+    """D003 — iteration over a set/frozenset without ``sorted()``.
+
+    Set iteration order depends on insertion history and hash seeds; a
+    float accumulation or output record built by iterating a raw set can
+    differ between engines or runs even when the set contents are equal.
+    The rule flags ``for``-loops, comprehensions and ``list()``/``tuple()``
+    conversions whose iterable is *syntactically* a set: a set literal, a
+    set comprehension, a ``set(...)``/``frozenset(...)`` call, or a local
+    name last bound to one of those.  Wrapping the iterable in ``sorted()``
+    (or reducing with an order-insensitive consumer such as ``len``/``min``/
+    ``max``/``any``/``all``) is the fix; ``sum()`` over floats is still
+    order-sensitive, but the rule treats the explicit reducers as safe and
+    leaves ``sum`` to review, flagging only raw iteration.
+    """
+
+    id: ClassVar[str] = "D003"
+    title: ClassVar[str] = "unordered set iteration feeding ordered output"
+
+    def __init__(self, context):  # noqa: ANN001 - see framework.Rule
+        super().__init__(context)
+        #: Names last bound to a syntactic set in the enclosing scope.
+        self._set_names: set[str] = set()
+
+    # -- inference ----------------------------------------------------- #
+    def _is_setlike(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in ("set", "frozenset"):
+                return True
+            # set-returning methods: `a.union(b)`, `a.intersection(b)`, ...
+            if isinstance(callee, ast.Attribute) and callee.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_setlike(callee.value) or isinstance(
+                    callee.value, ast.Name
+                ) and callee.value.id in self._set_names
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_setlike(node.left) or self._is_setlike(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self._is_setlike(node.value):
+                    self._set_names.add(target.id)
+                else:
+                    self._set_names.discard(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            annotation = ast.unparse(node.annotation) if node.annotation else ""
+            setlike_ann = annotation.startswith(("set[", "Set[", "frozenset[", "FrozenSet["))
+            if (node.value is not None and self._is_setlike(node.value)) or (
+                node.value is None and setlike_ann
+            ):
+                self._set_names.add(node.target.id)
+            elif node.value is not None:
+                self._set_names.discard(node.target.id)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # `names |= {...}` keeps a set a set; any other aug-op on a known
+        # set name leaves our inference unchanged (still a set).
+        self.generic_visit(node)
+
+    # -- sinks --------------------------------------------------------- #
+    def _flag(self, iterable: ast.AST, what: str) -> None:
+        self.report(
+            iterable,
+            f"{what} iterates a set/frozenset whose order is not defined; "
+            "wrap the iterable in `sorted(...)` so downstream accumulation "
+            "and payloads are order-stable",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setlike(node.iter):
+            self._flag(node.iter, "for-loop")
+        self.generic_visit(node)
+
+    def _check_comprehensions(
+        self,
+        node: Union[ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp],
+    ) -> None:
+        for gen in node.generators:
+            if self._is_setlike(gen.iter):
+                # building *another* set from a set is order-free
+                if isinstance(node, ast.SetComp):
+                    continue
+                self._flag(gen.iter, "comprehension")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehensions(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehensions(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehensions(node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # `list({...})` / `tuple(names)` materialize the unstable order;
+        # `sorted({...})`, `len(names)`, `min(...)` are the sanctioned forms.
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if (
+                name in ("list", "tuple")
+                and node.args
+                and self._is_setlike(node.args[0])
+            ):
+                self._flag(node.args[0], f"`{name}(...)` conversion")
+            elif name in _ORDER_SAFE_CONSUMERS:
+                # do not descend into the first argument: sorted({...})
+                # is exactly the sanctioned pattern.
+                for arg in node.args[1:]:
+                    self.visit(arg)
+                for kw in node.keywords:
+                    self.visit(kw.value)
+                return
+        self.generic_visit(node)
+
+
+@register_rule
+class UnsortedJsonRule(_ImportAwareRule):
+    """D004 — ``json.dumps`` without ``sort_keys=True``.
+
+    Store keys and cached payloads must serialize canonically;
+    ``store/canonical.py`` is the sanctioned home of canonical JSON and
+    the one file exempt from this rule.  Anywhere else, an unsorted dump
+    whose output reaches a digest or a stored artifact makes byte-identity
+    depend on dict insertion history across code versions.  Dumps that are
+    deliberately insertion-ordered (display output, line-oriented logs)
+    take a waiver with the justification inline.
+    """
+
+    id: ClassVar[str] = "D004"
+    title: ClassVar[str] = "json.dumps without sort_keys=True"
+    exempt_files: ClassVar[tuple[str, ...]] = ("store/canonical.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.canonical(node.func)
+        if target in ("json.dumps", "json.dump"):
+            sort_keys = None
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    sort_keys = keyword.value
+            is_true = isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+            if not is_true:
+                detail = (
+                    "sort_keys is not the literal True"
+                    if sort_keys is not None
+                    else "sort_keys missing"
+                )
+                self.report(
+                    node,
+                    f"`{target}` without `sort_keys=True` ({detail}); "
+                    "byte-identity then depends on dict insertion order — "
+                    "use store/canonical.canonical_json or pass "
+                    "sort_keys=True",
+                )
+        self.generic_visit(node)
+
+
+@register_rule
+class MutableDefaultRule(Rule):
+    """D005 — mutable default argument.
+
+    A ``def f(x, acc=[])`` default is evaluated once and shared across
+    calls — classic cross-call state leakage, and in this codebase a
+    cross-*scenario* leak if the function sits in a harness loop.  Flags
+    list/dict/set literals and ``list()``/``dict()``/``set()``/comprehension
+    defaults on functions, async functions and lambdas.
+    """
+
+    id: ClassVar[str] = "D005"
+    title: ClassVar[str] = "mutable default argument"
+
+    _MUTABLE_CALLS: ClassVar[frozenset[str]] = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter"}
+    )
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and callee.id in self._MUTABLE_CALLS:
+                return True
+            if isinstance(callee, ast.Attribute) and callee.attr in self._MUTABLE_CALLS:
+                return True
+        return False
+
+    def _check_args(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if self._is_mutable(default):
+                self.report(
+                    default,
+                    "mutable default argument is evaluated once and shared "
+                    "across calls; default to None and construct inside the "
+                    "function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node, node.args)
+        self.generic_visit(node)

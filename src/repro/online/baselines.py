@@ -32,17 +32,16 @@ heuristics.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.allocation import BandwidthAllocation
 from repro.online.base import OnlineScheduler
 from repro.simulator.bandwidth import fair_share
+from repro.simulator.interface import ApplicationView, SystemView
 from repro.simulator.interference import (
     DEFAULT_INTERFERENCE,
-    NO_INTERFERENCE,
     InterferenceModel,
 )
-from repro.simulator.interface import ApplicationView, SystemView
 
 __all__ = [
     "FairShare",

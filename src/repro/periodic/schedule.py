@@ -35,13 +35,10 @@ queries are bit-for-bit identical.
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_left, bisect_right, insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from operator import attrgetter
-from typing import Iterable, Optional, Sequence
-
-import numpy as np
+from typing import Optional, Sequence
 
 from repro.core.application import Application
 from repro.core.objectives import ApplicationOutcome, ObjectiveSummary, summarize

@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 import os
 from pathlib import Path
-from typing import Optional
 
 from repro.report.figures import FigureData
 

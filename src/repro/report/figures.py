@@ -14,7 +14,7 @@ rebuilt from cached results without re-running anything.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping
 
 from repro.experiments.reporting import percent, ratio
 from repro.utils.validation import ValidationError
@@ -344,7 +344,7 @@ def _periodic_figures(payload: Mapping) -> list[FigureData]:
             title="Periodic heuristics vs online schedulers",
             chart="bars",
             categories=labels,
-            series={"SysEfficiency (%)": [comparison[l] for l in labels]},
+            series={"SysEfficiency (%)": [comparison[label] for label in labels]},
             y_label="SysEfficiency (%)",
             caption=(
                 f"{payload['n_applications']} applications on "

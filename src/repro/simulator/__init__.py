@@ -18,16 +18,16 @@ from repro.simulator.engine import (
     StallError,
     simulate,
 )
-from repro.simulator.interference import (
-    DEFAULT_INTERFERENCE,
-    NO_INTERFERENCE,
-    InterferenceModel,
-)
 from repro.simulator.interface import (
     ApplicationPhase,
     ApplicationView,
     SchedulerProtocol,
     SystemView,
+)
+from repro.simulator.interference import (
+    DEFAULT_INTERFERENCE,
+    NO_INTERFERENCE,
+    InterferenceModel,
 )
 from repro.simulator.metrics import (
     ApplicationRecord,

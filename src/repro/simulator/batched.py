@@ -40,7 +40,6 @@ suite (``tests/test_engine_differential.py``) enforce the identity;
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

@@ -27,7 +27,7 @@ changes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.platform import BurstBufferSpec

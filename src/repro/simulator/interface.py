@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import Any, Optional, Protocol, runtime_checkable
 
 from repro.core.allocation import BandwidthAllocation
 from repro.core.platform import Platform
@@ -93,7 +93,7 @@ class ApplicationView:
         return phase is ApplicationPhase.IO_PENDING or phase is ApplicationPhase.DOING_IO
 
     @classmethod
-    def _build_fast(cls, fields: dict) -> "ApplicationView":
+    def _build_fast(cls, fields: dict[str, Any]) -> "ApplicationView":
         """Engine-internal constructor bypassing the frozen-dataclass ``__init__``.
 
         A simulation builds one view per live application per event — millions
@@ -131,7 +131,7 @@ class ApplicationView:
         efficiency-only view clone (which copies the ``__dict__`` wholesale)
         can safely carry it over.
         """
-        key = self.__dict__.get("_order_key")
+        key: Optional[tuple[float, str]] = self.__dict__.get("_order_key")
         if key is None:
             t = self.io_request_time
             key = (t if t is not None else math.inf, self.name)
@@ -163,7 +163,7 @@ class SystemView:
     applications: tuple[ApplicationView, ...]
 
     @classmethod
-    def _build_fast(cls, fields: dict) -> "SystemView":
+    def _build_fast(cls, fields: dict[str, Any]) -> "SystemView":
         """Engine-internal constructor bypassing the frozen-dataclass ``__init__``.
 
         One view is built per scheduling event; installing ``fields`` as the
@@ -182,7 +182,9 @@ class SystemView:
         feasibility checking, allocation), and the view is immutable, so the
         filtered tuple is computed once and cached on the instance.
         """
-        cached = self.__dict__.get("_io_candidates")
+        cached: Optional[tuple[ApplicationView, ...]] = self.__dict__.get(
+            "_io_candidates"
+        )
         if cached is None:
             pending = ApplicationPhase.IO_PENDING
             doing = ApplicationPhase.DOING_IO
@@ -200,7 +202,7 @@ class SystemView:
         Schedulers use it to cheaply sanity-check an ordering against the
         candidate set without rebuilding a throwaway set per allocation.
         """
-        cached = self.__dict__.get("_candidate_names")
+        cached: Optional[frozenset[str]] = self.__dict__.get("_candidate_names")
         if cached is None:
             cached = frozenset(a.name for a in self.io_candidates())
             self.__dict__["_candidate_names"] = cached

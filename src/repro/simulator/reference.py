@@ -33,13 +33,13 @@ from repro.core.events import Event, EventLog, EventType
 from repro.core.scenario import Scenario
 from repro.faults.model import CrashEvent, FaultTimeline
 from repro.simulator.bandwidth import fair_share
+from repro.simulator.burst_buffer import BurstBufferState
 from repro.simulator.engine import (
     SimulationError,
     SimulatorConfig,
     StallError,
     _stall_message,
 )
-from repro.simulator.burst_buffer import BurstBufferState
 from repro.simulator.interface import (
     ApplicationPhase,
     ApplicationView,

@@ -31,7 +31,7 @@ import dataclasses
 import enum
 import hashlib
 import json
-from typing import Mapping, Sequence
+from typing import Mapping
 
 __all__ = [
     "CanonicalizationError",
@@ -76,7 +76,7 @@ def canonicalize(value: object) -> object:
     # dependency-light): scalars expose .item(), arrays expose .tolist().
     item = getattr(value, "item", None)
     if callable(item) and getattr(value, "shape", None) == ():
-        return canonicalize(value.item())
+        return canonicalize(item())
     tolist = getattr(value, "tolist", None)
     if callable(tolist) and hasattr(value, "shape"):
         return canonicalize(tolist())

@@ -34,9 +34,9 @@ import json
 import os
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Any, Iterator, Mapping, Optional, Union
 
 from repro.utils.io import atomic_write_text
 from repro.utils.validation import ValidationError
@@ -61,10 +61,12 @@ def default_store_path() -> Path:
 def _json_default(value: object) -> object:
     item = getattr(value, "item", None)
     if callable(item):  # numpy scalar
-        return value.item()
+        scalar: object = item()
+        return scalar
     tolist = getattr(value, "tolist", None)
     if callable(tolist):  # numpy array
-        return value.tolist()
+        nested: object = tolist()
+        return nested
     raise TypeError(
         f"store payloads must be JSON-able, got {type(value).__qualname__!r}"
     )
@@ -122,7 +124,7 @@ class ResultStore:
     line.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else default_store_path()
         self.stats = StoreStats()
         self._warned_unwritable = False
@@ -148,7 +150,7 @@ class ResultStore:
             pass
 
     # ------------------------------------------------------------------ #
-    def get(self, key: str) -> Optional[dict]:
+    def get(self, key: str) -> Optional[dict[str, Any]]:
         """The payload stored under ``key``, or ``None`` on miss.
 
         Any defect — unreadable file, truncated JSON, an entry whose
@@ -173,6 +175,8 @@ class ResultStore:
             if not isinstance(entry, dict) or entry.get("key") != key:
                 raise ValueError("store entry does not match its key")
             payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("store payload is not a JSON object")
         except (ValueError, KeyError):
             self.stats.misses += 1
             self.stats.corrupt += 1
@@ -185,7 +189,7 @@ class ResultStore:
             pass
         return payload
 
-    def put(self, key: str, payload: dict) -> Optional[Path]:
+    def put(self, key: str, payload: Mapping[str, Any]) -> Optional[Path]:
         """Atomically persist ``payload`` under ``key`` (overwrites).
 
         Write failures (disk full, read-only store, quota) are **fail-soft**:
@@ -196,8 +200,8 @@ class ResultStore:
         is a programming error and still raises.
         """
         path = self._entry_path(key)
-        entry = {"key": key, "created": time.time(), "payload": payload}
-        text = json.dumps(entry, allow_nan=True, default=_json_default)
+        entry = {"key": key, "created": time.time(), "payload": payload}  # reprolint: ignore[D002] — gc metadata only; never enters keys or payloads
+        text = json.dumps(entry, allow_nan=True, default=_json_default)  # reprolint: ignore[D004] — entry bytes are not content-addressed (key is the filename); readers parse, never diff
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             atomic_write_text(path, text + "\n")
@@ -272,7 +276,7 @@ class ResultStore:
         entries = sorted(self.entries(), key=lambda e: e.mtime)  # oldest first
         removed = 0
         if max_age_days is not None:
-            cutoff = time.time() - max_age_days * 86400.0
+            cutoff = time.time() - max_age_days * 86400.0  # reprolint: ignore[D002] — gc age policy against file mtimes; host-local, never in results
             keep: list[StoreEntryInfo] = []
             for entry in entries:
                 if entry.mtime < cutoff:

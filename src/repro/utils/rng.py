@@ -10,7 +10,7 @@ with stable values run-to-run.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

@@ -20,16 +20,13 @@ series exhibits the same qualitative diversity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
-
-import numpy as np
+from typing import Optional
 
 from repro.core.application import Application
 from repro.core.platform import Platform, intrepid, mira
 from repro.core.scenario import Scenario
 from repro.utils.rng import RngLike, as_rng, spawn_rngs
 from repro.utils.validation import ValidationError, check_in_range, check_positive
-from repro.workload.categories import CATEGORY_PROFILES, Category
 from repro.workload.generator import MixSpec, generate_mix
 
 __all__ = [

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -185,7 +185,7 @@ def save_records(records: Sequence[DarshanRecord], path: str | Path) -> None:
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(asdict(record)) + "\n")
+            handle.write(json.dumps(asdict(record)) + "\n")  # reprolint: ignore[D004] — JSON-lines rows keep dataclass field order (deterministic) for readability
 
 
 def load_records(path: str | Path) -> list[DarshanRecord]:

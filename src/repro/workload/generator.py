@@ -19,15 +19,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
-from repro.core.application import Application, Instance
+from repro.core.application import Application
 from repro.core.platform import Platform
 from repro.core.scenario import Scenario
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.validation import ValidationError, check_in_range, check_positive
+from repro.utils.validation import ValidationError, check_in_range
 from repro.workload.categories import CATEGORY_PROFILES, Category
 
 __all__ = [

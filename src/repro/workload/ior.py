@@ -25,7 +25,7 @@ in :mod:`repro.experiments.overhead` so it can be switched on and off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.application import Application
 from repro.core.platform import Platform, vesta

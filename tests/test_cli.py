@@ -174,7 +174,7 @@ class TestMain:
         captured = capsys.readouterr()
         # The tiny grid is 1 scenario x 2 schedulers; status goes to stderr
         # only, so --quiet still leaves stdout a clean artefact.
-        lines = [l for l in captured.err.splitlines() if l.startswith("cell ")]
+        lines = [ln for ln in captured.err.splitlines() if ln.startswith("cell ")]
         assert len(lines) == 2
         assert captured.out.strip() == ""
 

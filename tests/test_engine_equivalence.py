@@ -369,3 +369,66 @@ class TestFaultedEquivalence:
         ]
         assert crash_events
         assert len(restart_events) <= len(crash_events)
+
+
+class TestAutoDispatch:
+    """``engine = "auto"`` picks a kernel by width, bit-identically."""
+
+    def test_dispatch_boundaries(self):
+        from repro.experiments.runner import AUTO_DISPATCH_MIN_APPS, dispatch_engine
+
+        assert dispatch_engine("auto", AUTO_DISPATCH_MIN_APPS - 1) == "heap"
+        assert dispatch_engine("auto", AUTO_DISPATCH_MIN_APPS) == "batched"
+        assert dispatch_engine("auto", 1) == "heap"
+        assert dispatch_engine("auto", 500) == "batched"
+        # Explicit selectors pass through regardless of width.
+        assert dispatch_engine("heap", 500) == "heap"
+        assert dispatch_engine("batched", 1) == "batched"
+        # None resolves to the default engine, width-independently.
+        from repro.experiments.runner import DEFAULT_ENGINE
+
+        assert dispatch_engine(None, 1) == DEFAULT_ENGINE
+
+    def test_unknown_engine_rejected(self):
+        from repro.experiments.runner import dispatch_engine
+        from repro.utils.validation import ValidationError
+
+        with pytest.raises(ValidationError):
+            dispatch_engine("turbo", 10)
+
+    @pytest.mark.parametrize("n_apps", [6, 40])
+    def test_auto_bit_identical_to_explicit_engines(self, n_apps):
+        """Auto must match heap and batched on both sides of the threshold."""
+        from repro.experiments.runner import SchedulerCase, run_case
+
+        scenario = random_scenario(7, n_apps=n_apps)
+        case = SchedulerCase(name="MaxSysEff")
+        results = {
+            engine: run_case(scenario, case, engine=engine)
+            for engine in ("heap", "batched", "auto")
+        }
+        assert results["auto"] == results["heap"]
+        assert results["auto"] == results["batched"]
+
+    @pytest.mark.parametrize("n_apps", [6, 40])
+    def test_auto_cache_keys_match_dispatched_engine(self, n_apps):
+        """An auto cell stores under the key of the kernel that ran it."""
+        from repro.experiments.runner import (
+            SchedulerCase,
+            _GridCellCache,
+            dispatch_engine,
+        )
+        from repro.store import ResultStore
+
+        scenario = random_scenario(11, n_apps=n_apps)
+        cases = [SchedulerCase(name="MaxSysEff")]
+        store = ResultStore(root="/nonexistent-store")
+
+        def cell_key(engine):
+            cache = _GridCellCache(store, [scenario], cases, float("inf"), engine)
+            return cache.key((0, 0))
+
+        resolved = dispatch_engine("auto", n_apps)
+        assert cell_key("auto") == cell_key(resolved)
+        other = "heap" if resolved == "batched" else "batched"
+        assert cell_key("auto") != cell_key(other)

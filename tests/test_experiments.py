@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
 from repro.core.application import Application
-from repro.core.platform import Platform, intrepid, vesta
+from repro.core.platform import Platform, intrepid
 from repro.core.scenario import Scenario
 from repro.experiments.comparison import (
     FIGURE6_SCENARIOS,
@@ -15,7 +13,11 @@ from repro.experiments.comparison import (
     congested_moments_experiment,
     figure6_experiment,
 )
-from repro.experiments.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.experiments.overhead import (
+    DEFAULT_OVERHEAD,
+    OverheadModel,
+    scenario_overhead_fractions,
+)
 from repro.experiments.reporting import (
     format_mapping,
     format_series,
@@ -23,7 +25,6 @@ from repro.experiments.reporting import (
     percent,
     ratio,
 )
-from repro.experiments.overhead import scenario_overhead_fractions
 from repro.experiments.runner import (
     CaseResult,
     ExperimentGrid,

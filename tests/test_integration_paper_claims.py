@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.platform import intrepid, vesta
+from repro.core.platform import intrepid
 from repro.experiments.comparison import (
     congested_moments_experiment,
     figure6_experiment,
@@ -21,7 +21,6 @@ from repro.experiments.vesta import figure16_per_application_dilation, run_vesta
 from repro.online.registry import make_scheduler
 from repro.simulator.engine import SimulatorConfig, simulate
 from repro.workload.congested import intrepid_congested_moments
-from repro.workload.generator import figure6_mix
 
 
 pytestmark = pytest.mark.integration

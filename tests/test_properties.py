@@ -27,8 +27,8 @@ from repro.online.priority import Priority
 from repro.periodic.heuristics import InsertInScheduleCong, InsertInScheduleThrou
 from repro.simulator.bandwidth import fair_share, favor_in_order
 from repro.simulator.engine import SimulatorConfig, simulate
-from repro.simulator.interference import InterferenceModel
 from repro.simulator.interface import ApplicationPhase, ApplicationView
+from repro.simulator.interference import InterferenceModel
 
 # --------------------------------------------------------------------------- #
 # Strategies

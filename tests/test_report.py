@@ -10,7 +10,6 @@ wiring: PNG files written, base64-embedded, no ``<pre>`` fallback).
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import pytest

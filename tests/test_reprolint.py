@@ -1,0 +1,494 @@
+"""Tests of the determinism linter (:mod:`repro.lint`).
+
+Each rule is pinned by a fixture pair: a seeded violation that must be
+flagged with the right ID and line, and a clean variant that must not.
+Waiver/baseline semantics, the ``--format json`` schema and the CLI exit
+codes are pinned alongside, plus the self-check: the shipped tree must scan
+clean with an empty baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    BaselineError,
+    all_rule_ids,
+    format_json,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def scan(tmp_path: Path, files: dict[str, str], **kwargs):
+    """Write ``files`` under ``tmp_path`` and lint the tree."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return run_lint([tmp_path], root=tmp_path, **kwargs)
+
+
+def rules_hit(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+# --------------------------------------------------------------------------- #
+# Rule registry
+# --------------------------------------------------------------------------- #
+
+
+def test_all_six_rules_registered():
+    assert sorted(all_rule_ids()) == ["C001", "D001", "D002", "D003", "D004", "D005"]
+
+
+# --------------------------------------------------------------------------- #
+# D001 — unseeded / global RNG
+# --------------------------------------------------------------------------- #
+
+
+class TestD001:
+    def test_stdlib_random_flagged_in_simulator(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"simulator/bad.py": "import random\n\n\ndef f():\n    return random.random()\n"},
+        )
+        (finding,) = result.findings
+        assert finding.rule == "D001"
+        assert finding.path == "simulator/bad.py"
+        assert finding.line == 5
+
+    def test_numpy_legacy_global_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"workload/bad.py": "import numpy as np\n\nnp.random.seed(0)\nx = np.random.rand(3)\n"},
+        )
+        assert [f.line for f in result.findings] == [3, 4]
+        assert rules_hit(result) == {"D001"}
+
+    def test_unseeded_default_rng_flagged_seeded_clean(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "faults/bad.py": "import numpy as np\n\nrng = np.random.default_rng()\n",
+                "faults/good.py": "import numpy as np\n\nrng = np.random.default_rng(1234)\n",
+            },
+        )
+        (finding,) = result.findings
+        assert (finding.rule, finding.path, finding.line) == ("D001", "faults/bad.py", 3)
+
+    def test_unseeded_constructor_allowed_outside_strict_scopes(self, tmp_path):
+        # The unseeded-constructor check is scope-limited; the global-state
+        # APIs (random.*, numpy legacy) are flagged everywhere the rule runs.
+        result = scan(
+            tmp_path,
+            {"report/ok.py": "import numpy as np\n\nrng = np.random.default_rng()\n"},
+        )
+        assert result.findings == []
+
+    def test_stdlib_random_flagged_everywhere(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"report/bad.py": "import random\n\nx = random.random()\n"},
+        )
+        assert rules_hit(result) == {"D001"}
+
+
+# --------------------------------------------------------------------------- #
+# D002 — wall clock / entropy reads
+# --------------------------------------------------------------------------- #
+
+
+class TestD002:
+    def test_time_time_flagged_in_store(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"store/bad.py": "import time\n\nstamp = time.time()\n"},
+        )
+        (finding,) = result.findings
+        assert (finding.rule, finding.path, finding.line) == ("D002", "store/bad.py", 3)
+
+    def test_uuid_and_urandom_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {
+                "core/bad.py": (
+                    "import os\nimport uuid\n\n"
+                    "token = uuid.uuid4()\nnoise = os.urandom(8)\n"
+                )
+            },
+        )
+        assert [(f.rule, f.line) for f in result.findings] == [("D002", 4), ("D002", 5)]
+
+    def test_out_of_scope_module_not_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"analysis/ok.py": "import time\n\nstamp = time.time()\n"},
+        )
+        assert result.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# D003 — unordered set iteration
+# --------------------------------------------------------------------------- #
+
+
+class TestD003:
+    def test_for_loop_over_set_flagged(self, tmp_path):
+        source = (
+            "def f(items):\n"
+            "    seen = set(items)\n"
+            "    out = []\n"
+            "    for x in seen:\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        result = scan(tmp_path, {"core/bad.py": source})
+        (finding,) = result.findings
+        assert (finding.rule, finding.line) == ("D003", 4)
+
+    def test_sorted_iteration_clean(self, tmp_path):
+        source = (
+            "def f(items):\n"
+            "    seen = set(items)\n"
+            "    return [x for x in sorted(seen)]\n"
+        )
+        result = scan(tmp_path, {"core/good.py": source})
+        assert result.findings == []
+
+    def test_len_and_membership_clean(self, tmp_path):
+        source = (
+            "def f(items, probe):\n"
+            "    seen = frozenset(items)\n"
+            "    return len(seen), probe in seen\n"
+        )
+        result = scan(tmp_path, {"core/good.py": source})
+        assert result.findings == []
+
+    def test_list_conversion_flagged(self, tmp_path):
+        source = "def f(a, b):\n    return list(set(a) | set(b))\n"
+        result = scan(tmp_path, {"core/bad.py": source})
+        assert [(f.rule, f.line) for f in result.findings] == [("D003", 2)]
+
+
+# --------------------------------------------------------------------------- #
+# D004 — json.dumps without sort_keys
+# --------------------------------------------------------------------------- #
+
+
+class TestD004:
+    def test_unsorted_dumps_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"experiments/bad.py": 'import json\n\ntext = json.dumps({"a": 1})\n'},
+        )
+        (finding,) = result.findings
+        assert (finding.rule, finding.line) == ("D004", 3)
+
+    def test_sorted_dumps_clean(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"experiments/good.py": 'import json\n\ntext = json.dumps({"a": 1}, sort_keys=True)\n'},
+        )
+        assert result.findings == []
+
+    def test_canonical_module_exempt(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"store/canonical.py": 'import json\n\ntext = json.dumps({"a": 1})\n'},
+        )
+        assert result.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# D005 — mutable default arguments
+# --------------------------------------------------------------------------- #
+
+
+class TestD005:
+    def test_list_default_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"utils/bad.py": "def f(xs=[]):\n    return xs\n"},
+        )
+        (finding,) = result.findings
+        assert (finding.rule, finding.line) == ("D005", 1)
+
+    def test_dict_call_default_flagged(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"utils/bad.py": "def f(mapping=dict()):\n    return mapping\n"},
+        )
+        assert rules_hit(result) == {"D005"}
+
+    def test_immutable_defaults_clean(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"utils/good.py": "def f(xs=(), name='x', n=0, flag=None):\n    return xs\n"},
+        )
+        assert result.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# C001 — store-key dataclass field contract
+# --------------------------------------------------------------------------- #
+
+
+class TestC001:
+    def test_callable_field_flagged(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from typing import Callable\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class KeySpec:\n"
+            "    name: str\n"
+            "    fn: Callable[[int], int]\n"
+        )
+        result = scan(tmp_path, {"config/spec.py": source})
+        (finding,) = result.findings
+        assert (finding.rule, finding.path, finding.line) == ("C001", "config/spec.py", 8)
+        assert "Callable" in finding.message
+
+    def test_transitive_field_flagged(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from typing import Any\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class Inner:\n"
+            "    blob: Any\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class Outer:\n"
+            "    inner: Inner\n"
+        )
+        result = scan(tmp_path, {"experiments/cases.py": source})
+        assert any(f.rule == "C001" and f.line == 7 for f in result.findings)
+
+    def test_serializable_fields_clean(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from typing import Optional\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class CleanSpec:\n"
+            "    name: str\n"
+            "    seed: int\n"
+            "    scale: float\n"
+            "    windows: tuple[float, ...]\n"
+            "    note: Optional[str] = None\n"
+        )
+        result = scan(tmp_path, {"config/spec.py": source})
+        assert result.findings == []
+
+    def test_non_root_module_not_walked(self, tmp_path):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from typing import Callable\n"
+            "\n"
+            "\n"
+            "@dataclass\n"
+            "class Helper:\n"
+            "    fn: Callable[[int], int]\n"
+        )
+        result = scan(tmp_path, {"report/helpers.py": source})
+        assert result.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Waivers
+# --------------------------------------------------------------------------- #
+
+
+class TestWaivers:
+    def test_waiver_suppresses_named_rule(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "stamp = time.time()  # reprolint: ignore[D002] — test fixture\n"
+        )
+        result = scan(tmp_path, {"store/waived.py": source})
+        assert result.findings == []
+
+    def test_waiver_for_other_rule_does_not_suppress(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "stamp = time.time()  # reprolint: ignore[D001] — wrong rule\n"
+        )
+        result = scan(tmp_path, {"store/waived.py": source})
+        assert rules_hit(result) == {"D002"}
+
+    def test_waiver_is_line_scoped(self, tmp_path):
+        source = (
+            "import time\n"
+            "\n"
+            "a = time.time()  # reprolint: ignore[D002] — only this line\n"
+            "b = time.time()\n"
+        )
+        result = scan(tmp_path, {"store/waived.py": source})
+        assert [f.line for f in result.findings] == [4]
+
+    def test_multi_rule_waiver(self, tmp_path):
+        source = (
+            "import json\n"
+            "import time\n"
+            "\n"
+            'x = json.dumps({"t": time.time()})  # reprolint: ignore[D002, D004] — both\n'
+        )
+        result = scan(tmp_path, {"store/waived.py": source})
+        assert result.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Baseline
+# --------------------------------------------------------------------------- #
+
+
+class TestBaseline:
+    def test_baseline_suppresses_exact_finding(self, tmp_path):
+        files = {"periodic/known.py": "import time\n\nstamp = time.time()\n"}
+        result = scan(tmp_path, files)
+        (finding,) = result.findings
+        baseline = Baseline([finding.key()])
+        rescanned = scan(tmp_path, files, baseline=baseline)
+        assert rescanned.findings == []
+        assert rescanned.n_baselined == 1
+        assert rescanned.exit_code() == 0
+
+    def test_baseline_round_trip(self, tmp_path):
+        files = {"periodic/known.py": "import time\n\nstamp = time.time()\n"}
+        result = scan(tmp_path, files)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result.findings)
+        loaded = load_baseline(baseline_path)
+        rescanned = scan(tmp_path, files, baseline=loaded)
+        assert rescanned.findings == []
+
+    def test_protected_prefixes_rejected(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"path": "store/store.py", "rule": "D002", "line": 10}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(BaselineError, match="store/store.py"):
+            load_baseline(baseline_path)
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / "reprolint-baseline.json")
+        assert not baseline.entries
+
+
+# --------------------------------------------------------------------------- #
+# Output formats and severity overrides
+# --------------------------------------------------------------------------- #
+
+
+class TestOutput:
+    def test_json_schema_stable(self, tmp_path):
+        result = scan(tmp_path, {"store/bad.py": "import time\n\nt = time.time()\n"})
+        payload = format_json(result)
+        assert set(payload) == {"version", "findings", "counts", "parse_errors"}
+        assert payload["version"] == 1
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "message", "severity"}
+        assert payload["counts"] == {
+            "errors": 1,
+            "warnings": 0,
+            "files": 1,
+            "baselined": 0,
+        }
+        json.dumps(payload)  # must be JSON-able as-is
+
+    def test_severity_override_demotes_to_warning(self, tmp_path):
+        result = scan(
+            tmp_path,
+            {"periodic/relaxed.py": "import time\n\nt = time.time()\n"},
+            severity_overrides={"periodic/": "warning"},
+        )
+        (finding,) = result.findings
+        assert finding.severity == "warning"
+        assert result.exit_code() == 0
+
+    def test_parse_error_is_reported_and_fails(self, tmp_path):
+        result = scan(tmp_path, {"core/broken.py": "def f(:\n"})
+        assert result.parse_errors
+        assert result.exit_code() == 1
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "simulator").mkdir()
+        (tmp_path / "simulator" / "bad.py").write_text(
+            "import random\n\nx = random.random()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "simulator"]) == 1
+        out = capsys.readouterr().out
+        assert "D001" in out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, monkeypatch):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "pkg"]) == 0
+
+    def test_json_output_parses(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "store").mkdir()
+        (tmp_path / "store" / "bad.py").write_text("import time\n\nt = time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "store", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["errors"] == 1
+
+    def test_missing_explicit_baseline_is_usage_error(self, tmp_path, monkeypatch):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "pkg", "--baseline", "missing.json"]) == 2
+
+    def test_list_rules(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D001", "D002", "D003", "D004", "D005", "C001"):
+            assert rule_id in out
+
+
+# --------------------------------------------------------------------------- #
+# Self-check: the shipped tree is clean
+# --------------------------------------------------------------------------- #
+
+
+class TestSelfCheck:
+    def test_src_tree_scans_clean(self):
+        baseline = load_baseline(REPO_ROOT / "reprolint-baseline.json")
+        result = run_lint([REPO_ROOT / "src"], baseline=baseline, root=REPO_ROOT)
+        assert result.parse_errors == []
+        assert result.findings == []
+        assert result.n_baselined == 0
+        assert result.exit_code() == 0

@@ -7,12 +7,12 @@ import math
 import pytest
 
 from repro.simulator.bandwidth import fair_share, favor_in_order, single_application_rate
+from repro.simulator.interface import ApplicationPhase, ApplicationView
 from repro.simulator.interference import (
     DEFAULT_INTERFERENCE,
     NO_INTERFERENCE,
     InterferenceModel,
 )
-from repro.simulator.interface import ApplicationPhase, ApplicationView
 from repro.utils.validation import ValidationError
 
 

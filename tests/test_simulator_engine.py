@@ -6,13 +6,12 @@ import math
 
 import pytest
 
+from repro.core.allocation import BandwidthAllocation
 from repro.core.application import Application
 from repro.core.events import EventLog, EventType
-from repro.core.platform import BurstBufferSpec, Platform
 from repro.core.scenario import Scenario
 from repro.online.baselines import FairShare
 from repro.online.heuristics import MaxSysEff, MinDilation, RoundRobin
-from repro.core.allocation import BandwidthAllocation
 from repro.simulator.engine import (
     SimulationError,
     Simulator,

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -24,7 +22,6 @@ from repro.utils.validation import (
     check_non_negative,
     check_positive,
 )
-
 
 # --------------------------------------------------------------------------- #
 # rng

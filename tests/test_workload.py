@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 import pytest
 
@@ -37,7 +35,6 @@ from repro.workload.generator import (
     generate_mix,
 )
 from repro.workload.ior import VESTA_SCENARIOS, IORGroup, ior_scenario, parse_scenario
-
 
 PLATFORM = intrepid()
 
