@@ -1,0 +1,185 @@
+"""Append-only campaign journal: the crash-safe source of truth.
+
+The coordinator never holds campaign state only in memory — every state
+transition (lease granted, cell landed, attempt failed, cell quarantined,
+cell re-queued) is appended to ``journal.jsonl`` *before* the transition
+takes effect, one JSON object per line, fsync'd.  After a coordinator
+crash, :func:`replay_journal` folds the surviving records back into the
+exact pending/leased/landed/quarantined picture, so ``repro campaign
+resume`` recomputes only cells that never landed.
+
+The format is deliberately dumb:
+
+* one ``json.dumps(..., sort_keys=True)`` object per line, written with a
+  single ``os.write`` on an ``O_APPEND`` descriptor and fsync'd — a crash
+  can tear at most the final line;
+* readers are tolerant: a torn or corrupt line is counted and skipped,
+  never fatal (the corresponding transition is simply forgotten, which is
+  always safe — at worst a landed cell is recomputed into the same
+  content-addressed key);
+* unknown record types are ignored, so old coordinators can read journals
+  written by newer ones.
+
+Record types: ``campaign`` (header: spec, config, cell table), ``resume``,
+``lease``, ``landed``, ``failed``, ``quarantined``, ``requeue``,
+``worker-respawn``, ``complete``.  The store's gc protection
+(:meth:`repro.store.store.ResultStore.protected_keys`) reads the header's
+``cells[].key`` table and the ``complete`` marker from this same format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+__all__ = [
+    "CampaignJournal",
+    "JournalState",
+    "read_journal",
+    "replay_journal",
+]
+
+#: Cell lifecycle states produced by :func:`replay_journal`.
+PENDING = "pending"
+LEASED = "leased"
+LANDED = "landed"
+QUARANTINED = "quarantined"
+
+
+class CampaignJournal:
+    """Appender handle: one fsync'd JSON line per :meth:`append`."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (fsync before returning)."""
+        if self._fd is None:
+            raise ValueError(f"journal {self.path} is closed")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+        os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> tuple[list[dict], int]:
+    """All readable records of a journal plus the corrupt-line count.
+
+    Torn trailing lines (the one crash mode the append protocol allows)
+    and arbitrarily corrupted lines are skipped and counted, never raised.
+    """
+    try:
+        raw = Path(path).read_bytes()
+    except FileNotFoundError:
+        return [], 0
+    records: list[dict] = []
+    corrupt = 0
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            corrupt += 1
+            continue
+        if not isinstance(record, dict) or not isinstance(record.get("type"), str):
+            corrupt += 1
+            continue
+        records.append(record)
+    return records, corrupt
+
+
+@dataclass
+class JournalState:
+    """Folded view of a journal: where every cell stands right now."""
+
+    header: Optional[dict] = None
+    #: ``cell index -> PENDING | LEASED | LANDED | QUARANTINED``.
+    states: dict = field(default_factory=dict)
+    #: Highest attempt number seen per cell (failed or in flight).
+    attempts: dict = field(default_factory=dict)
+    #: ``cell index -> "worker" | "store"`` for landed cells.
+    landed_source: dict = field(default_factory=dict)
+    #: ``cell index -> last recorded error`` for quarantined cells.
+    quarantine_errors: dict = field(default_factory=dict)
+    complete: bool = False
+    resumes: int = 0
+
+    def counts(self) -> dict:
+        """``{state: count}`` over all cells (absent states are 0)."""
+        out = {PENDING: 0, LEASED: 0, LANDED: 0, QUARANTINED: 0}
+        for state in self.states.values():
+            out[state] = out.get(state, 0) + 1
+        return out
+
+
+def replay_journal(records: Sequence[dict]) -> JournalState:
+    """Fold journal records into the campaign's current state.
+
+    Replay is forgiving by construction: a record referencing a cell the
+    header never declared is dropped, unknown types are ignored, and a
+    missing header yields an empty state (the caller decides whether that
+    is fatal — ``resume`` does, ``status`` does not).
+    """
+    state = JournalState()
+    n_cells = 0
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "campaign":
+            state.header = record
+            try:
+                n_cells = int(record.get("n_cells", 0))
+            except (TypeError, ValueError):
+                n_cells = 0
+            state.states = {i: PENDING for i in range(n_cells)}
+            continue
+        if rtype == "resume":
+            state.resumes += 1
+            continue
+        if rtype == "complete":
+            state.complete = True
+            continue
+        if rtype in ("lease", "landed", "failed", "quarantined", "requeue"):
+            try:
+                cell = int(record["cell"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if cell not in state.states:
+                continue
+            attempt = record.get("attempt", record.get("attempts"))
+            if isinstance(attempt, int):
+                state.attempts[cell] = max(state.attempts.get(cell, 0), attempt)
+            if rtype == "lease":
+                state.states[cell] = LEASED
+            elif rtype == "landed":
+                state.states[cell] = LANDED
+                source = record.get("source")
+                state.landed_source[cell] = source if isinstance(source, str) else "worker"
+            elif rtype == "failed":
+                state.states[cell] = PENDING
+            elif rtype == "quarantined":
+                state.states[cell] = QUARANTINED
+                state.quarantine_errors[cell] = str(record.get("error", "unknown error"))
+            elif rtype == "requeue":
+                state.states[cell] = PENDING
+                state.quarantine_errors.pop(cell, None)
+        # Anything else ("worker-respawn", future types) carries no cell
+        # state and is deliberately ignored.
+    return state

@@ -1,0 +1,108 @@
+"""Kill-safe coordinator/worker IPC: append-only JSONL mailbox files.
+
+The campaign deliberately does not use ``multiprocessing.Queue`` (or pipes,
+or sockets) between the coordinator and its workers: a ``kill -9`` on
+either side of a queue can wedge the survivor in a feeder-thread join or
+lose buffered messages, and a coordinator crash would sever every worker.
+Plain append-only files have none of those failure modes:
+
+* each direction is its own file (``<worker>.g<N>.in.jsonl`` written by the
+  coordinator, ``.out.jsonl`` by the worker), so there is exactly one
+  writer per file and appends need no cross-process locking;
+* a writer dying mid-line tears at most the final line, which the reader
+  simply never completes on;
+* a reader crash loses nothing — the file *is* the backlog, and a restarted
+  reader re-reads from any offset it likes;
+* respawned workers get a fresh generation number (new file pair), so a
+  lease mailed to a dead worker's inbox can never leak to its replacement.
+
+The cost is polling latency (bounded by the configured poll period) —
+irrelevant against simulation cells that run for seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = ["MailboxReader", "MailboxWriter"]
+
+
+class MailboxWriter:
+    """Single-writer appender: one JSON line per ``send``, O_APPEND, locked.
+
+    The lock serializes the worker's main loop against its heartbeat
+    thread; ``O_APPEND`` plus one ``os.write`` per line keeps every record
+    on its own line even under that concurrency.  Mailboxes are *not*
+    fsync'd — unlike the journal they are transient signalling, and a lost
+    tail only costs a lease period.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+        )
+
+    def send(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._fd is None:
+                raise ValueError(f"mailbox {self.path} is closed")
+            os.write(self._fd, line.encode("utf-8"))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+
+class MailboxReader:
+    """Incremental tail-reader for one mailbox file.
+
+    Keeps a byte offset plus a partial-line buffer, so records are
+    delivered exactly once, in order, even when a poll races the writer
+    mid-line.  Corrupt complete lines are skipped and counted — a reader
+    must never die on a half-written record from a killed process.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._offset = 0
+        self._partial = b""
+        self.corrupt = 0
+
+    def poll(self) -> list[dict]:
+        """Every complete record appended since the previous poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        self._offset += len(data)
+        buffer = self._partial + data
+        lines = buffer.split(b"\n")
+        self._partial = lines.pop()
+        records: list[dict] = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.corrupt += 1
+                continue
+            if not isinstance(record, dict):
+                self.corrupt += 1
+                continue
+            records.append(record)
+        return records

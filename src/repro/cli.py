@@ -1,6 +1,6 @@
 """``repro`` — the unified command-line entry point of the reproduction.
 
-Eight subcommands cover the whole surface:
+Nine subcommands cover the whole surface:
 
 * ``repro run <spec>`` — execute a declarative scenario/experiment spec
   (TOML or JSON; see ``docs/scenarios.md`` and ``examples/specs/``);
@@ -8,12 +8,18 @@ Eight subcommands cover the whole surface:
   (``--no-cache`` / ``--store PATH``; see ``docs/artifacts.md``), so
   reruns of unchanged specs execute zero simulations and interrupted
   campaigns resume from the cells that already landed;
+* ``repro campaign run|status|resume`` — shard a grid spec's cells across
+  fault-tolerant worker processes with a crash-safe journal: leases with
+  deadlines, retry/backoff, per-cell timeouts, quarantine, and
+  ``resume`` after a coordinator crash (see ``docs/distributed.md``);
 * ``repro validate <spec> [<spec> ...]`` / ``repro validate --all DIR`` —
   schema-check specs without running them;
 * ``repro report <spec> [...]`` — render the paper figures of one or more
   specs (served from the store when cached) into a self-contained
   HTML/Markdown artifact report;
-* ``repro store info|gc|clear`` — inspect and evict the result store;
+* ``repro store info|gc|clear|merge`` — inspect, evict or union result
+  stores (``merge`` joins per-worker campaign stores with byte-identity
+  verification on key collisions);
 * ``repro quickstart`` — a 30-second built-in demo (four applications
   competing for a shared file system under five schedulers);
 * ``repro bench`` — the engine-scaling benchmark, writing the
@@ -41,6 +47,7 @@ from repro.config import (
     EXPERIMENT_KINDS,
     SpecError,
     load_spec,
+    load_spec_data,
     parse_spec,
     run_spec,
     write_result,
@@ -163,6 +170,146 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=_cmd_run)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="shard a grid spec across fault-tolerant workers (journaled)",
+        description=(
+            "Distributed campaigns: shard a grid spec's cell set across N "
+            "worker processes behind a crash-safe journal.  Workers hold "
+            "cell leases with liveness deadlines (a killed or wedged worker "
+            "costs one lease period), failing cells retry with seeded "
+            "backoff up to a budget before quarantine, hung cells trip a "
+            "per-cell timeout watchdog, and 'resume' replays the journal "
+            "after a coordinator crash, recomputing only cells that never "
+            "landed.  See docs/distributed.md."
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    camp_run = campaign_sub.add_parser(
+        "run",
+        help="start a fresh campaign from a grid spec",
+        description=(
+            "Shard the spec's cells across worker processes.  Exit 0 when "
+            "every cell lands, 1 on degraded completion (quarantined cells "
+            "are reported per cell), 2 on validation errors."
+        ),
+    )
+    camp_run.add_argument("spec", help="path to the grid spec (.toml or .json)")
+    camp_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (0 = one per CPU; default: spec value, else 2)",
+    )
+    camp_run.add_argument(
+        "--dir", dest="campaign_dir", default=None, metavar="DIR",
+        help=(
+            "campaign directory holding the journal, worker mailboxes and "
+            "per-worker stores (default: campaigns/<spec name>)"
+        ),
+    )
+    camp_run.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="result store cells land in (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    camp_run.add_argument(
+        "--worker-stores", action="store_true",
+        help=(
+            "give every worker its own store under DIR/stores/<worker> "
+            "(the multi-host mode; union them with 'repro store merge')"
+        ),
+    )
+    camp_run.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    camp_run.add_argument(
+        "--max-time", type=float, default=None, metavar="SECONDS",
+        help="truncate every simulation at this horizon (default: spec value)",
+    )
+    camp_run.add_argument(
+        "--engine", choices=("heap", "batched", "auto"), default=None,
+        help="simulation kernel for every cell (default: spec value)",
+    )
+    camp_run.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "liveness deadline: a worker silent this long forfeits its "
+            "lease and is replaced (default: %(default)s)"
+        ),
+    )
+    camp_run.add_argument(
+        "--retry-budget", type=int, default=3, metavar="N",
+        help="attempts per cell before quarantine (default: %(default)s)",
+    )
+    camp_run.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "hard per-cell wall-clock timeout (default: derived per cell "
+            "from the executor's cost estimate)"
+        ),
+    )
+    camp_run.add_argument(
+        "--progress", action="store_true",
+        help="stream per-cell campaign events to stderr",
+    )
+    camp_run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the result tables after a clean shared-store campaign",
+    )
+    # Testing/CI knobs, deliberately undocumented.
+    camp_run.add_argument(
+        "--halt-after-landed", type=int, default=None, help=argparse.SUPPRESS
+    )
+    camp_run.add_argument(
+        "--heartbeat-seconds", type=float, default=0.25, help=argparse.SUPPRESS
+    )
+    camp_run.set_defaults(func=_cmd_campaign)
+
+    camp_status = campaign_sub.add_parser(
+        "status",
+        help="journal-derived status of a campaign directory",
+        description=(
+            "Read the campaign journal (no processes needed, works on a "
+            "directory copied off a crashed host) and report where every "
+            "cell stands."
+        ),
+    )
+    camp_status.add_argument("campaign_dir", metavar="DIR", help="campaign directory")
+    camp_status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    camp_status.set_defaults(func=_cmd_campaign)
+
+    camp_resume = campaign_sub.add_parser(
+        "resume",
+        help="resume a crashed or halted campaign from its journal",
+        description=(
+            "Replay the journal, verify landed cells against the store(s) "
+            "and recompute only cells that never landed.  Refuses loudly if "
+            "the producing code or the spec changed since the journal was "
+            "written."
+        ),
+    )
+    camp_resume.add_argument("campaign_dir", metavar="DIR", help="campaign directory")
+    camp_resume.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: the campaign's recorded value)",
+    )
+    camp_resume.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="result store override (default: the campaign's recorded store)",
+    )
+    camp_resume.add_argument(
+        "--retry-quarantined", action="store_true",
+        help="re-queue quarantined cells with a fresh retry budget",
+    )
+    camp_resume.add_argument(
+        "--progress", action="store_true",
+        help="stream per-cell campaign events to stderr",
+    )
+    camp_resume.add_argument(
+        "--halt-after-landed", type=int, default=None, help=argparse.SUPPRESS
+    )
+    camp_resume.set_defaults(func=_cmd_campaign)
+
     validate = sub.add_parser(
         "validate",
         help="parse and validate specs without running them",
@@ -272,7 +419,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep at most BYTES on disk (LRU eviction)",
     )
     store_clear = store_sub.add_parser("clear", help="remove every entry")
-    for sub_parser in (store_info, store_gc, store_clear):
+    store_merge = store_sub.add_parser(
+        "merge",
+        help="union per-worker campaign stores into one",
+        description=(
+            "Copy every entry of the source stores into --store DEST, "
+            "byte-for-byte.  Keys present on both sides are verified, not "
+            "replaced: identical payloads count as verified collisions, "
+            "different payloads abort with exit 2 (a producer was "
+            "non-deterministic — never silently pick a winner)."
+        ),
+    )
+    store_merge.add_argument(
+        "sources", nargs="+", metavar="SRC",
+        help="source store roots (e.g. <campaign dir>/stores/*)",
+    )
+    for sub_parser in (store_info, store_gc, store_clear, store_merge):
         sub_parser.add_argument(
             "--store", default=None, metavar="PATH",
             help="store location (default: $REPRO_STORE or ~/.cache/repro)",
@@ -476,6 +638,146 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stderr_progress(enabled: bool):
+    """Optional stderr status-line callback (pipe-safe, like ``run``'s)."""
+    if not enabled:
+        return None
+
+    def progress(message: str) -> None:
+        try:
+            print(message, file=sys.stderr, flush=True)
+        except OSError:
+            pass
+
+    return progress
+
+
+def _print_campaign_result(result) -> None:
+    print(
+        f"campaign {result.campaign_id}: {result.landed}/{result.n_cells} "
+        f"cells landed ({result.landed_from_store} from store, "
+        f"{result.landed_computed} computed)"
+    )
+    if result.retries or result.lease_expiries or result.timeouts or result.worker_deaths:
+        print(
+            f"  faults survived: {result.retries} retries, "
+            f"{result.lease_expiries} lease expiries, {result.timeouts} "
+            f"timeouts, {result.worker_deaths} worker deaths"
+        )
+    if result.degraded:
+        # Deliberately not gated on --quiet: degraded completion must
+        # never be silent about what it dropped.
+        print(result.failure_report(), file=sys.stderr)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignConfig,
+        campaign_status,
+        resume_campaign,
+        run_campaign,
+    )
+    from repro.experiments.runner import resolve_workers
+
+    if args.campaign_command == "status":
+        status = campaign_status(args.campaign_dir)
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        counts = status["counts"]
+        flags = []
+        if status["complete"]:
+            flags.append("complete")
+        if status["resumes"]:
+            flags.append(f"{status['resumes']} resume(s)")
+        if status["corrupt_journal_lines"]:
+            flags.append(f"{status['corrupt_journal_lines']} corrupt journal line(s)")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        print(
+            f"campaign {status['id']} ({status['spec']}): "
+            f"{counts['landed']}/{status['n_cells']} landed, "
+            f"{counts['pending']} pending, {counts['leased']} leased, "
+            f"{counts['quarantined']} quarantined{suffix}"
+        )
+        for cell in status["cells"]:
+            if cell["state"] == "quarantined":
+                print(
+                    f"  quarantined cell {cell['index']} ({cell['scenario']} x "
+                    f"{cell['scheduler']}): {cell.get('error', 'unknown error')}"
+                )
+        return 0
+
+    if args.campaign_command == "resume":
+        result = resume_campaign(
+            args.campaign_dir,
+            store=args.store,
+            workers=args.workers,
+            progress=_stderr_progress(args.progress),
+            retry_quarantined=args.retry_quarantined,
+            halt_after_landed=args.halt_after_landed,
+        )
+        _print_campaign_result(result)
+        if result.halted:
+            print(f"halted; resume with: repro campaign resume {args.campaign_dir}")
+        return 1 if result.degraded else 0
+
+    # campaign run
+    spec_data = load_spec_data(args.spec)
+    spec = parse_spec(spec_data, name=Path(args.spec).stem)
+    spec = spec.with_overrides(
+        seed=args.seed, max_time=args.max_time, engine=args.engine
+    )
+    if args.workers is not None:
+        workers = resolve_workers(args.workers)
+    elif spec.workers:
+        workers = resolve_workers(spec.workers)
+    else:
+        workers = 2
+    config = CampaignConfig(
+        workers=workers,
+        worker_stores=args.worker_stores,
+        lease_seconds=args.lease_seconds,
+        heartbeat_seconds=args.heartbeat_seconds,
+        retry_budget=args.retry_budget,
+        cell_timeout_seconds=args.cell_timeout,
+        halt_after_landed=args.halt_after_landed,
+    )
+    campaign_dir = (
+        Path(args.campaign_dir)
+        if args.campaign_dir is not None
+        else Path("campaigns") / spec.name
+    )
+    store = ResultStore(args.store)
+    result = run_campaign(
+        spec,
+        campaign_dir,
+        store=store,
+        config=config,
+        spec_data=spec_data,
+        progress=_stderr_progress(args.progress),
+    )
+    _print_campaign_result(result)
+    if result.halted:
+        print(f"halted; resume with: repro campaign resume {campaign_dir}")
+        return 0
+    if result.degraded:
+        return 1
+    if config.worker_stores:
+        print(
+            "cells landed in per-worker stores; union them with:\n"
+            f"  repro store merge {campaign_dir / 'stores'}/* --store {store.root}"
+        )
+    elif not args.quiet:
+        # Clean shared-store campaign: assemble the artifact tables through
+        # the normal run path — every cell is served from the store, so
+        # this simulates nothing and proves the campaign's cells are the
+        # serial run's cells.
+        run_result = run_spec(spec, store=store)
+        print(run_result.text)
+        _print_store_line(store, run_result.store_stats)
+    return 0
+
+
 def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
     """The result store selected by ``--cache``/``--no-cache``/``--store``."""
     if not args.cache:
@@ -618,6 +920,15 @@ def _cmd_store(args: argparse.Namespace) -> int:
             max_bytes=args.max_bytes,
         )
         print(f"evicted {removed} entries from {store.root}")
+    elif args.store_command == "merge":
+        from repro.store import merge_stores
+
+        report = merge_stores(args.sources, store)
+        print(
+            f"merged {len(report.sources)} store(s) into {report.destination}: "
+            f"{report.copied} copied, {report.verified} verified identical, "
+            f"{report.skipped_corrupt} corrupt skipped"
+        )
     else:
         removed = store.clear()
         print(f"removed {removed} entries from {store.root}")

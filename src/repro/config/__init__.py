@@ -33,7 +33,7 @@ from repro.config.build import (
     build_periodic_setup,
     build_platform,
 )
-from repro.config.loader import load_spec, parse_spec_text
+from repro.config.loader import load_spec, load_spec_data, parse_spec_text
 from repro.config.run import ProgressCallback, SpecRunResult, run_spec, write_result
 from repro.config.schema import Section, SpecError
 from repro.config.spec import (
@@ -98,6 +98,7 @@ __all__ = [
     "parse_spec",
     "parse_spec_text",
     "load_spec",
+    "load_spec_data",
     "build_platform",
     "build_burst_buffer_platform",
     "build_entry_scenarios",

@@ -17,14 +17,14 @@ from typing import Union
 from repro.config.schema import SpecError
 from repro.config.spec import ExperimentSpec, parse_spec
 
-__all__ = ["load_spec", "parse_spec_text"]
+__all__ = ["load_spec", "load_spec_data", "parse_spec_text"]
 
 
-def parse_spec_text(text: str, *, format: str = "toml", name: str = "experiment") -> ExperimentSpec:
-    """Parse spec source text (``format`` is ``"toml"`` or ``"json"``)."""
+def _parse_data(text: str, *, format: str) -> dict:
+    """The raw nested mapping of spec source text (pre-validation)."""
     if format == "toml":
         try:
-            data = tomllib.loads(text)
+            return tomllib.loads(text)
         except tomllib.TOMLDecodeError as exc:
             raise SpecError(f"invalid TOML: {exc}") from exc
     elif format == "json":
@@ -32,9 +32,47 @@ def parse_spec_text(text: str, *, format: str = "toml", name: str = "experiment"
             data = json.loads(text)
         except json.JSONDecodeError as exc:
             raise SpecError(f"invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SpecError("a JSON spec must be an object at the top level")
+        return data
+    raise SpecError(f"unknown spec format {format!r}; use 'toml' or 'json'")
+
+
+def parse_spec_text(text: str, *, format: str = "toml", name: str = "experiment") -> ExperimentSpec:
+    """Parse spec source text (``format`` is ``"toml"`` or ``"json"``)."""
+    return parse_spec(_parse_data(text, format=format), name=name)
+
+
+def load_spec_data(path: Union[str, Path]) -> dict:
+    """Load one spec file into its raw (unvalidated) nested mapping.
+
+    The campaign journal embeds this mapping so ``repro campaign resume``
+    is self-contained — it can rebuild the exact spec after a coordinator
+    crash even if the original file moved.  ``load_spec`` is this plus
+    :func:`~repro.config.spec.parse_spec` validation.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SpecError(f"spec file not found: {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        format = "toml"
+    elif suffix == ".json":
+        format = "json"
     else:
-        raise SpecError(f"unknown spec format {format!r}; use 'toml' or 'json'")
-    return parse_spec(data, name=name)
+        raise SpecError(
+            f"unsupported spec extension {suffix!r} for {path}; use .toml or .json"
+        )
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise SpecError(f"{path}: not valid UTF-8 text ({exc})") from exc
+    except OSError as exc:
+        raise SpecError(f"{path}: cannot read spec file ({exc})") from exc
+    try:
+        return _parse_data(text, format=format)
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from exc
 
 
 def load_spec(path: Union[str, Path]) -> ExperimentSpec:

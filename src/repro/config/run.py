@@ -856,6 +856,7 @@ def run_spec(
             writes=store.stats.writes - stats_before.writes,
             corrupt=store.stats.corrupt - stats_before.corrupt,
             write_errors=store.stats.write_errors - stats_before.write_errors,
+            collisions=store.stats.collisions - stats_before.collisions,
         ).as_dict()
     return result
 

@@ -47,9 +47,11 @@ from repro.utils.validation import ValidationError, check_positive
 
 __all__ = [
     "DEFAULT_BENCH_SPECS",
+    "DEFAULT_CAMPAIGN_SPEC",
     "bench_spec_path",
     "scaled_spec",
     "measure_spec_run",
+    "measure_campaign_run",
     "measure_period_sweep",
     "run_grid_bench",
     "grid_bench_broken",
@@ -58,6 +60,11 @@ __all__ = [
 #: The bundled specs the end-to-end benchmark replays (ISSUE 4 acceptance
 #: criterion): the analysis suite (Figures 1/5/7) and the periodic study.
 DEFAULT_BENCH_SPECS: tuple[str, ...] = ("analysis_figures", "periodic")
+
+#: The bundled grid spec the sharded-campaign benchmark shards (a 6-cell
+#: checkpoint storm — small enough that coordination overhead is visible,
+#: which is exactly what the row is meant to track).
+DEFAULT_CAMPAIGN_SPEC = "checkpoint_storm"
 
 
 def bench_spec_path(name: str) -> Path:
@@ -194,6 +201,79 @@ def measure_spec_run(
     }
 
 
+def measure_campaign_run(
+    name: str = DEFAULT_CAMPAIGN_SPEC, *, workers: int = 2
+) -> dict:
+    """Sharded-campaign vs serial cells/sec for one bundled grid spec.
+
+    Runs the spec twice: serially through :func:`run_spec` into a fresh
+    store, and as a fault-tolerant campaign (:mod:`repro.campaign`) with
+    per-worker stores that are then unioned by
+    :func:`repro.store.merge.merge_stores` — the full multi-host path of
+    ``docs/distributed.md``.  The ``identical`` flag asserts every merged
+    cell payload is byte-for-byte the serial store's payload; a false flag
+    is a determinism regression and fails the benchmark, exactly like the
+    pooled-vs-serial flags.
+    """
+    import tempfile
+
+    from repro.campaign import CampaignConfig, plan_campaign, run_campaign
+    from repro.store import ResultStore, merge_stores
+
+    spec = dataclasses.replace(load_spec(bench_spec_path(name)), output=None)
+    plan = plan_campaign(spec)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-campaign-") as tmp:
+        tmp_path = Path(tmp)
+        serial_store = ResultStore(tmp_path / "serial-store")
+        start = time.perf_counter()
+        run_spec(spec.with_overrides(workers=1), store=serial_store)
+        serial_seconds = time.perf_counter() - start
+
+        merged_store = ResultStore(tmp_path / "campaign-store")
+        config = CampaignConfig(
+            workers=workers,
+            worker_stores=True,
+            heartbeat_seconds=0.1,
+            poll_seconds=0.02,
+        )
+        start = time.perf_counter()
+        result = run_campaign(
+            spec, tmp_path / "campaign", store=merged_store, config=config
+        )
+        stores_dir = tmp_path / "campaign" / "stores"
+        sources = sorted(stores_dir.iterdir()) if stores_dir.is_dir() else []
+        merge_stores(sources, merged_store)
+        sharded_seconds = time.perf_counter() - start
+
+        identical = result.ok
+        for cell in plan.cells:
+            merged = merged_store.get(cell.key)
+            serial = serial_store.get(cell.key)
+            if (
+                merged is None
+                or serial is None
+                or json.dumps(merged, sort_keys=True, allow_nan=True)
+                != json.dumps(serial, sort_keys=True, allow_nan=True)
+            ):
+                identical = False
+    n_cells = len(plan.cells)
+    return {
+        "spec": name,
+        "n_cells": n_cells,
+        "serial": {
+            "seconds": serial_seconds,
+            "cells_per_sec": n_cells / serial_seconds if serial_seconds > 0 else float("inf"),
+        },
+        "sharded": {
+            "workers": workers,
+            "seconds": sharded_seconds,
+            "cells_per_sec": n_cells / sharded_seconds if sharded_seconds > 0 else float("inf"),
+        },
+        "speedup": serial_seconds / sharded_seconds if sharded_seconds > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
 def measure_period_sweep(*, scale: int = 1, spec_name: str = "periodic") -> dict:
     """Warm-started vs naive period sweep over the periodic spec's app set.
 
@@ -300,6 +380,15 @@ def run_grid_bench(
                 f"warm {s['warm']['sweep_points_per_sec']:7.1f} pts/s "
                 f"(speedup {s['speedup']:.2f}x, identical={s['identical']})"
             )
+    campaign = measure_campaign_run()
+    if progress is not None:
+        progress(
+            f"campaign {campaign['spec']:<18} "
+            f"serial {campaign['serial']['cells_per_sec']:7.1f} cells/s, "
+            f"sharded {campaign['sharded']['cells_per_sec']:7.1f} cells/s "
+            f"({campaign['sharded']['workers']} worker(s), "
+            f"identical={campaign['identical']})"
+        )
     return {
         "benchmark": "experiment_grid",
         "scale": scale,
@@ -308,6 +397,7 @@ def run_grid_bench(
         "machine": _platform.machine(),
         "specs": spec_entries,
         "period_sweep": sweep,
+        "campaign": campaign,
     }
 
 
@@ -323,4 +413,7 @@ def grid_bench_broken(payload: Mapping) -> list[str]:
         for entry in payload.get("period_sweep", {}).get("sweeps", ())
         if not entry.get("identical", True)
     )
+    campaign = payload.get("campaign", {})
+    if campaign and not campaign.get("identical", True):
+        broken.append(f"campaign:{campaign.get('spec', 'unknown')}")
     return broken

@@ -42,7 +42,7 @@ cached grid is cell-for-cell (and byte-for-byte) identical to a cold one.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, TypeVar
@@ -70,8 +70,11 @@ __all__ = [
     "SchedulerCase",
     "CaseResult",
     "ExperimentGrid",
+    "ExecutorStats",
     "ExperimentExecutor",
     "MapCache",
+    "grid_cell_keys",
+    "estimate_cell_seconds",
     "encode_case_result",
     "decode_case_result",
     "run_case",
@@ -216,6 +219,24 @@ def _run_shared_chunk(
     return [fn(shared, item) for item in chunk]
 
 
+def _submit_or_broken(
+    pool: ProcessPoolExecutor, fn: Callable[..., list[_R]], *args: object
+) -> "Future[list[_R]]":
+    """Submit, turning a synchronous ``BrokenProcessPool`` into a failed future.
+
+    A worker death races the submit loop: chunks queued after the death see
+    the broken pool from ``submit`` itself rather than from their future.
+    Funnelling both through the future keeps recovery in one place — the
+    drain loop's per-chunk retry.
+    """
+    try:
+        return pool.submit(fn, *args)
+    except BrokenProcessPool as exc:
+        failed: "Future[list[_R]]" = Future()
+        failed.set_exception(exc)
+        return failed
+
+
 class MapCache:
     """Item-level memo table consulted by :meth:`ExperimentExecutor.map`.
 
@@ -267,6 +288,32 @@ class MapCache:
         self._store.put(self.key(item), self.encode(result))
 
 
+@dataclass
+class ExecutorStats:
+    """Fault-recovery counters of one :class:`ExperimentExecutor`.
+
+    ``worker_deaths`` counts pool breakages (a worker process died hard —
+    OOM kill, ``os._exit``, segfault); ``cell_retries`` counts the cells
+    resubmitted individually to a fresh pool after a breakage poisoned
+    their chunk; ``inline_recoveries`` counts the cells that ultimately ran
+    inline in the calling process because their retry broke the pool again
+    (the poisoned cell itself, typically).  Purely observational — recovery
+    never changes results, only where they compute.
+    """
+
+    worker_deaths: int = 0
+    cell_retries: int = 0
+    inline_recoveries: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for status reports."""
+        return {
+            "worker_deaths": self.worker_deaths,
+            "cell_retries": self.cell_retries,
+            "inline_recoveries": self.inline_recoveries,
+        }
+
+
 class ExperimentExecutor:
     """Reusable worker pool behind ``map_parallel`` / ``run_grid``.
 
@@ -287,6 +334,7 @@ class ExperimentExecutor:
         self._n_workers = resolve_workers(workers)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
+        self.stats = ExecutorStats()
 
     @property
     def n_workers(self) -> int:
@@ -364,11 +412,14 @@ class ExperimentExecutor:
 
         Worker death (e.g. the OOM killer, a hard ``os._exit``) surfaces as
         :class:`BrokenProcessPool` on every in-flight chunk.  The map does
-        not die with the pool: the broken pool is discarded and each
-        affected chunk is recomputed serially in the calling process, so the
-        campaign finishes and every cell still lands (cache write-back
-        rides the normal drain path).  Real exceptions raised by ``fn``
-        propagate unchanged.
+        not die with the pool: the broken pool is discarded and every cell
+        of an affected chunk is retried *individually* on a fresh pool, so
+        one poisoned cell costs one retry round, not a serial rerun of its
+        whole chunk — only a cell whose own retry breaks the pool again
+        falls back to running inline in the calling process.  Every cell
+        still lands (cache write-back rides the normal drain path) and the
+        recovery is counted in :attr:`stats`.  Real exceptions raised by
+        ``fn`` propagate unchanged.
         """
         if self._closed:
             raise ValidationError("ExperimentExecutor is closed")
@@ -436,11 +487,15 @@ class ExperimentExecutor:
             chunk = items[start:stop]
             if has_shared:
                 futures.append(
-                    (start, chunk, pool.submit(_run_shared_chunk, fn, shared, chunk))
+                    (
+                        start,
+                        chunk,
+                        _submit_or_broken(pool, _run_shared_chunk, fn, shared, chunk),
+                    )
                 )
             else:
                 futures.append(
-                    (start, chunk, pool.submit(_run_plain_chunk, fn, chunk))
+                    (start, chunk, _submit_or_broken(pool, _run_plain_chunk, fn, chunk))
                 )
             start = stop
 
@@ -451,21 +506,81 @@ class ExperimentExecutor:
             except BrokenProcessPool:
                 # A worker died mid-chunk (killed, crashed, os._exit): the
                 # pool is unusable and every other in-flight future will
-                # raise the same error.  Drop the pool — a later map spawns
-                # a fresh one — and recompute this chunk serially so the
-                # campaign still finishes with complete, identical results.
-                if self._pool is not None:
+                # raise the same error.  Drop the pool — counting the death
+                # only when this future's pool is still the live one, so the
+                # sibling chunks poisoned by the same death don't recount it
+                # or tear down the replacement pool — then retry the chunk's
+                # cells individually on a fresh pool.
+                if self._pool is pool:
+                    self.stats.worker_deaths += 1
                     self._pool.shutdown(wait=False)
                     self._pool = None
-                chunk_results = [
-                    fn(shared, item) if has_shared else fn(item)
-                    for item in chunk
-                ]
+                chunk_results = self._recover_chunk(fn, chunk, has_shared, shared)
             for offset, result in enumerate(chunk_results):
                 if progress is not None:
                     index = chunk_start + offset
                     progress(index, items[index], result)
                 results.append(result)
+        return results
+
+    def _recover_chunk(
+        self,
+        fn: Callable[..., _R],
+        chunk: list[_T],
+        has_shared: bool,
+        shared: object,
+    ) -> list[_R]:
+        """Per-cell recovery of one chunk poisoned by a worker death.
+
+        The cells are resubmitted as single-cell tasks on a fresh pool, so
+        the innocent cells of the chunk stay parallel; a cell whose retry
+        breaks the pool *again* (a reliably crashing "poisoned" cell) runs
+        inline in the calling process, and the cells queued behind it move
+        to yet another fresh pool.  Results are returned in chunk order —
+        identical to what the original chunk would have produced.
+        """
+        results: list[_R] = []
+        pending = list(chunk)
+        while pending:
+            if self._n_workers <= 1 or len(pending) == 1:
+                for item in pending:
+                    self.stats.inline_recoveries += 1
+                    results.append(
+                        fn(shared, item) if has_shared else fn(item)
+                    )
+                return results
+            pool = self._ensure_pool()
+            futures = []
+            for item in pending:
+                self.stats.cell_retries += 1
+                if has_shared:
+                    futures.append(
+                        _submit_or_broken(pool, _run_shared_chunk, fn, shared, [item])
+                    )
+                else:
+                    futures.append(
+                        _submit_or_broken(pool, _run_plain_chunk, fn, [item])
+                    )
+            advanced = 0
+            for item, future in zip(pending, futures):
+                try:
+                    results.append(future.result()[0])
+                    advanced += 1
+                except BrokenProcessPool:
+                    # This cell's own retry killed a worker: run it inline
+                    # (a real exception from fn propagates from here), then
+                    # resubmit whatever was queued behind it.
+                    if self._pool is pool:
+                        self.stats.worker_deaths += 1
+                        self._pool.shutdown(wait=False)
+                        self._pool = None
+                    self.stats.inline_recoveries += 1
+                    results.append(
+                        fn(shared, item) if has_shared else fn(item)
+                    )
+                    advanced += 1
+                    break
+            pending = pending[advanced:]
         return results
 
 
@@ -724,14 +839,54 @@ def decode_case_result(payload: dict) -> CaseResult:
     )
 
 
-class _GridCellCache(MapCache):
-    """Memo table for :func:`run_grid` cells.
+def grid_cell_keys(
+    scenarios: Sequence[Scenario],
+    cases: Sequence[SchedulerCase],
+    *,
+    max_time: float = float("inf"),
+    engine: str | None = None,
+) -> list[list[str]]:
+    """Content-addressed store key of every ``(scenario, case)`` grid cell.
 
-    Cell keys are *per-cell*, not per-grid: each digests its own canonical
+    ``result[i][j]`` keys the cell of ``scenarios[i]`` under ``cases[j]``.
+    Keys are *per-cell*, not per-grid: each digests its own canonical
     scenario and scheduler case (plus the horizon and the producing-code
     fingerprint), so adding a scenario to a campaign, reordering the axes,
     or sharing cells across different specs all hit whatever overlaps.
+    This is the single key derivation behind every consumer — the in-run
+    memo table of :func:`run_grid` and the sharded campaign coordinator of
+    :mod:`repro.campaign` — which is what makes stores written by campaign
+    workers on other hosts serve a local serial rerun with 100% hits.
+
+    The engine lands in the key prefix: all engines are pinned
+    bit-identical, but a stored cell should stay honest about the kernel
+    that produced it, so an engine switch recomputes rather than silently
+    re-labelling old results.  The "auto" selector is resolved per scenario
+    *before* keying — an auto cell stores under the kernel that actually
+    ran it, so auto campaigns share cells with explicit heap/batched
+    campaigns of the same width.
     """
+    engine = resolve_engine(engine)
+    fingerprint = code_fingerprint()
+    prefixes = [
+        digest(
+            "grid-cell",
+            fingerprint,
+            max_time,
+            dispatch_engine(engine, len(scenario.applications)),
+        )
+        for scenario in scenarios
+    ]
+    scenario_texts = [canonical_json(s) for s in scenarios]
+    case_texts = [canonical_json(c) for c in cases]
+    return [
+        [digest(prefixes[i], s_text, c_text) for c_text in case_texts]
+        for i, s_text in enumerate(scenario_texts)
+    ]
+
+
+class _GridCellCache(MapCache):
+    """Memo table for :func:`run_grid` cells (keys: :func:`grid_cell_keys`)."""
 
     def __init__(
         self,
@@ -742,29 +897,9 @@ class _GridCellCache(MapCache):
         engine: str,
     ):
         super().__init__(store)
-        # The engine lands in the key prefix: all engines are pinned
-        # bit-identical, but a stored cell should stay honest about the
-        # kernel that produced it, so an engine switch recomputes rather
-        # than silently re-labelling old results.  The "auto" selector is
-        # resolved per scenario *before* keying — an auto cell stores under
-        # the kernel that actually ran it, so auto campaigns share cells
-        # with explicit heap/batched campaigns of the same width.
-        fingerprint = code_fingerprint()
-        prefixes = [
-            digest(
-                "grid-cell",
-                fingerprint,
-                max_time,
-                dispatch_engine(engine, len(scenario.applications)),
-            )
-            for scenario in scenarios
-        ]
-        scenario_texts = [canonical_json(s) for s in scenarios]
-        case_texts = [canonical_json(c) for c in cases]
-        self._keys = [
-            [digest(prefixes[i], s_text, c_text) for c_text in case_texts]
-            for i, s_text in enumerate(scenario_texts)
-        ]
+        self._keys = grid_cell_keys(
+            scenarios, cases, max_time=max_time, engine=engine
+        )
 
     def key(self, item: tuple[int, int]) -> str:
         i, j = item
@@ -793,20 +928,27 @@ def _run_grid_cell_shared(
 _EVENT_COST_SECONDS = 2e-6
 
 
-def _grid_cost_hint(scenarios: Sequence[Scenario]) -> float:
-    """Estimated serial seconds of one *average* grid cell.
+def estimate_cell_seconds(scenario: Scenario) -> float:
+    """Estimated serial seconds of one grid cell over ``scenario``.
 
     Event count scales with the total instance count and per-event work
-    scales with the number of concurrent applications, so a cell over
-    scenario ``s`` costs roughly ``n_apps(s) * n_instances(s)`` event-units.
+    scales with the number of concurrent applications, so a cell costs
+    roughly ``n_apps * n_instances`` event-units.  Deliberately coarse — it
+    backs the executor's serial-fallback hint and the campaign
+    coordinator's per-cell timeout watchdog, both of which only need the
+    right order of magnitude.
     """
+    return _EVENT_COST_SECONDS * len(scenario.applications) * sum(
+        len(a.instances) for a in scenario.applications
+    )
+
+
+def _grid_cost_hint(scenarios: Sequence[Scenario]) -> float:
+    """Estimated serial seconds of one *average* grid cell."""
     if not scenarios:
         return 0.0
-    per_cell = [
-        len(s.applications) * sum(len(a.instances) for a in s.applications)
-        for s in scenarios
-    ]
-    return _EVENT_COST_SECONDS * sum(per_cell) / len(per_cell)
+    per_cell = [estimate_cell_seconds(s) for s in scenarios]
+    return sum(per_cell) / len(per_cell)
 
 
 def run_grid(

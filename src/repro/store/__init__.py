@@ -32,8 +32,10 @@ from repro.store.fingerprint import (
     clear_fingerprint_cache,
     code_fingerprint,
 )
+from repro.store.merge import MergeReport, StoreMergeError, merge_stores
 from repro.store.store import (
     ResultStore,
+    StoreCollisionError,
     StoreEntryInfo,
     StoreStats,
     default_store_path,
@@ -50,5 +52,9 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "StoreEntryInfo",
+    "StoreCollisionError",
+    "StoreMergeError",
+    "MergeReport",
+    "merge_stores",
     "default_store_path",
 ]

@@ -1,0 +1,151 @@
+"""Union per-worker result stores into one — the multi-host campaign join.
+
+A sharded campaign (:mod:`repro.campaign`) can give every worker — or every
+host — its own :class:`~repro.store.store.ResultStore`; because cell keys
+are content-addressed and location-agnostic, the per-worker stores are
+mergeable by construction.  :func:`merge_stores` performs that union:
+
+* entries are copied **byte-for-byte** (the raw entry file travels, so a
+  merged cell re-serves the exact bytes its producer wrote);
+* a key present in both source and destination is **verified**, not
+  replaced: the canonical payload serializations are compared, identical
+  payloads count as verified collisions, different payloads raise
+  :class:`StoreMergeError` loudly — two hosts disagreeing about the same
+  content-addressed key means a non-deterministic producer, which must
+  never be papered over by picking a winner;
+* corrupt source entries are skipped (and counted), exactly as a local
+  read would treat them.
+
+``repro store merge SRC [SRC ...] --store DEST`` is the CLI face.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.store.store import ResultStore
+from repro.utils.io import atomic_write_bytes
+from repro.utils.validation import ValidationError
+
+__all__ = ["StoreMergeError", "MergeReport", "merge_stores"]
+
+
+class StoreMergeError(ValidationError):
+    """Two stores hold different payloads under the same key."""
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of one :func:`merge_stores` union."""
+
+    destination: str
+    sources: tuple[str, ...]
+    #: Entries copied into the destination (key was absent there).
+    copied: int
+    #: Keys present in both sides whose payloads compared byte-identical.
+    verified: int
+    #: Unreadable/corrupt source entries skipped (a recompute elsewhere,
+    #: never an error — matching the store's corruption-tolerant reads).
+    skipped_corrupt: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for the CLI's ``--json`` output."""
+        return {
+            "destination": self.destination,
+            "sources": list(self.sources),
+            "copied": self.copied,
+            "verified": self.verified,
+            "skipped_corrupt": self.skipped_corrupt,
+        }
+
+
+def _entry_payload(raw: bytes, key: str) -> Optional[dict[str, Any]]:
+    """Parse one raw entry file; ``None`` if corrupt or mis-keyed."""
+    try:
+        entry = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(entry, dict) or entry.get("key") != key:
+        return None
+    payload = entry.get("payload")
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def _canonical_payload_text(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, allow_nan=True, sort_keys=True)
+
+
+def merge_stores(
+    sources: Sequence[Union[ResultStore, str, Path]],
+    destination: Union[ResultStore, str, Path],
+) -> MergeReport:
+    """Union every source store into ``destination``.
+
+    Sources may be :class:`ResultStore` handles or store root paths; a
+    non-existent source root is simply an empty store (zero entries), so a
+    campaign whose worker never produced anything merges cleanly.  Raises
+    :class:`StoreMergeError` on the first payload mismatch — the
+    destination is left with everything merged up to that point (every
+    copied entry is individually atomic, so there is no torn state to roll
+    back).
+    """
+    dest = (
+        destination
+        if isinstance(destination, ResultStore)
+        else ResultStore(destination)
+    )
+    handles = [
+        source if isinstance(source, ResultStore) else ResultStore(source)
+        for source in sources
+    ]
+    for handle in handles:
+        if handle.root.resolve() == dest.root.resolve():
+            raise ValidationError(
+                f"cannot merge a store into itself: {handle.root}"
+            )
+    copied = 0
+    verified = 0
+    skipped = 0
+    for handle in handles:
+        for info in handle.entries():
+            try:
+                raw = info.path.read_bytes()
+            except OSError:
+                skipped += 1
+                continue
+            payload = _entry_payload(raw, info.key)
+            if payload is None:
+                skipped += 1
+                continue
+            dest_path = dest._entry_path(info.key)
+            if dest_path.is_file():
+                existing = _entry_payload(dest_path.read_bytes(), info.key)
+                if existing is not None:
+                    if _canonical_payload_text(existing) != _canonical_payload_text(
+                        payload
+                    ):
+                        raise StoreMergeError(
+                            f"merge collision on key {info.key}: "
+                            f"{handle.root} and {dest.root} hold different "
+                            "payloads for the same content-addressed key — "
+                            "a producer was non-deterministic; refusing to "
+                            "pick a winner"
+                        )
+                    verified += 1
+                    continue
+                # Corrupt destination entry: replace it with the good copy.
+            dest_path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(dest_path, raw)
+            copied += 1
+    return MergeReport(
+        destination=str(dest.root),
+        sources=tuple(str(h.root) for h in handles),
+        copied=copied,
+        verified=verified,
+        skipped_corrupt=skipped,
+    )

@@ -20,8 +20,15 @@ Guarantees:
 * **byte-stable payloads** — entries round-trip through JSON with NaN /
   Infinity preserved, so a decoded result re-serializes to the exact bytes
   a fresh computation would produce;
+* **verified collisions** — a write against an existing key compares
+  canonical payload bytes: identical payloads (concurrent producers of the
+  same cell) skip the rewrite, different payloads raise
+  :class:`StoreCollisionError` loudly instead of silently replacing —
+  same key must mean same content;
 * **bounded growth** — :meth:`ResultStore.gc` evicts by age and by
-  count/size (least-recently-used first; hits refresh an entry's mtime).
+  count/size (least-recently-used first; hits refresh an entry's mtime),
+  but never evicts entries referenced by an active campaign journal
+  (:meth:`ResultStore.protected_keys`).
 
 The store knows nothing about simulators or specs: callers bring a key
 (see :mod:`repro.store.canonical` / :mod:`repro.store.fingerprint`) and a
@@ -41,7 +48,13 @@ from typing import Any, Iterator, Mapping, Optional, Union
 from repro.utils.io import atomic_write_text
 from repro.utils.validation import ValidationError
 
-__all__ = ["StoreStats", "StoreEntryInfo", "ResultStore", "default_store_path"]
+__all__ = [
+    "StoreStats",
+    "StoreEntryInfo",
+    "StoreCollisionError",
+    "ResultStore",
+    "default_store_path",
+]
 
 #: On-disk format version; bump on any incompatible layout/payload change so
 #: an old store degrades to misses instead of mis-decoding.
@@ -72,6 +85,17 @@ def _json_default(value: object) -> object:
     )
 
 
+class StoreCollisionError(ValidationError):
+    """Two different payloads were written under the same key.
+
+    Keys are content-addressed, so this should be impossible for correct
+    code — it means either non-determinism in a producer (two hosts
+    computed different results for the same inputs) or a key-derivation
+    bug.  Either way the store must fail loudly instead of silently letting
+    the last writer win.
+    """
+
+
 @dataclass
 class StoreStats:
     """Per-process counters of one store handle (not persisted)."""
@@ -81,6 +105,10 @@ class StoreStats:
     writes: int = 0
     corrupt: int = 0
     write_errors: int = 0
+    #: Writes that collided with an existing entry and were *verified*
+    #: byte-identical instead of rewritten (concurrent producers of the
+    #: same cell — campaign workers racing on a shared store).
+    collisions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -100,6 +128,7 @@ class StoreStats:
             "writes": self.writes,
             "corrupt": self.corrupt,
             "write_errors": self.write_errors,
+            "collisions": self.collisions,
             "hit_rate": self.hit_rate,
         }
 
@@ -189,8 +218,44 @@ class ResultStore:
             pass
         return payload
 
+    def _existing_payload(self, path: Path, key: str) -> Optional[dict[str, Any]]:
+        """The valid payload already stored at ``path``, if any.
+
+        Collision-check helper for :meth:`put`: unlike :meth:`get` it never
+        touches the hit/miss counters (a write is not a lookup) and leaves a
+        corrupt entry in place for the caller to overwrite (counting it in
+        ``stats.corrupt``).
+        """
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.stats.corrupt += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("store entry does not match its key")
+            payload = entry["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("store payload is not a JSON object")
+        except (ValueError, KeyError):
+            self.stats.corrupt += 1
+            return None
+        return payload
+
     def put(self, key: str, payload: Mapping[str, Any]) -> Optional[Path]:
-        """Atomically persist ``payload`` under ``key`` (overwrites).
+        """Atomically persist ``payload`` under ``key``.
+
+        Keys are content-addressed, so a ``put`` against an existing entry
+        is *verified*, never blindly replaced: an identical payload (the
+        normal case — concurrent campaign workers racing on the same cell)
+        refreshes the entry's mtime, counts in ``stats.collisions`` and
+        skips the rewrite; a **different** payload raises
+        :class:`StoreCollisionError` loudly, because it means a
+        non-deterministic producer or a key-derivation bug.  A corrupt
+        existing entry is simply overwritten.
 
         Write failures (disk full, read-only store, quota) are **fail-soft**:
         the campaign that computed the result must never die on cache
@@ -200,6 +265,26 @@ class ResultStore:
         is a programming error and still raises.
         """
         path = self._entry_path(key)
+        new_text = json.dumps(
+            payload, allow_nan=True, sort_keys=True, default=_json_default
+        )
+        existing = self._existing_payload(path, key)
+        if existing is not None:
+            existing_text = json.dumps(existing, allow_nan=True, sort_keys=True)
+            if existing_text == new_text:
+                self.stats.collisions += 1
+                try:
+                    os.utime(path)
+                except OSError:  # pragma: no cover - mtime refresh is best-effort
+                    pass
+                return path
+            raise StoreCollisionError(
+                f"store collision on key {key} at {self.root}: an entry with "
+                f"a different payload already exists ({len(existing_text)} vs "
+                f"{len(new_text)} canonical bytes). Same key must mean same "
+                "content — this indicates a non-deterministic producer or a "
+                "key-derivation bug, not a cache eviction problem."
+            )
         entry = {"key": key, "created": time.time(), "payload": payload}  # reprolint: ignore[D002] — gc metadata only; never enters keys or payloads
         text = json.dumps(entry, allow_nan=True, default=_json_default)  # reprolint: ignore[D004] — entry bytes are not content-addressed (key is the filename); readers parse, never diff
         try:
@@ -224,6 +309,72 @@ class ResultStore:
 
     def __contains__(self, key: str) -> bool:
         return self._entry_path(key).is_file()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def campaigns_dir(self) -> Path:
+        """Registration directory of active campaign journals.
+
+        A running campaign coordinator (:mod:`repro.campaign`) drops a
+        ``<campaign-id>.journal`` pointer file here naming its journal;
+        :meth:`gc` refuses to evict any entry such a journal references.
+        Completed campaigns unregister themselves; a stale pointer (journal
+        gone, or carrying a ``complete`` record) is cleaned up lazily by
+        :meth:`protected_keys`.
+        """
+        return self.root / "campaigns"
+
+    def protected_keys(self) -> frozenset[str]:
+        """Keys referenced by active campaign journals (gc-protected).
+
+        Scans the ``<campaign-id>.journal`` pointers under
+        :attr:`campaigns_dir` and collects the cell-key list from each
+        journal's header record — one JSON object per line, written by
+        :class:`repro.campaign.CampaignJournal`; unparsable lines are
+        skipped (the journal is append-only and crash-tolerant by design).
+        A journal that recorded ``{"type": "complete"}`` is finished: its
+        pointer is unlinked and its keys are fair game.
+        """
+        protected: set[str] = set()
+        if not self.campaigns_dir.is_dir():
+            return frozenset()
+        for pointer in sorted(self.campaigns_dir.glob("*.journal")):
+            try:
+                journal_path = Path(pointer.read_text(encoding="utf-8").strip())
+            except OSError:
+                continue
+            try:
+                lines = journal_path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                # Journal vanished: the campaign directory was deleted, so
+                # the registration is stale.
+                self._discard(pointer)
+                continue
+            keys: set[str] = set()
+            complete = False
+            for line in lines:
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if record.get("type") == "campaign":
+                    cells = record.get("cells")
+                    if isinstance(cells, list):
+                        keys.update(
+                            cell["key"]
+                            for cell in cells
+                            if isinstance(cell, dict)
+                            and isinstance(cell.get("key"), str)
+                        )
+                elif record.get("type") == "complete":
+                    complete = True
+            if complete:
+                self._discard(pointer)
+            else:
+                protected.update(keys)
+        return frozenset(protected)
 
     # ------------------------------------------------------------------ #
     def entries(self) -> Iterator[StoreEntryInfo]:
@@ -265,6 +416,13 @@ class ResultStore:
         (hits refresh mtime, so live cells survive).  ``max_entries`` /
         ``max_bytes`` then trim least-recently-used entries until the store
         fits both budgets.  With no arguments nothing is removed.
+
+        Entries referenced by an **active campaign journal** (see
+        :meth:`protected_keys`) are never evicted, whatever the budgets: a
+        crashed campaign's ``resume`` depends on those cells still being
+        here.  Protected entries keep counting toward the size/count
+        totals, so gc trims everything evictable first and simply stops
+        when only protected entries remain over budget.
         """
         for name, bound in (
             ("max_age_days", max_age_days),
@@ -273,7 +431,11 @@ class ResultStore:
         ):
             if bound is not None and bound < 0:
                 raise ValidationError(f"{name} must be >= 0, got {bound}")
-        entries = sorted(self.entries(), key=lambda e: e.mtime)  # oldest first
+        protected = self.protected_keys()
+        all_entries = sorted(self.entries(), key=lambda e: e.mtime)  # oldest first
+        entries = [e for e in all_entries if e.key not in protected]
+        protected_size = sum(e.size for e in all_entries if e.key in protected)
+        protected_count = len(all_entries) - len(entries)
         removed = 0
         if max_age_days is not None:
             cutoff = time.time() - max_age_days * 86400.0  # reprolint: ignore[D002] — gc age policy against file mtimes; host-local, never in results
@@ -285,10 +447,13 @@ class ResultStore:
                 else:
                     keep.append(entry)
             entries = keep
-        total = sum(e.size for e in entries)
+        total = protected_size + sum(e.size for e in entries)
         index = 0
         while entries[index:] and (
-            (max_entries is not None and len(entries) - index > max_entries)
+            (
+                max_entries is not None
+                and protected_count + len(entries) - index > max_entries
+            )
             or (max_bytes is not None and total > max_bytes)
         ):
             victim = entries[index]

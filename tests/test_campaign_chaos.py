@@ -1,0 +1,476 @@
+"""Chaos harness for distributed campaigns (:mod:`repro.campaign`).
+
+Every test runs a real coordinator with real worker *processes* against a
+tiny 4-cell grid and injects one failure mode through the
+``REPRO_CAMPAIGN_CHAOS`` hook: sudden worker death mid-cell, raised
+errors, a wedged worker that stops heartbeating (lease expiry), a hung
+simulation (timeout watchdog), a poisoned cell that never succeeds
+(quarantine + degraded completion), a halted coordinator (crash-safe
+resume), and a corrupted journal.  The invariants under test:
+
+* the campaign always terminates, and every recoverable fault costs
+  retries — never cells;
+* ``resume`` recomputes only cells that never landed (asserted via store
+  hit counts on a fresh handle);
+* per-worker stores merge into one whose payloads are byte-identical to a
+  serial run's, every time, whatever faults were injected.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    campaign_status,
+    plan_campaign,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.worker import CHAOS_ENV
+from repro.cli import main
+from repro.config import parse_spec, run_spec
+from repro.store import ResultStore, merge_stores
+from repro.utils.validation import ValidationError
+
+TINY_GRID = """
+[experiment]
+name = "tiny"
+kind = "grid"
+seed = 5
+max_time = 500.0
+
+[platform]
+preset = "generic"
+processors = 100
+node_bandwidth = 1.0e6
+system_bandwidth = 2.0e7
+
+[[scenarios]]
+kind = "mix"
+small = 3
+io_ratio = 0.2
+
+[[scenarios]]
+kind = "mix"
+small = 2
+io_ratio = 0.4
+
+[schedulers]
+names = ["FairShare", "MaxSysEff"]
+"""
+
+SPEC_DATA = tomllib.loads(TINY_GRID)
+N_CELLS = 4  # 2 scenarios x 2 schedulers
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return parse_spec(SPEC_DATA)
+
+
+@pytest.fixture
+def chaos(tmp_path, monkeypatch):
+    """Install a chaos table for every worker spawned by this test."""
+
+    def _install(table: dict) -> None:
+        path = tmp_path / "chaos.json"
+        path.write_text(json.dumps(table, sort_keys=True))
+        monkeypatch.setenv(CHAOS_ENV, str(path))
+
+    return _install
+
+
+def fast_config(**overrides) -> CampaignConfig:
+    """Aggressive timings so fault paths resolve in test time, not ops time."""
+    kwargs = dict(
+        workers=2,
+        heartbeat_seconds=0.05,
+        lease_seconds=5.0,
+        poll_seconds=0.02,
+        backoff_base_seconds=0.05,
+        backoff_factor=1.5,
+        backoff_max_seconds=0.2,
+        cell_timeout_seconds=30.0,
+    )
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+def canonical_payload(store: ResultStore, key: str) -> str:
+    payload = store.get(key)
+    assert payload is not None, f"cell {key} missing from {store.root}"
+    return json.dumps(payload, sort_keys=True, allow_nan=True)
+
+
+# ---------------------------------------------------------------------- #
+# Baseline and recoverable faults
+# ---------------------------------------------------------------------- #
+class TestFaultRecovery:
+    def test_clean_campaign_lands_every_cell(self, spec, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            spec, tmp_path / "camp", store=store, config=fast_config(),
+            spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        assert result.landed == result.landed_computed == N_CELLS
+        assert result.quarantined == ()
+        assert result.worker_deaths == 0
+        # Completion unregisters the gc-protection pointer.
+        assert list(store.campaigns_dir.glob("*.journal")) == []
+        assert campaign_status(tmp_path / "camp")["complete"]
+
+    def test_killed_and_failing_workers_cost_retries_not_cells(
+        self, spec, tmp_path, chaos
+    ):
+        # Cell 0's first host dies mid-cell (kill -9 style); cell 2's
+        # first attempt raises.  Both must land on retry.
+        chaos({"0": {"exit": [1]}, "2": {"fail": [1]}})
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            spec, tmp_path / "camp", store=store, config=fast_config(),
+            spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        assert result.landed == N_CELLS
+        assert result.worker_deaths >= 1
+        assert result.retries >= 2
+
+    def test_muted_worker_forfeits_its_lease(self, spec, tmp_path, chaos):
+        # The worker wedges *and* stops heartbeating — indistinguishable
+        # from kill -9 to the coordinator — so the lease must expire and
+        # the cell re-queue to a replacement.
+        chaos({"1": {"mute": [1]}})
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            spec,
+            tmp_path / "camp",
+            store=store,
+            config=fast_config(lease_seconds=1.0),
+            spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        assert result.landed == N_CELLS
+        assert result.lease_expiries >= 1
+
+    def test_hung_cell_trips_the_timeout_watchdog(self, spec, tmp_path, chaos):
+        # The worker hangs but keeps heartbeating: only the per-cell
+        # timeout (not lease expiry) can catch this.
+        chaos({"0": {"hang": [1]}})
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            spec,
+            tmp_path / "camp",
+            store=store,
+            config=fast_config(cell_timeout_seconds=1.0),
+            spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        assert result.landed == N_CELLS
+        assert result.timeouts >= 1
+        assert result.lease_expiries == 0
+
+    def test_campaign_store_serves_serial_require_cached_rerun(
+        self, spec, tmp_path, chaos
+    ):
+        chaos({"3": {"exit": [1]}})
+        store_root = tmp_path / "store"
+        result = run_campaign(
+            spec, tmp_path / "camp", store=ResultStore(store_root),
+            config=fast_config(), spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        rerun_store = ResultStore(store_root)
+        run_spec(spec, store=rerun_store)
+        assert rerun_store.stats.hits == N_CELLS
+        assert rerun_store.stats.misses == 0
+
+
+# ---------------------------------------------------------------------- #
+# Quarantine and degraded completion
+# ---------------------------------------------------------------------- #
+class TestQuarantine:
+    def test_poisoned_cell_degrades_loudly_instead_of_sinking_the_campaign(
+        self, spec, tmp_path, chaos
+    ):
+        chaos({"1": {"fail": "always"}})
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            spec,
+            tmp_path / "camp",
+            store=store,
+            config=fast_config(retry_budget=2),
+            spec_data=SPEC_DATA,
+        )
+        assert result.degraded and not result.ok
+        assert result.landed == N_CELLS - 1
+        assert [q.index for q in result.quarantined] == [1]
+        quarantined = result.quarantined[0]
+        assert quarantined.attempts == 2
+        assert "chaos: injected failure" in quarantined.error
+        report = result.failure_report()
+        assert "DEGRADED" in report
+        assert quarantined.key in report
+        assert "--retry-quarantined" in report
+        # Degraded completion still completes: pointer released, journal
+        # carries the complete record.
+        assert list(store.campaigns_dir.glob("*.journal")) == []
+        assert campaign_status(tmp_path / "camp")["complete"]
+
+    def test_retry_quarantined_recomputes_only_the_quarantined_cell(
+        self, spec, tmp_path, chaos, monkeypatch
+    ):
+        chaos({"1": {"fail": "always"}})
+        store = ResultStore(tmp_path / "store")
+        run_campaign(
+            spec,
+            tmp_path / "camp",
+            store=store,
+            config=fast_config(retry_budget=2),
+            spec_data=SPEC_DATA,
+        )
+        # Resuming a degraded-complete campaign without --retry-quarantined
+        # is a pure report: nothing is recomputed.
+        replay = resume_campaign(tmp_path / "camp", store=store)
+        assert replay.degraded
+        assert replay.landed == N_CELLS - 1
+        assert replay.landed_computed == 0
+        # Fix the cause (drop the chaos), then retry the quarantine.
+        monkeypatch.delenv(CHAOS_ENV)
+        fresh = ResultStore(tmp_path / "store")
+        result = resume_campaign(
+            tmp_path / "camp", store=fresh, retry_quarantined=True
+        )
+        assert result.ok
+        assert result.landed == N_CELLS
+        assert result.landed_computed == 1  # only the quarantined cell
+        assert fresh.stats.hits == N_CELLS - 1  # landed cells only verified
+
+
+# ---------------------------------------------------------------------- #
+# Crash-safe resume
+# ---------------------------------------------------------------------- #
+class TestResume:
+    def halted_campaign(self, spec, tmp_path) -> Path:
+        """A campaign whose coordinator 'crashed' after two cells landed."""
+        campaign_dir = tmp_path / "camp"
+        result = run_campaign(
+            spec,
+            campaign_dir,
+            store=ResultStore(tmp_path / "store"),
+            config=fast_config(workers=1, halt_after_landed=2),
+            spec_data=SPEC_DATA,
+        )
+        assert result.halted and not result.ok
+        assert result.landed == 2
+        return campaign_dir
+
+    def test_resume_recomputes_only_cells_that_never_landed(self, spec, tmp_path):
+        campaign_dir = self.halted_campaign(spec, tmp_path)
+        store = ResultStore(tmp_path / "store")
+        # The halt left the journal incomplete and the store keys
+        # gc-protected, exactly like a real coordinator crash.
+        assert not campaign_status(campaign_dir)["complete"]
+        plan = plan_campaign(spec)
+        assert store.protected_keys() == {cell.key for cell in plan.cells}
+        fresh = ResultStore(tmp_path / "store")
+        result = resume_campaign(campaign_dir, store=fresh, workers=2)
+        assert result.ok
+        assert result.resumes == 1
+        assert result.landed == N_CELLS
+        assert result.landed_computed == N_CELLS - 2
+        # The two replayed-landed cells were *verified* against the store
+        # (one hit each), never recomputed.
+        assert fresh.stats.hits == 2
+        assert campaign_status(campaign_dir)["complete"]
+        assert store.protected_keys() == frozenset()
+
+    def test_resume_of_a_complete_campaign_is_a_no_op(self, spec, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_campaign(
+            spec, tmp_path / "camp", store=store, config=fast_config(),
+            spec_data=SPEC_DATA,
+        )
+        result = resume_campaign(tmp_path / "camp", store=store)
+        assert result.ok
+        assert result.landed == N_CELLS
+        assert result.landed_computed == result.landed_from_store == 0
+
+    def test_resume_survives_journal_corruption(self, spec, tmp_path):
+        campaign_dir = self.halted_campaign(spec, tmp_path)
+        journal = campaign_dir / "journal.jsonl"
+        with open(journal, "ab") as handle:
+            handle.write(b'{"type": "landed", "cel\xff\n')  # torn + mangled
+        status = campaign_status(campaign_dir)
+        assert status["corrupt_journal_lines"] == 1
+        assert not status["complete"]
+        result = resume_campaign(campaign_dir, workers=2)
+        assert result.ok
+        assert result.landed == N_CELLS
+
+    def test_resume_refuses_a_changed_spec(self, spec, tmp_path):
+        # Tamper the embedded spec (a science knob, not an override):
+        # the re-derived plan no longer hashes to the journal's campaign
+        # id, and resume must refuse rather than mix results.
+        campaign_dir = self.halted_campaign(spec, tmp_path)
+        journal = campaign_dir / "journal.jsonl"
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["spec_data"]["scenarios"][0]["io_ratio"] = 0.9
+        lines[0] = json.dumps(header, sort_keys=True)
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="identity mismatch"):
+            resume_campaign(campaign_dir)
+
+    def test_resume_needs_the_embedded_spec(self, spec, tmp_path):
+        # Programmatic campaigns that never passed spec_data can be
+        # status'd but not resumed.
+        run_campaign(
+            spec, tmp_path / "camp", store=ResultStore(tmp_path / "store"),
+            config=fast_config(),
+        )
+        with pytest.raises(ValidationError, match="does not embed its spec"):
+            resume_campaign(tmp_path / "camp")
+
+    def test_fresh_run_refuses_an_existing_journal(self, spec, tmp_path):
+        self.halted_campaign(spec, tmp_path)
+        with pytest.raises(ValidationError, match="already holds a campaign journal"):
+            run_campaign(
+                spec, tmp_path / "camp", store=ResultStore(tmp_path / "store"),
+                config=fast_config(), spec_data=SPEC_DATA,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Per-worker stores and merge byte-identity
+# ---------------------------------------------------------------------- #
+class TestWorkerStoresMerge:
+    def test_merged_payloads_byte_identical_to_serial_under_chaos(
+        self, spec, tmp_path, chaos
+    ):
+        # The multi-host mode with faults on top: worker death on one
+        # cell, a raised error on another.  Whatever the fault schedule,
+        # the merged store must serve a serial rerun with 100% hits and
+        # payloads byte-identical to a from-scratch serial run.
+        chaos({"0": {"exit": [1]}, "3": {"fail": [1]}})
+        main_root = tmp_path / "main-store"
+        result = run_campaign(
+            spec,
+            tmp_path / "camp",
+            store=ResultStore(main_root),
+            config=fast_config(worker_stores=True),
+            spec_data=SPEC_DATA,
+        )
+        assert result.ok
+        assert result.worker_deaths >= 1
+        # Only workers that actually landed cells create their store dirs.
+        worker_roots = sorted((tmp_path / "camp" / "stores").iterdir())
+        assert worker_roots
+        report = merge_stores(worker_roots, ResultStore(main_root))
+        assert report.copied + report.verified >= N_CELLS
+        assert report.skipped_corrupt == 0
+
+        serial_store = ResultStore(tmp_path / "serial-store")
+        run_spec(spec, store=serial_store)
+        merged = ResultStore(main_root)
+        for row in plan_campaign(spec).cells:
+            assert canonical_payload(merged, row.key) == canonical_payload(
+                serial_store, row.key
+            )
+        # And the merged store serves the serial runner cold.
+        rerun = ResultStore(main_root)
+        run_spec(spec, store=rerun)
+        assert rerun.stats.misses == 0
+
+
+# ---------------------------------------------------------------------- #
+# CLI surface
+# ---------------------------------------------------------------------- #
+class TestCampaignCLI:
+    @pytest.fixture
+    def tiny_spec(self, tmp_path) -> Path:
+        path = tmp_path / "tiny.toml"
+        path.write_text(TINY_GRID)
+        return path
+
+    def test_campaign_run_then_require_cached_serial_rerun(
+        self, tiny_spec, tmp_path, capsys
+    ):
+        camp = tmp_path / "camp"
+        store = tmp_path / "store"
+        rc = main(
+            ["campaign", "run", str(tiny_spec), "--workers", "2",
+             "--dir", str(camp), "--store", str(store), "--quiet"]
+        )
+        assert rc == 0
+        assert f"{N_CELLS}/{N_CELLS}" in capsys.readouterr().out
+        # The campaign's cells ARE the serial runner's cells: a strict
+        # no-simulation rerun succeeds purely from the store.
+        assert main(
+            ["run", str(tiny_spec), "--store", str(store),
+             "--require-cached", "--quiet"]
+        ) == 0
+
+    def test_campaign_status_json(self, tiny_spec, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        rc = main(
+            ["campaign", "run", str(tiny_spec), "--dir", str(camp),
+             "--store", str(tmp_path / "store"), "--quiet"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", str(camp), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"]
+        assert status["counts"]["landed"] == N_CELLS
+        assert all(cell["state"] == "landed" for cell in status["cells"])
+
+    def test_degraded_campaign_exits_1_and_reports(
+        self, tiny_spec, tmp_path, chaos, capsys
+    ):
+        chaos({"2": {"fail": "always"}})
+        camp = tmp_path / "camp"
+        rc = main(
+            ["campaign", "run", str(tiny_spec), "--dir", str(camp),
+             "--store", str(tmp_path / "store"), "--retry-budget", "2",
+             "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "DEGRADED" in captured.err
+        assert "cell 2" in captured.err
+
+    def test_halted_campaign_resumes_from_the_cli(
+        self, tiny_spec, tmp_path, capsys
+    ):
+        camp = tmp_path / "camp"
+        store = tmp_path / "store"
+        rc = main(
+            ["campaign", "run", str(tiny_spec), "--workers", "1",
+             "--dir", str(camp), "--store", str(store),
+             "--halt-after-landed", "2", "--quiet"]
+        )
+        assert rc == 0
+        assert "resume" in capsys.readouterr().out
+        rc = main(["campaign", "resume", str(camp), "--workers", "2"])
+        assert rc == 0
+        assert f"{N_CELLS}/{N_CELLS}" in capsys.readouterr().out
+
+    def test_non_grid_spec_exits_2(self, tmp_path):
+        rc = main(
+            ["campaign", "run", "examples/specs/figure6.toml",
+             "--dir", str(tmp_path / "camp"),
+             "--store", str(tmp_path / "store"), "--quiet"]
+        )
+        assert rc == 2
+
+    def test_resume_without_a_journal_exits_2(self, tmp_path):
+        assert main(["campaign", "resume", str(tmp_path / "ghost")]) == 2
+
+    def test_status_without_a_journal_exits_2(self, tmp_path):
+        assert main(["campaign", "status", str(tmp_path / "ghost")]) == 2

@@ -146,7 +146,35 @@ class TestWorkerDeath:
             # The broken pool was discarded; the results are still complete
             # and in submission order.
             assert out == [x * x for x in items]
-            assert pool._pool is None
+            assert pool.stats.worker_deaths >= 1
+
+    def test_poisoned_cell_mid_chunk_is_isolated(self):
+        # Regression for the per-cell recovery: item 3 reliably kills any
+        # worker process that hosts it, poisoning whatever chunk it rides
+        # in.  Recovery must (a) retry the chunk's innocent cells on a
+        # fresh pool instead of rerunning the whole chunk serially, (b)
+        # run only the poisoned cell inline, and (c) leave a usable pool
+        # behind for the cells queued after the poison.  20 items across 2
+        # workers yields 8 chunks of 2-3 cells, so the poison has innocent
+        # chunk-mates (8 items would chunk 1:1 and sidestep the scenario).
+        items = list(range(20))
+        with ExperimentExecutor(workers=2) as pool:
+            out = pool.map(_square_or_die, items)
+            assert out == [x * x for x in items]
+            stats = pool.stats
+            # The original death, plus the poisoned cell's own retry death.
+            assert stats.worker_deaths >= 2
+            # Innocent chunk-mates were resubmitted as single cells.
+            assert stats.cell_retries >= 1
+            # Exactly the poisoned cell fell back to inline execution.
+            assert stats.inline_recoveries == 1
+            assert stats.as_dict() == {
+                "worker_deaths": stats.worker_deaths,
+                "cell_retries": stats.cell_retries,
+                "inline_recoveries": stats.inline_recoveries,
+            }
+            # Later maps reuse a healthy pool as if nothing happened.
+            assert pool.map(_square, [9, 10]) == [81, 100]
 
     def test_map_survives_worker_death_with_shared_payload(self):
         items = list(range(8))

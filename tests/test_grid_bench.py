@@ -10,6 +10,7 @@ from repro.config.loader import load_spec
 from repro.config.spec import AnalysisSpec, PeriodicSpec
 from repro.experiments.grid_bench import (
     DEFAULT_BENCH_SPECS,
+    DEFAULT_CAMPAIGN_SPEC,
     bench_spec_path,
     grid_bench_broken,
     measure_period_sweep,
@@ -82,6 +83,13 @@ class TestGridBenchPayload:
             assert 0 < s["n_builds_warm"] <= s["n_sweep_points"]
             assert s["naive"]["sweep_points_per_sec"] > 0
             assert s["warm"]["sweep_points_per_sec"] > 0
+        campaign = payload["campaign"]
+        assert campaign["spec"] == DEFAULT_CAMPAIGN_SPEC
+        assert campaign["identical"] is True
+        assert campaign["n_cells"] > 0
+        assert campaign["serial"]["cells_per_sec"] > 0
+        assert campaign["sharded"]["cells_per_sec"] > 0
+        assert campaign["sharded"]["workers"] >= 2
         assert grid_bench_broken(payload) == []
         json.dumps(payload)  # JSON-serializable as written
 
@@ -91,8 +99,11 @@ class TestGridBenchPayload:
             "period_sweep": {
                 "sweeps": [{"heuristic": "throughput", "identical": False}]
             },
+            "campaign": {"spec": "c", "identical": False},
         }
-        assert grid_bench_broken(payload) == ["a", "period-sweep:throughput"]
+        assert grid_bench_broken(payload) == [
+            "a", "period-sweep:throughput", "campaign:c",
+        ]
 
     def test_sweep_bench_rejects_non_periodic_spec(self):
         with pytest.raises(ValidationError, match="periodic"):

@@ -91,7 +91,7 @@ class TestUnchangedSpec:
         second = run_spec(spec, store=ResultStore(tmp_path))
         assert second.store_stats == {
             "hits": 2, "misses": 0, "writes": 0, "corrupt": 0,
-            "write_errors": 0, "hit_rate": 1.0,
+            "collisions": 0, "write_errors": 0, "hit_rate": 1.0,
         }
         assert _payload_bytes(second) == _payload_bytes(first)
         assert second.text == first.text

@@ -1,0 +1,260 @@
+"""Process-concurrency and campaign-safety semantics of the result store.
+
+Campaigns (:mod:`repro.campaign`) point many worker *processes* at one
+store — or merge many per-worker stores into one — so the store's
+single-process guarantees must hold under real multi-process contention:
+
+* concurrent writers racing on overlapping keys never corrupt an entry
+  (atomic temp-sibling + ``os.replace`` writes, collision-verified puts);
+* a write interrupted between temp-file creation and ``os.replace``
+  leaves only an orphan temp sibling, which readers never confuse for an
+  entry;
+* ``merge_stores`` verifies key collisions byte-for-byte and refuses —
+  loudly — to pick a winner between diverging payloads;
+* ``gc`` never evicts a cell an active campaign journal still references.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.store import (
+    ResultStore,
+    StoreCollisionError,
+    StoreMergeError,
+    digest,
+    merge_stores,
+)
+
+KEYS = [digest("store-concurrency-test", i) for i in range(20)]
+
+
+def payload_for(key: str) -> dict:
+    """Deterministic payload per key — what every honest producer writes."""
+    return {"cell": key[:12], "values": [1.5, 2.5], "nested": {"n": len(key)}}
+
+
+def _hammer_store(root: str, keys: list, barrier) -> None:
+    """Worker entry point: put every key, racing the sibling processes."""
+    store = ResultStore(root)
+    barrier.wait()  # maximize overlap
+    for key in keys:
+        store.put(key, payload_for(key))
+
+
+class TestConcurrentWriters:
+    def test_overlapping_multiprocess_writers_never_corrupt(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(4)
+        workers = [
+            ctx.Process(target=_hammer_store, args=(str(tmp_path), KEYS, barrier))
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0  # a collision mismatch would raise
+        store = ResultStore(tmp_path)
+        for key in KEYS:
+            assert store.get(key) == payload_for(key)
+        assert store.stats.corrupt == 0
+        assert store.info()["entries"] == len(KEYS)
+
+    def test_identical_reput_is_verified_not_rewritten(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = store.put(KEYS[0], payload_for(KEYS[0]))
+        second = store.put(KEYS[0], payload_for(KEYS[0]))
+        assert first == second
+        assert store.stats.writes == 1
+        assert store.stats.collisions == 1
+
+    def test_diverging_payload_raises_instead_of_picking_a_winner(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEYS[0], payload_for(KEYS[0]))
+        with pytest.raises(StoreCollisionError, match="different payload"):
+            store.put(KEYS[0], {"rogue": True})
+        # The original entry is untouched by the refused write.
+        assert store.get(KEYS[0]) == payload_for(KEYS[0])
+
+
+class TestInterruptedWrites:
+    def test_orphan_temp_siblings_are_invisible_to_readers(self, tmp_path):
+        # Simulate a writer killed between mkstemp and os.replace: the
+        # temp sibling survives but the entry was never (re)placed.
+        store = ResultStore(tmp_path)
+        store.put(KEYS[0], payload_for(KEYS[0]))
+        entry_dir = tmp_path / "v1" / KEYS[0][:2]
+        (entry_dir / f".{KEYS[0]}.json.abc123.tmp").write_bytes(b'{"torn')
+        ghost_dir = tmp_path / "v1" / KEYS[1][:2]
+        ghost_dir.mkdir(parents=True, exist_ok=True)
+        (ghost_dir / f".{KEYS[1]}.json.def456.tmp").write_bytes(b"partial")
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(KEYS[0]) == payload_for(KEYS[0])  # entry intact
+        assert fresh.get(KEYS[1]) is None  # never replaced -> plain miss
+        assert fresh.stats.corrupt == 0
+        assert fresh.info()["entries"] == 1  # temp files are not entries
+
+    def test_corrupt_entry_is_evicted_and_recomputable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(KEYS[0], payload_for(KEYS[0]))
+        path.write_bytes(b'{"key": "truncated')
+        assert store.get(KEYS[0]) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()  # evicted, not left to fail forever
+        # The recompute-and-reput path is clean.
+        assert store.put(KEYS[0], payload_for(KEYS[0])) is not None
+        assert store.get(KEYS[0]) == payload_for(KEYS[0])
+
+    def test_entry_under_the_wrong_filename_reads_as_corrupt(self, tmp_path):
+        # An entry whose recorded key disagrees with its filename (e.g. a
+        # botched manual copy between stores) must not serve the wrong
+        # payload.
+        store = ResultStore(tmp_path)
+        source = store.put(KEYS[0], payload_for(KEYS[0]))
+        target_dir = tmp_path / "v1" / KEYS[2][:2]
+        target_dir.mkdir(parents=True, exist_ok=True)
+        (target_dir / f"{KEYS[2]}.json").write_bytes(source.read_bytes())
+        assert store.get(KEYS[2]) is None
+        assert store.stats.corrupt == 1
+
+
+class TestMerge:
+    def fill(self, root: Path, keys) -> ResultStore:
+        store = ResultStore(root)
+        for key in keys:
+            store.put(key, payload_for(key))
+        return store
+
+    def test_union_of_disjoint_worker_stores(self, tmp_path):
+        self.fill(tmp_path / "w0", KEYS[:3])
+        self.fill(tmp_path / "w1", KEYS[3:5])
+        dest = ResultStore(tmp_path / "main")
+        report = merge_stores([tmp_path / "w0", tmp_path / "w1"], dest)
+        assert report.copied == 5
+        assert report.verified == 0
+        assert report.skipped_corrupt == 0
+        for key in KEYS[:5]:
+            assert dest.get(key) == payload_for(key)
+
+    def test_overlapping_identical_keys_are_verified(self, tmp_path):
+        # Two workers raced on the same cell (a re-queued lease): both
+        # stores hold it, byte-identically.
+        self.fill(tmp_path / "w0", KEYS[:3])
+        self.fill(tmp_path / "w1", KEYS[1:4])
+        dest = self.fill(tmp_path / "main", KEYS[:1])
+        report = merge_stores([tmp_path / "w0", tmp_path / "w1"], dest)
+        assert report.copied == 3  # KEYS[1:4] minus overlaps, plus w0's new
+        assert report.verified == 3  # KEYS[0] vs dest, KEYS[1:3] vs w0's copies
+        assert dest.info()["entries"] == 4
+
+    def test_diverging_payloads_refuse_to_merge(self, tmp_path):
+        self.fill(tmp_path / "w0", KEYS[:2])
+        rogue = ResultStore(tmp_path / "w1")
+        rogue.put(KEYS[0], {"rogue": True})
+        dest = ResultStore(tmp_path / "main")
+        with pytest.raises(StoreMergeError):
+            merge_stores([tmp_path / "w0", tmp_path / "w1"], dest)
+
+    def test_corrupt_source_entries_are_skipped_and_counted(self, tmp_path):
+        source = self.fill(tmp_path / "w0", KEYS[:3])
+        victim = source._entry_path(KEYS[1])
+        victim.write_bytes(b"\x00 not json")
+        report = merge_stores([tmp_path / "w0"], ResultStore(tmp_path / "main"))
+        assert report.copied == 2
+        assert report.skipped_corrupt == 1
+
+    def test_missing_source_root_is_an_empty_store(self, tmp_path):
+        # A campaign worker that never landed a cell never created its
+        # store directory; merging the glob must not die on that.
+        self.fill(tmp_path / "w0", KEYS[:2])
+        report = merge_stores(
+            [tmp_path / "w0", tmp_path / "never-created"],
+            ResultStore(tmp_path / "main"),
+        )
+        assert report.copied == 2
+
+    def test_cli_merge_and_mismatch_exit_codes(self, tmp_path, capsys):
+        self.fill(tmp_path / "w0", KEYS[:3])
+        self.fill(tmp_path / "w1", KEYS[2:5])
+        rc = main(
+            ["store", "merge", str(tmp_path / "w0"), str(tmp_path / "w1"),
+             "--store", str(tmp_path / "main")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "5 copied" in out
+        assert "1 verified identical" in out
+        rogue = ResultStore(tmp_path / "rogue")
+        rogue.put(KEYS[0], {"rogue": True})
+        assert main(
+            ["store", "merge", str(tmp_path / "rogue"),
+             "--store", str(tmp_path / "main")]
+        ) == 2
+
+
+class TestGcCampaignProtection:
+    def register_campaign(self, store: ResultStore, keys, *, complete=False) -> Path:
+        """Fake the coordinator's journal + pointer registration."""
+        journal = store.root / "camp" / "journal.jsonl"
+        journal.parent.mkdir(parents=True, exist_ok=True)
+        records = [
+            {"type": "campaign", "id": "cafe0123", "n_cells": len(keys),
+             "cells": [{"index": i, "key": k} for i, k in enumerate(keys)]},
+        ]
+        if complete:
+            records.append({"type": "complete", "landed": len(keys)})
+        journal.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        store.campaigns_dir.mkdir(parents=True, exist_ok=True)
+        pointer = store.campaigns_dir / "cafe0123.journal"
+        pointer.write_text(str(journal))
+        return pointer
+
+    def test_gc_never_evicts_journal_referenced_cells(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for key in KEYS[:6]:
+            store.put(key, payload_for(key))
+        protected = KEYS[:2]
+        self.register_campaign(store, protected)
+        assert store.protected_keys() == frozenset(protected)
+        removed = store.gc(max_entries=0)
+        # Everything evictable went; the campaign's cells survived the
+        # over-budget trim.
+        assert removed == 4
+        for key in protected:
+            assert store.get(key) == payload_for(key)
+
+    def test_complete_campaign_releases_its_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for key in KEYS[:2]:
+            store.put(key, payload_for(key))
+        pointer = self.register_campaign(store, KEYS[:2], complete=True)
+        assert store.protected_keys() == frozenset()
+        assert not pointer.exists()  # stale pointer lazily cleaned
+        assert store.gc(max_entries=0) == 2
+
+    def test_vanished_journal_releases_its_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEYS[0], payload_for(KEYS[0]))
+        pointer = self.register_campaign(store, KEYS[:1])
+        (store.root / "camp" / "journal.jsonl").unlink()
+        assert store.protected_keys() == frozenset()
+        assert not pointer.exists()
+
+    def test_cli_gc_respects_protection(self, tmp_path, capsys):
+        store = ResultStore(tmp_path)
+        for key in KEYS[:4]:
+            store.put(key, payload_for(key))
+        self.register_campaign(store, KEYS[:1])
+        rc = main(["store", "gc", "--max-entries", "0",
+                   "--store", str(tmp_path)])
+        assert rc == 0
+        assert "evicted 3" in capsys.readouterr().out
+        assert ResultStore(tmp_path).get(KEYS[0]) == payload_for(KEYS[0])
