@@ -59,12 +59,21 @@ from repro.campaign.model import (
 from repro.campaign.plan import CampaignPlan, plan_campaign
 from repro.campaign.worker import campaign_worker_main
 from repro.config.spec import ExperimentSpec, parse_spec
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.store import ResultStore, default_store_path
 from repro.utils.validation import ValidationError
 
 __all__ = ["campaign_status", "resume_campaign", "run_campaign"]
 
 Progress = Optional[Callable[[str], None]]
+
+#: Campaign lifecycle events land here when the CLI enabled telemetry
+#: (``--metrics``/``--trace``); no-ops otherwise.
+_OBS = _obs_recorder()
+
+#: ``on_event(event, **fields)`` — the progress-event hook
+#: (:class:`repro.obs.log.ProgressWebhook` or any callable with that shape).
+EventHook = Optional[Callable[..., None]]
 
 
 @dataclass
@@ -132,6 +141,7 @@ class CampaignCoordinator:
         journal: CampaignJournal,
         *,
         progress: Progress = None,
+        on_event: EventHook = None,
     ):
         self.plan = plan
         self.config = config
@@ -139,6 +149,7 @@ class CampaignCoordinator:
         self.store = store
         self.journal = journal
         self._progress_fn = progress
+        self._on_event = on_event
         self._mp = _mp_context()
         # Cell state: a cell is in exactly one of pending / leased /
         # landed / quarantined.  Pending maps to the monotonic instant the
@@ -167,6 +178,15 @@ class CampaignCoordinator:
     def _progress(self, message: str) -> None:
         if self._progress_fn is not None:
             self._progress_fn(message)
+
+    def _emit(self, event: str, **fields: object) -> None:
+        """Fire the progress-event hook; a broken sink never stalls cells."""
+        if self._on_event is None:
+            return
+        try:
+            self._on_event(event, **fields)
+        except Exception:
+            pass
 
     def _landed_total(self) -> int:
         return len(self._landed)
@@ -323,6 +343,18 @@ class CampaignCoordinator:
             self.landed_from_store += 1
         else:
             self.landed_computed += 1
+        _OBS.count("repro_campaign_landed_total", source=source)
+        _OBS.gauge_set("repro_campaign_cells_landed", float(self._landed_total()))
+        self._emit(
+            "cell-landed",
+            cell=cell.index,
+            scenario=cell.scenario_label,
+            scheduler=cell.scheduler_label,
+            source=source,
+            worker=worker,
+            landed=self._landed_total(),
+            n_cells=len(self.plan.cells),
+        )
         self._progress(
             f"landed {self._landed_total()}/{len(self.plan.cells)} "
             f"({cell.scenario_label} x {cell.scheduler_label}, {source})"
@@ -353,11 +385,21 @@ class CampaignCoordinator:
             }
         )
         cell = self.plan.cells[cell_index]
+        _OBS.count("repro_campaign_cell_failures_total", kind=kind)
         if quarantine:
             self.journal.append(
                 {"type": "quarantined", "cell": cell_index, "attempts": attempts, "error": error}
             )
             self._quarantined[cell_index] = (attempts, error)
+            _OBS.count("repro_campaign_quarantined_total")
+            self._emit(
+                "cell-quarantined",
+                cell=cell_index,
+                scenario=cell.scenario_label,
+                scheduler=cell.scheduler_label,
+                attempts=attempts,
+                error=error,
+            )
             self._progress(
                 f"QUARANTINED cell {cell_index} ({cell.scenario_label} x "
                 f"{cell.scheduler_label}) after {attempts} attempt(s): {error}"
@@ -366,6 +408,17 @@ class CampaignCoordinator:
             assert retry_in is not None
             self._pending[cell_index] = time.monotonic() + retry_in
             self.retries += 1
+            _OBS.count("repro_campaign_retries_total", kind=kind)
+            self._emit(
+                "cell-failed",
+                cell=cell_index,
+                scenario=cell.scenario_label,
+                scheduler=cell.scheduler_label,
+                attempt=attempt,
+                kind=kind,
+                error=error,
+                retry_in=retry_in,
+            )
             self._progress(
                 f"cell {cell_index} attempt {attempt} failed ({kind}): {error} "
                 f"— retry in {retry_in:.2f}s"
@@ -410,6 +463,13 @@ class CampaignCoordinator:
                     # Startup failure: the process is about to exit on its
                     # own; replace it through the normal casualty path.
                     self.worker_deaths += 1
+                    _OBS.count("repro_campaign_worker_deaths_total", kind="fatal")
+                    self._emit(
+                        "worker-death",
+                        worker=worker.worker_id,
+                        kind="fatal",
+                        error=str(record.get("error", "")),
+                    )
                     self._progress(
                         f"worker {worker.worker_id} fatal: {record.get('error')}"
                     )
@@ -422,6 +482,13 @@ class CampaignCoordinator:
         for worker in list(self._workers):
             if not worker.process.is_alive():
                 self.worker_deaths += 1
+                _OBS.count("repro_campaign_worker_deaths_total", kind="died")
+                self._emit(
+                    "worker-death",
+                    worker=worker.worker_id,
+                    kind="died",
+                    exitcode=worker.process.exitcode,
+                )
                 if worker.lease is not None:
                     lease = worker.lease
                     worker.lease = None
@@ -440,6 +507,7 @@ class CampaignCoordinator:
                 timeout = self.config.cell_timeout(cell.estimate_seconds)
                 if now - worker.lease.started > timeout:
                     self.timeouts += 1
+                    _OBS.count("repro_campaign_timeouts_total")
                     lease = worker.lease
                     worker.lease = None
                     self._fail_cell(
@@ -455,6 +523,7 @@ class CampaignCoordinator:
             if now - worker.last_seen > self.config.lease_seconds:
                 if worker.lease is not None:
                     self.lease_expiries += 1
+                    _OBS.count("repro_campaign_lease_expiries_total")
                     lease = worker.lease
                     worker.lease = None
                     self._fail_cell(
@@ -507,6 +576,13 @@ class CampaignCoordinator:
                 worker.lease = _Lease(cell=cell_index, attempt=attempt, seq=self._seq)
                 del self._pending[cell_index]
                 self._leased.add(cell_index)
+                _OBS.count("repro_campaign_leases_total")
+                self._emit(
+                    "cell-leased",
+                    cell=cell_index,
+                    worker=worker.worker_id,
+                    attempt=attempt,
+                )
                 leased = True
 
     def _degrade_no_workers(self) -> None:
@@ -542,6 +618,13 @@ class CampaignCoordinator:
 
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
+        self._emit(
+            "campaign-start",
+            campaign=self.plan.campaign_id,
+            n_cells=len(self.plan.cells),
+            workers=self.config.workers,
+            resumed=self.resumes > 0,
+        )
         try:
             for i in range(self.config.workers):
                 self._spawn(f"w{i}")
@@ -573,7 +656,19 @@ class CampaignCoordinator:
                 }
             )
             _unregister_pointer(self.store, self.plan.campaign_id)
-        return self.result()
+        outcome = self.result()
+        self._emit(
+            "campaign-complete",
+            campaign=outcome.campaign_id,
+            landed=outcome.landed,
+            n_cells=outcome.n_cells,
+            quarantined=len(outcome.quarantined),
+            retries=outcome.retries,
+            worker_deaths=outcome.worker_deaths,
+            degraded=outcome.degraded,
+            halted=outcome.halted,
+        )
+        return outcome
 
     def result(self) -> CampaignResult:
         quarantined = tuple(
@@ -614,6 +709,7 @@ def run_campaign(
     config: Optional[CampaignConfig] = None,
     spec_data: Optional[dict] = None,
     progress: Progress = None,
+    on_event: EventHook = None,
 ) -> CampaignResult:
     """Start a fresh campaign in ``campaign_dir``.
 
@@ -656,7 +752,8 @@ def run_campaign(
         )
         _register_pointer(result_store, plan.campaign_id, journal_path)
         coordinator = CampaignCoordinator(
-            plan, config, campaign_dir, result_store, journal, progress=progress
+            plan, config, campaign_dir, result_store, journal,
+            progress=progress, on_event=on_event,
         )
         coordinator.seed_fresh()
         return coordinator.run()
@@ -668,6 +765,7 @@ def resume_campaign(
     store: Union[ResultStore, str, Path, None] = None,
     workers: Optional[int] = None,
     progress: Progress = None,
+    on_event: EventHook = None,
     retry_quarantined: bool = False,
     halt_after_landed: Optional[int] = None,
 ) -> CampaignResult:
@@ -748,11 +846,75 @@ def resume_campaign(
         journal.append({"type": "resume"})
         _register_pointer(result_store, plan.campaign_id, journal_path)
         coordinator = CampaignCoordinator(
-            plan, config, campaign_dir, result_store, journal, progress=progress
+            plan, config, campaign_dir, result_store, journal,
+            progress=progress, on_event=on_event,
         )
         coordinator.resumes = state.resumes + 1
         coordinator.seed_resume(state, retry_quarantined=retry_quarantined)
         return coordinator.run()
+
+
+def _worker_heartbeats(campaign_dir: Path, *, now: Optional[float] = None) -> list[dict]:
+    """Per-worker liveness rows scanned from the outbox mailboxes.
+
+    Only the latest generation of each worker counts (a respawned worker
+    gets a fresh mailbox pair, so earlier generations are dead history).
+    Heartbeat *age* is ``now − t`` with ``t`` the wall-clock stamp the
+    worker wrote — the mailbox file's mtime is useless here, because
+    ``done``/``error`` records also touch the file.  Cells/sec divides the
+    snapshot's ``cells_done`` by its ``elapsed_seconds``, both measured by
+    the worker itself, so a status read seconds later cannot skew the rate.
+    """
+    mail = campaign_dir / "mail"
+    if not mail.is_dir():
+        return []
+    latest: dict[str, tuple[int, Path]] = {}
+    for path in sorted(mail.glob("*.out.jsonl")):
+        stem = path.name[: -len(".out.jsonl")]
+        worker_id, sep, generation_text = stem.rpartition(".g")
+        if not sep or not worker_id:
+            continue
+        try:
+            generation = int(generation_text)
+        except ValueError:
+            continue
+        if worker_id not in latest or generation > latest[worker_id][0]:
+            latest[worker_id] = (generation, path)
+    if now is None:
+        now = time.time()
+    rows: list[dict] = []
+    for worker_id, (generation, path) in sorted(latest.items()):
+        last_beat: Optional[float] = None
+        metrics: dict = {}
+        for record in MailboxReader(path).poll():
+            t = record.get("t")
+            if isinstance(t, (int, float)) and not isinstance(t, bool):
+                last_beat = float(t)
+                snapshot = record.get("metrics")
+                if isinstance(snapshot, dict):
+                    metrics = snapshot
+        cells_done = metrics.get("cells_done")
+        elapsed = metrics.get("elapsed_seconds")
+        rate: Optional[float] = None
+        if (
+            isinstance(cells_done, (int, float))
+            and isinstance(elapsed, (int, float))
+            and elapsed > 0
+        ):
+            rate = float(cells_done) / float(elapsed)
+        rows.append(
+            {
+                "worker": worker_id,
+                "generation": generation,
+                "heartbeat_age_seconds": (
+                    max(0.0, now - last_beat) if last_beat is not None else None
+                ),
+                "cells_done": cells_done,
+                "cells_failed": metrics.get("cells_failed"),
+                "cells_per_second": rate,
+            }
+        )
+    return rows
 
 
 def campaign_status(campaign_dir: Union[str, Path]) -> dict:
@@ -760,7 +922,10 @@ def campaign_status(campaign_dir: Union[str, Path]) -> dict:
 
     Pure journal read — needs neither the producing code of the cells nor
     any process to be running, so it also works on a campaign directory
-    copied off a crashed host.
+    copied off a crashed host.  The ``workers`` rows add the mailbox-side
+    view: per-worker heartbeat age and cells/sec (see
+    :func:`_worker_heartbeats`), live only while worker processes run but
+    still readable afterwards as each worker's final word.
     """
     journal_path = Path(campaign_dir) / "journal.jsonl"
     if not journal_path.exists():
@@ -795,4 +960,5 @@ def campaign_status(campaign_dir: Union[str, Path]) -> dict:
         "corrupt_journal_lines": corrupt,
         "counts": counts,
         "cells": cells,
+        "workers": _worker_heartbeats(Path(campaign_dir)),
     }

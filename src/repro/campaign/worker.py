@@ -12,9 +12,15 @@ matter where in the protocol the worker dies.
 A daemon heartbeat thread writes to the outbox every
 ``heartbeat_seconds`` from the moment the process starts (before the plan
 build, which can take a while on big grids), keeping the coordinator's
-liveness clock fresh.  Any failure mode past that is the coordinator's
-problem by design: crash → process death or lease expiry; hang → cell
-timeout (heartbeats keep flowing); ``kill -9`` → lease expiry.
+liveness clock fresh.  Each heartbeat carries a wall-clock timestamp
+(``t``) plus a small metrics snapshot (cells done/failed, elapsed
+seconds), so ``repro campaign status`` can report per-worker heartbeat
+*age* and cells/sec from the mailbox files alone — no process needed.
+Heartbeats are transient signalling, never part of any payload, so the
+snapshot rides along unconditionally.  Any failure mode past that is the
+coordinator's problem by design: crash → process death or lease expiry;
+hang → cell timeout (heartbeats keep flowing); ``kill -9`` → lease
+expiry.
 
 Chaos hook
 ----------
@@ -101,13 +107,29 @@ def campaign_worker_main(
     outbox = MailboxWriter(outbox_path)
     stop = threading.Event()
     mute = threading.Event()
+    started_wall = time.time()
+    # Plain-int counters shared with the heartbeat thread: individual reads
+    # and writes are atomic under the GIL, and a snapshot one beat stale is
+    # fine for a liveness signal.
+    stats = {"cells_done": 0, "cells_failed": 0}
 
     def _beat() -> None:
         while not stop.wait(config.heartbeat_seconds):
             if mute.is_set():
                 continue
+            now = time.time()
             try:
-                outbox.send({"type": "heartbeat"})
+                outbox.send(
+                    {
+                        "type": "heartbeat",
+                        "t": now,
+                        "metrics": {
+                            "cells_done": stats["cells_done"],
+                            "cells_failed": stats["cells_failed"],
+                            "elapsed_seconds": now - started_wall,
+                        },
+                    }
+                )
             except (OSError, ValueError):
                 return
 
@@ -148,8 +170,10 @@ def campaign_worker_main(
                     # Store before ack: journal "landed" must imply the
                     # entry is durably readable, whatever kills us next.
                     store.put(cell.key, encode_case_result(result))
+                    stats["cells_done"] += 1
                     outbox.send({"type": "done", **ack})
                 except Exception as exc:
+                    stats["cells_failed"] += 1
                     outbox.send(
                         {"type": "error", **ack, "error": f"{type(exc).__name__}: {exc}"}
                     )

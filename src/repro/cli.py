@@ -7,7 +7,9 @@ Nine subcommands cover the whole surface:
   results are memoized in the content-addressed result store
   (``--no-cache`` / ``--store PATH``; see ``docs/artifacts.md``), so
   reruns of unchanged specs execute zero simulations and interrupted
-  campaigns resume from the cells that already landed;
+  campaigns resume from the cells that already landed; ``--trace`` /
+  ``--metrics`` / ``--profile`` / ``--webhook`` attach the
+  determinism-safe telemetry sinks (``docs/observability.md``);
 * ``repro campaign run|status|resume`` — shard a grid spec's cells across
   fault-tolerant worker processes with a crash-safe journal: leases with
   deadlines, retry/backoff, per-cell timeouts, quarantine, and
@@ -36,11 +38,12 @@ without installation as ``PYTHONPATH=src python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro import __version__
 from repro.config import (
@@ -81,6 +84,106 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
             "result-store location (default: $REPRO_STORE or ~/.cache/repro)"
         ),
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared telemetry knobs of ``run`` and ``campaign run/resume``.
+
+    All four are pure observers: enabling any of them never changes
+    payloads, store keys or exit codes (see docs/observability.md).
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome-trace-event JSON timeline (spans for build/"
+            "run/report stages, cells and store accesses; load in "
+            "chrome://tracing or Perfetto)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write metric snapshots as JSON lines (one per completed stage "
+            "+ a final one) plus a Prometheus text sibling FILE.prom"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help="cProfile each pipeline stage into DIR/NN-<stage>.prof",
+    )
+    parser.add_argument(
+        "--webhook",
+        default=None,
+        metavar="TARGET",
+        help=(
+            "send progress events (repro-progress/1 JSON) to TARGET: an "
+            "http(s):// URL (POSTed, fail-soft) or a file path (appended "
+            "as JSON lines)"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def _obs_session(args: argparse.Namespace) -> Iterator[None]:
+    """Enable the telemetry recorder for one command, flush sinks at exit.
+
+    With none of ``--trace``/``--metrics``/``--profile`` given, the
+    recorder stays disabled and every instrumentation site in the pipeline
+    remains a no-op branch.  Artefacts are flushed in ``finally`` so a
+    crashed run still leaves a well-formed trace/metrics file of
+    everything recorded up to the failure.
+    """
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    profile = getattr(args, "profile", None)
+    if trace is None and metrics is None and profile is None:
+        yield
+        return
+    from repro.obs.metrics import MetricsWriter, write_prometheus
+    from repro.obs.telemetry import recorder
+    from repro.obs.trace import write_trace
+
+    rec = recorder()
+    rec.reset()
+    rec.enable()
+    writer: Optional[MetricsWriter] = None
+    if metrics is not None:
+        writer = MetricsWriter(metrics)
+        rec.install_stage_hook(
+            lambda stage: writer.write_snapshot(rec, reason=f"stage:{stage}")
+        )
+    if profile is not None:
+        from repro.obs.profile import StageProfiler
+
+        rec.install_profiler(StageProfiler(profile))
+    try:
+        yield
+    finally:
+        try:
+            if trace is not None:
+                write_trace(trace, rec)
+            if writer is not None:
+                writer.write_snapshot(rec, reason="final")
+                write_prometheus(f"{metrics}.prom", rec)
+        finally:
+            rec.disable()
+
+
+def _open_webhook(args: argparse.Namespace):
+    """The ``--webhook`` progress-event sink, or ``None``."""
+    target = getattr(args, "webhook", None)
+    if target is None:
+        return None
+    from repro.obs.log import ProgressWebhook
+    from repro.obs.telemetry import recorder
+
+    return ProgressWebhook(target, recorder=recorder())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_store_arguments(run)
+    _add_obs_arguments(run)
     run.add_argument(
         "--require-cached",
         action="store_true",
@@ -254,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the result tables after a clean shared-store campaign",
     )
+    _add_obs_arguments(camp_run)
     # Testing/CI knobs, deliberately undocumented.
     camp_run.add_argument(
         "--halt-after-landed", type=int, default=None, help=argparse.SUPPRESS
@@ -305,6 +410,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="stream per-cell campaign events to stderr",
     )
+    _add_obs_arguments(camp_resume)
     camp_resume.add_argument(
         "--halt-after-landed", type=int, default=None, help=argparse.SUPPRESS
     )
@@ -613,8 +719,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
             except OSError:
                 pass
 
+    webhook = _open_webhook(args)
+    if webhook is not None:
+        inner_progress = progress
+
+        def progress(message: str) -> None:  # noqa: F811 — deliberate wrap
+            webhook.emit("progress", message=message, spec=spec.name)
+            if inner_progress is not None:
+                inner_progress(message)
+
     store = _open_store(args)
-    result = run_spec(spec, progress=progress, store=store)
+    with _obs_session(args):
+        if webhook is not None:
+            webhook.emit("run-start", spec=spec.name, kind=spec.kind)
+        result = run_spec(spec, progress=progress, store=store)
+        if webhook is not None:
+            webhook.emit(
+                "run-complete", spec=spec.name, n_cells=len(result.records)
+            )
     if args.require_cached:
         misses = result.store_stats["misses"] if store is not None else None
         if store is None or misses:
@@ -705,17 +827,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     f"  quarantined cell {cell['index']} ({cell['scenario']} x "
                     f"{cell['scheduler']}): {cell.get('error', 'unknown error')}"
                 )
+        for worker in status["workers"]:
+            age = worker["heartbeat_age_seconds"]
+            age_text = f"{age:.1f}s ago" if age is not None else "never"
+            done = worker["cells_done"]
+            done_text = f"{done} cell(s) done" if done is not None else "no metrics"
+            rate = worker["cells_per_second"]
+            rate_text = f", {rate:.2f} cells/s" if rate is not None else ""
+            print(
+                f"  worker {worker['worker']} (gen {worker['generation']}): "
+                f"heartbeat {age_text}, {done_text}{rate_text}"
+            )
         return 0
 
     if args.campaign_command == "resume":
-        result = resume_campaign(
-            args.campaign_dir,
-            store=args.store,
-            workers=args.workers,
-            progress=_stderr_progress(args.progress),
-            retry_quarantined=args.retry_quarantined,
-            halt_after_landed=args.halt_after_landed,
-        )
+        webhook = _open_webhook(args)
+        with _obs_session(args):
+            result = resume_campaign(
+                args.campaign_dir,
+                store=args.store,
+                workers=args.workers,
+                progress=_stderr_progress(args.progress),
+                on_event=webhook.emit if webhook is not None else None,
+                retry_quarantined=args.retry_quarantined,
+                halt_after_landed=args.halt_after_landed,
+            )
         _print_campaign_result(result)
         if result.halted:
             print(f"halted; resume with: repro campaign resume {args.campaign_dir}")
@@ -748,14 +884,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         else Path("campaigns") / spec.name
     )
     store = ResultStore(args.store)
-    result = run_campaign(
-        spec,
-        campaign_dir,
-        store=store,
-        config=config,
-        spec_data=spec_data,
-        progress=_stderr_progress(args.progress),
-    )
+    webhook = _open_webhook(args)
+    with _obs_session(args):
+        result = run_campaign(
+            spec,
+            campaign_dir,
+            store=store,
+            config=config,
+            spec_data=spec_data,
+            progress=_stderr_progress(args.progress),
+            on_event=webhook.emit if webhook is not None else None,
+        )
     _print_campaign_result(result)
     if result.halted:
         print(f"halted; resume with: repro campaign resume {campaign_dir}")

@@ -59,6 +59,7 @@ from repro.experiments.reporting import (
 )
 from repro.experiments.runner import ExperimentExecutor, SchedulerCase, run_grid
 from repro.experiments.vesta import vesta_experiment
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.periodic.period_search import search_period
 from repro.store import (
     ResultStore,
@@ -71,6 +72,13 @@ from repro.utils.rng import spawn_rngs
 from repro.workload.darshan import generate_records
 
 __all__ = ["SpecRunResult", "ProgressCallback", "run_spec", "write_result"]
+
+#: Process-wide telemetry funnel.  The ``build`` / ``run`` / ``report``
+#: stage markers below are what ``--trace`` renders as top-level lanes,
+#: what ``--profile DIR`` profiles, and what ``--metrics`` snapshots
+#: after; they are no-ops unless the CLI enabled the recorder and they
+#: never influence payloads (see docs/observability.md).
+_OBS = _obs_recorder()
 
 #: Signature of the optional live-status callback threaded from the CLI
 #: (``repro run --progress``) down to the experiment harnesses: it receives
@@ -131,11 +139,24 @@ def _run_grid_spec(
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
-    scenarios = build_grid_scenarios(body, spec.seed, max_time=spec.max_time)
-    cases = build_cases(body)
-    grid = run_grid(scenarios, cases, max_time=spec.max_time,
-                    progress=progress, executor=executor, store=store,
-                    engine=spec.engine)
+    with _OBS.stage("build", kind=spec.kind):
+        scenarios = build_grid_scenarios(body, spec.seed, max_time=spec.max_time)
+        cases = build_cases(body)
+    with _OBS.stage("run", kind=spec.kind):
+        grid = run_grid(scenarios, cases, max_time=spec.max_time,
+                        progress=progress, executor=executor, store=store,
+                        engine=spec.engine)
+    with _OBS.stage("report", kind=spec.kind):
+        return _grid_spec_report(spec, body, scenarios, grid)
+
+
+def _grid_spec_report(
+    spec: ExperimentSpec,
+    body: GridSpec,
+    scenarios: list[Scenario],
+    grid,
+) -> SpecRunResult:
+    """Assemble the grid payload/records/tables (the ``report`` stage)."""
     records = grid_records(grid)
     averages = grid.averages()
     payload = {
@@ -194,43 +215,32 @@ def _run_figure6_spec(
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
-    platform = build_platform(body.platform) if body.platform is not None else None
+    with _OBS.stage("build", kind=spec.kind):
+        platform = (
+            build_platform(body.platform) if body.platform is not None else None
+        )
     records: list[dict] = []
     panels_payload: dict[str, dict] = {}
     blocks: list[str] = []
-    for i, panel in enumerate(body.panels):
-        result = figure6_experiment(
-            panel,
-            n_repetitions=body.n_repetitions,
-            schedulers=body.schedulers,
-            platform=platform,
-            rng=spec.seed,
-            max_time=spec.max_time,
-            progress=progress,
-            executor=executor,
-            store=store,
-            engine=spec.engine,
-        )
-        if progress is not None:
-            progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
-        averages = {
-            scheduler: {
-                "system_efficiency": avg.system_efficiency,
-                "dilation": avg.dilation,
-                "upper_limit": avg.upper_limit,
-            }
-            for scheduler, avg in result.averages.items()
-        }
-        panels_payload[panel] = averages
-        for scheduler, metrics in averages.items():
-            records.append({"panel": panel, "scheduler": scheduler, **metrics})
-        blocks.append(
-            format_table(
-                _AVERAGES_HEADERS,
-                _averages_rows(averages),
-                title=f"Figure 6 — {panel} ({body.n_repetitions} mixes)",
+    with _OBS.stage("run", kind=spec.kind):
+        for i, panel in enumerate(body.panels):
+            result = figure6_experiment(
+                panel,
+                n_repetitions=body.n_repetitions,
+                schedulers=body.schedulers,
+                platform=platform,
+                rng=spec.seed,
+                max_time=spec.max_time,
+                progress=progress,
+                executor=executor,
+                store=store,
+                engine=spec.engine,
             )
-        )
+            if progress is not None:
+                progress(f"panel {panel}: {i + 1}/{len(body.panels)} done")
+            _figure6_panel_report(
+                body, panel, result, panels_payload, records, blocks
+            )
     payload = {
         "experiment": _spec_echo(spec),
         "n_repetitions": body.n_repetitions,
@@ -242,6 +252,35 @@ def _run_figure6_spec(
     )
 
 
+def _figure6_panel_report(
+    body: Figure6Spec,
+    panel: str,
+    result,
+    panels_payload: dict[str, dict],
+    records: list[dict],
+    blocks: list[str],
+) -> None:
+    """Fold one Figure-6 panel's averages into the spec-level views."""
+    averages = {
+        scheduler: {
+            "system_efficiency": avg.system_efficiency,
+            "dilation": avg.dilation,
+            "upper_limit": avg.upper_limit,
+        }
+        for scheduler, avg in result.averages.items()
+    }
+    panels_payload[panel] = averages
+    for scheduler, metrics in averages.items():
+        records.append({"panel": panel, "scheduler": scheduler, **metrics})
+    blocks.append(
+        format_table(
+            _AVERAGES_HEADERS,
+            _averages_rows(averages),
+            title=f"Figure 6 — {panel} ({body.n_repetitions} mixes)",
+        )
+    )
+
+
 def _run_congested_spec(
     spec: ExperimentSpec,
     body: CongestedMomentsSpec,
@@ -249,39 +288,43 @@ def _run_congested_spec(
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
-    result = congested_moments_experiment(
-        body.machine,
-        n_moments=body.n_moments,
-        schedulers=body.schedulers,
-        rng=spec.seed,
-        priority_only=body.priority_only,
-        max_time=spec.max_time,
-        progress=progress,
-        executor=executor,
-        store=store,
-        engine=spec.engine,
-    )
-    records = grid_records(result.grid)
-    averages = result.grid.averages()
-    payload = {
-        "experiment": _spec_echo(spec),
-        "machine": body.machine,
-        "n_moments": len(result.grid.scenarios()),
-        "baseline": result.baseline_label,
-        "mean_upper_limit": result.mean_upper_limit(),
-        "cells": records,
-        "averages": averages,
-    }
-    text = format_table(
-        _AVERAGES_HEADERS,
-        _averages_rows(averages),
-        title=(
-            f"Congested moments on {body.machine} "
-            f"({len(result.grid.scenarios())} moments; "
-            f"baseline {result.baseline_label} runs with burst buffers)"
-        ),
-    )
-    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+    with _OBS.stage("run", kind=spec.kind):
+        result = congested_moments_experiment(
+            body.machine,
+            n_moments=body.n_moments,
+            schedulers=body.schedulers,
+            rng=spec.seed,
+            priority_only=body.priority_only,
+            max_time=spec.max_time,
+            progress=progress,
+            executor=executor,
+            store=store,
+            engine=spec.engine,
+        )
+    with _OBS.stage("report", kind=spec.kind):
+        records = grid_records(result.grid)
+        averages = result.grid.averages()
+        payload = {
+            "experiment": _spec_echo(spec),
+            "machine": body.machine,
+            "n_moments": len(result.grid.scenarios()),
+            "baseline": result.baseline_label,
+            "mean_upper_limit": result.mean_upper_limit(),
+            "cells": records,
+            "averages": averages,
+        }
+        text = format_table(
+            _AVERAGES_HEADERS,
+            _averages_rows(averages),
+            title=(
+                f"Congested moments on {body.machine} "
+                f"({len(result.grid.scenarios())} moments; "
+                f"baseline {result.baseline_label} runs with burst buffers)"
+            ),
+        )
+        return SpecRunResult(
+            spec=spec, payload=payload, records=records, text=text
+        )
 
 
 def _run_vesta_spec(
@@ -302,43 +345,50 @@ def _run_vesta_spec(
             "overhead-scored on complete runs — remove experiment.max_time "
             "(or the --max-time override)"
         )
-    result = vesta_experiment(
-        scenarios=body.scenarios,
-        configurations=body.configurations,
-        rng=spec.seed,
-        progress=progress,
-        executor=executor,
-        store=store,
-        engine=spec.engine,
-    )
-    records = [
-        {
-            "scenario": case.scenario,
-            "configuration": case.configuration,
-            "system_efficiency": case.summary.system_efficiency,
-            "dilation": case.summary.dilation,
-            "upper_limit": case.summary.upper_limit,
-            "makespan": case.makespan,
+    with _OBS.stage("run", kind=spec.kind):
+        result = vesta_experiment(
+            scenarios=body.scenarios,
+            configurations=body.configurations,
+            rng=spec.seed,
+            progress=progress,
+            executor=executor,
+            store=store,
+            engine=spec.engine,
+        )
+    with _OBS.stage("report", kind=spec.kind):
+        records = [
+            {
+                "scenario": case.scenario,
+                "configuration": case.configuration,
+                "system_efficiency": case.summary.system_efficiency,
+                "dilation": case.summary.dilation,
+                "upper_limit": case.summary.upper_limit,
+                "makespan": case.makespan,
+            }
+            for case in result.cases
+        ]
+        payload = {
+            "experiment": _spec_echo(spec),
+            "scenarios": list(body.scenarios),
+            "configurations": list(body.configurations),
+            "cells": records,
         }
-        for case in result.cases
-    ]
-    payload = {
-        "experiment": _spec_echo(spec),
-        "scenarios": list(body.scenarios),
-        "configurations": list(body.configurations),
-        "cells": records,
-    }
-    rows = [
-        [r["scenario"], r["configuration"], percent(r["system_efficiency"]),
-         ratio(r["dilation"])]
-        for r in records
-    ]
-    text = format_table(
-        ["Node mix", "Configuration", "SysEfficiency (%)", "Dilation"],
-        rows,
-        title=f"{spec.name}: Vesta / modified-IOR emulation (Figure 15 grid)",
-    )
-    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+        rows = [
+            [r["scenario"], r["configuration"],
+             percent(r["system_efficiency"]), ratio(r["dilation"])]
+            for r in records
+        ]
+        text = format_table(
+            ["Node mix", "Configuration", "SysEfficiency (%)", "Dilation"],
+            rows,
+            title=(
+                f"{spec.name}: Vesta / modified-IOR emulation "
+                "(Figure 15 grid)"
+            ),
+        )
+        return SpecRunResult(
+            spec=spec, payload=payload, records=records, text=text
+        )
 
 
 def _run_periodic_spec(
@@ -358,166 +408,169 @@ def _run_periodic_spec(
             "only distort the online comparison — remove experiment."
             "max_time (or the --max-time override)"
         )
-    platform, applications = build_periodic_setup(body, spec.seed)
+    with _OBS.stage("build", kind=spec.kind):
+        platform, applications = build_periodic_setup(body, spec.seed)
     records: list[dict] = []
     rows: list[list[object]] = []
     periodic_payload: dict[str, dict] = {}
-    # The period sweep is a *study*, not a grid of independent simulations,
-    # so it memoizes as one unit per heuristic: the key digests the built
-    # platform + applications (capturing the seed-derived mix), the sweep
-    # knobs and the producing-code fingerprint.
-    study_prefix = None
-    if store is not None:
-        study_prefix = digest(
-            "periodic-study",
-            code_fingerprint(),
-            canonical_json(platform),
-            canonical_json(applications),
-            body.epsilon,
-            body.max_period,
-            body.max_period_factor,
-        )
-    for key in body.heuristics:
-        heuristic_cls, objective = PERIODIC_HEURISTIC_TABLE[key]
-        cached = None
-        study_key = None
-        if study_prefix is not None:
-            study_key = digest(study_prefix, key, objective)
-            cached = store.get(study_key)
-        if cached is not None:
-            fragment = cached["fragment"]
-            record = cached["record"]
-            row = cached["row"]
-        else:
-            heuristic = heuristic_cls()
-            result = search_period(
-                heuristic,
-                platform,
-                applications,
-                objective=objective,
-                epsilon=body.epsilon,
-                max_period=body.max_period,
-                max_period_factor=body.max_period_factor,
+    with _OBS.stage("run", kind=spec.kind):
+        # The period sweep is a *study*, not a grid of independent simulations,
+        # so it memoizes as one unit per heuristic: the key digests the built
+        # platform + applications (capturing the seed-derived mix), the sweep
+        # knobs and the producing-code fingerprint.
+        study_prefix = None
+        if store is not None:
+            study_prefix = digest(
+                "periodic-study",
+                code_fingerprint(),
+                canonical_json(platform),
+                canonical_json(applications),
+                body.epsilon,
+                body.max_period,
+                body.max_period_factor,
             )
-            summary = result.best_schedule.summary()
-            counts = result.best_schedule.instances_per_application()
-            fragment = {
-                "heuristic": heuristic.name,
-                "objective": objective,
-                "best_period": result.best_period,
-                "system_efficiency": summary.system_efficiency,
-                "dilation": summary.dilation,
-                "n_instances_per_period": sum(counts.values()),
-                "complete": result.best_schedule.is_complete(),
-                "sweep": [
-                    {
-                        "period": point.period,
-                        "system_efficiency": point.system_efficiency,
-                        "dilation": point.dilation,
-                        "complete": point.complete,
-                    }
-                    for point in result.sweep
-                ],
-            }
-            record = {
-                "mode": "periodic",
-                "scheduler": heuristic.name,
-                "objective": objective,
-                "system_efficiency": summary.system_efficiency,
-                "dilation": summary.dilation,
-                "period": result.best_period,
-            }
-            row = [
-                f"{heuristic.name} (periodic)",
-                percent(summary.system_efficiency),
-                ratio(summary.dilation),
-                ratio(result.best_period),
-            ]
-            if study_key is not None:
-                store.put(
-                    study_key,
-                    {"fragment": fragment, "record": record, "row": row},
+        for key in body.heuristics:
+            heuristic_cls, objective = PERIODIC_HEURISTIC_TABLE[key]
+            cached = None
+            study_key = None
+            if study_prefix is not None:
+                study_key = digest(study_prefix, key, objective)
+                cached = store.get(study_key)
+            if cached is not None:
+                fragment = cached["fragment"]
+                record = cached["record"]
+                row = cached["row"]
+            else:
+                heuristic = heuristic_cls()
+                result = search_period(
+                    heuristic,
+                    platform,
+                    applications,
+                    objective=objective,
+                    epsilon=body.epsilon,
+                    max_period=body.max_period,
+                    max_period_factor=body.max_period_factor,
                 )
-        periodic_payload[key] = fragment
-        records.append(record)
-        rows.append(row)
-        if progress is not None:
-            progress(
-                f"periodic {key}: swept {len(fragment['sweep'])} periods, "
-                f"best T = {fragment['best_period']:.6g} s"
-            )
+                summary = result.best_schedule.summary()
+                counts = result.best_schedule.instances_per_application()
+                fragment = {
+                    "heuristic": heuristic.name,
+                    "objective": objective,
+                    "best_period": result.best_period,
+                    "system_efficiency": summary.system_efficiency,
+                    "dilation": summary.dilation,
+                    "n_instances_per_period": sum(counts.values()),
+                    "complete": result.best_schedule.is_complete(),
+                    "sweep": [
+                        {
+                            "period": point.period,
+                            "system_efficiency": point.system_efficiency,
+                            "dilation": point.dilation,
+                            "complete": point.complete,
+                        }
+                        for point in result.sweep
+                    ],
+                }
+                record = {
+                    "mode": "periodic",
+                    "scheduler": heuristic.name,
+                    "objective": objective,
+                    "system_efficiency": summary.system_efficiency,
+                    "dilation": summary.dilation,
+                    "period": result.best_period,
+                }
+                row = [
+                    f"{heuristic.name} (periodic)",
+                    percent(summary.system_efficiency),
+                    ratio(summary.dilation),
+                    ratio(result.best_period),
+                ]
+                if study_key is not None:
+                    store.put(
+                        study_key,
+                        {"fragment": fragment, "record": record, "row": row},
+                    )
+            periodic_payload[key] = fragment
+            records.append(record)
+            rows.append(row)
+            if progress is not None:
+                progress(
+                    f"periodic {key}: swept {len(fragment['sweep'])} periods, "
+                    f"best T = {fragment['best_period']:.6g} s"
+                )
 
-    online_payload: dict[str, dict] = {}
-    if body.online:
-        scenario = Scenario(
-            platform=platform,
-            applications=tuple(applications),
-            label=f"{spec.name}-apps",
-            metadata={"kind": "periodic"},
-        )
-        cases = [SchedulerCase(name=name) for name in body.online]
-        # No max_time: the guard above pins it to inf, and the online half
-        # must structurally run to completion to stay comparable with the
-        # steady-state schedules.
-        grid = run_grid(
-            [scenario],
-            cases,
-            progress=progress,
-            executor=executor,
-            store=store,
-            engine=spec.engine,
-        )
-        for case in grid.cases:
-            online_payload[case.scheduler_label] = {
-                "system_efficiency": case.system_efficiency,
-                "dilation": case.dilation,
-                "upper_limit": case.upper_limit,
-                "makespan": case.makespan,
-            }
-            records.append(
-                {
-                    "mode": "online",
-                    "scheduler": case.scheduler_label,
+        online_payload: dict[str, dict] = {}
+        if body.online:
+            scenario = Scenario(
+                platform=platform,
+                applications=tuple(applications),
+                label=f"{spec.name}-apps",
+                metadata={"kind": "periodic"},
+            )
+            cases = [SchedulerCase(name=name) for name in body.online]
+            # No max_time: the guard above pins it to inf, and the online half
+            # must structurally run to completion to stay comparable with the
+            # steady-state schedules.
+            grid = run_grid(
+                [scenario],
+                cases,
+                progress=progress,
+                executor=executor,
+                store=store,
+                engine=spec.engine,
+            )
+            for case in grid.cases:
+                online_payload[case.scheduler_label] = {
                     "system_efficiency": case.system_efficiency,
                     "dilation": case.dilation,
+                    "upper_limit": case.upper_limit,
                     "makespan": case.makespan,
                 }
-            )
-            rows.append(
-                [
-                    f"{case.scheduler_label} (online)",
-                    percent(case.system_efficiency),
-                    ratio(case.dilation),
-                    "-",
-                ]
-            )
+                records.append(
+                    {
+                        "mode": "online",
+                        "scheduler": case.scheduler_label,
+                        "system_efficiency": case.system_efficiency,
+                        "dilation": case.dilation,
+                        "makespan": case.makespan,
+                    }
+                )
+                rows.append(
+                    [
+                        f"{case.scheduler_label} (online)",
+                        percent(case.system_efficiency),
+                        ratio(case.dilation),
+                        "-",
+                    ]
+                )
 
-    payload = {
-        "experiment": _spec_echo(spec),
-        "platform": platform.name,
-        "n_applications": len(applications),
-        "applications": [
-            {
-                "name": app.name,
-                "processors": app.processors,
-                "work": app.instances[0].work,
-                "io_volume": app.instances[0].io_volume,
-                "instances": app.n_instances,
-            }
-            for app in applications
-        ],
-        "periodic": periodic_payload,
-        "online": online_payload,
-    }
-    text = format_table(
-        ["Case", "SysEfficiency (%)", "Dilation", "Best period T (s)"],
-        rows,
-        title=(
-            f"{spec.name}: Section 3.2 periodic heuristics vs online "
-            f"({len(applications)} applications on {platform.name})"
-        ),
-    )
-    return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
+    with _OBS.stage("report", kind=spec.kind):
+        payload = {
+            "experiment": _spec_echo(spec),
+            "platform": platform.name,
+            "n_applications": len(applications),
+            "applications": [
+                {
+                    "name": app.name,
+                    "processors": app.processors,
+                    "work": app.instances[0].work,
+                    "io_volume": app.instances[0].io_volume,
+                    "instances": app.n_instances,
+                }
+                for app in applications
+            ],
+            "periodic": periodic_payload,
+            "online": online_payload,
+        }
+        text = format_table(
+            ["Case", "SysEfficiency (%)", "Dilation", "Best period T (s)"],
+            rows,
+            title=(
+                f"{spec.name}: Section 3.2 periodic heuristics vs online "
+                f"({len(applications)} applications on {platform.name})"
+            ),
+        )
+        return SpecRunResult(spec=spec, payload=payload, records=records, text=text)
 
 
 _FigureOutcome = tuple[dict, list[dict], str]
@@ -743,64 +796,69 @@ def _run_analysis_spec(
     executor: Optional[ExperimentExecutor] = None,
     store: Optional[ResultStore] = None,
 ) -> SpecRunResult:
-    platform = build_platform(body.platform)
-    # Fixed seed slots: figure N always consumes child stream N of the
-    # experiment seed, so deselecting one figure never shifts the others.
-    slots = dict(zip(ANALYSIS_FIGURES, spawn_rngs(spec.seed, len(ANALYSIS_FIGURES))))
+    with _OBS.stage("build", kind=spec.kind):
+        platform = build_platform(body.platform)
+        # Fixed seed slots: figure N always consumes child stream N of the
+        # experiment seed, so deselecting one figure never shifts the others.
+        slots = dict(
+            zip(ANALYSIS_FIGURES, spawn_rngs(spec.seed, len(ANALYSIS_FIGURES)))
+        )
     records: list[dict] = []
     figures_payload: dict[str, dict] = {}
     blocks: list[str] = []
-    for figure in body.figures:
-        # Each figure memoizes as one study.  The key digests the built
-        # platform, the figure's own spec fragment, the experiment seed (the
-        # slot streams derive deterministically from it) and the horizon —
-        # so a second run of an unchanged spec performs zero study work.
-        study_key = None
-        cached = None
-        if store is not None:
-            study_key = digest(
-                "analysis-study",
-                code_fingerprint(),
-                figure,
-                canonical_json(platform),
-                canonical_json(getattr(body, figure)),
-                spec.seed,
-                spec.max_time,
-                spec.engine,
-            )
-            cached = store.get(study_key)
-        if cached is not None:
-            fragment = cached["fragment"]
-            figure_records = cached["records"]
-            block = cached["block"]
-            if progress is not None:
-                progress(f"{figure}: served from the result store")
-        else:
-            fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
-                spec, body, platform, slots[figure], progress, executor
-            )
-            if study_key is not None:
-                store.put(
-                    study_key,
-                    {
-                        "fragment": fragment,
-                        "records": figure_records,
-                        "block": block,
-                    },
+    with _OBS.stage("run", kind=spec.kind):
+        for figure in body.figures:
+            # Each figure memoizes as one study.  The key digests the built
+            # platform, the figure's own spec fragment, the experiment seed (the
+            # slot streams derive deterministically from it) and the horizon —
+            # so a second run of an unchanged spec performs zero study work.
+            study_key = None
+            cached = None
+            if store is not None:
+                study_key = digest(
+                    "analysis-study",
+                    code_fingerprint(),
+                    figure,
+                    canonical_json(platform),
+                    canonical_json(getattr(body, figure)),
+                    spec.seed,
+                    spec.max_time,
+                    spec.engine,
                 )
-        figures_payload[figure] = fragment
-        records.extend(figure_records)
-        blocks.append(block)
+                cached = store.get(study_key)
+            if cached is not None:
+                fragment = cached["fragment"]
+                figure_records = cached["records"]
+                block = cached["block"]
+                if progress is not None:
+                    progress(f"{figure}: served from the result store")
+            else:
+                fragment, figure_records, block = _ANALYSIS_RUNNERS[figure](
+                    spec, body, platform, slots[figure], progress, executor
+                )
+                if study_key is not None:
+                    store.put(
+                        study_key,
+                        {
+                            "fragment": fragment,
+                            "records": figure_records,
+                            "block": block,
+                        },
+                    )
+            figures_payload[figure] = fragment
+            records.extend(figure_records)
+            blocks.append(block)
 
-    payload = {
-        "experiment": _spec_echo(spec),
-        "platform": platform.name,
-        "figures": figures_payload,
-        "cells": records,
-    }
-    return SpecRunResult(
-        spec=spec, payload=payload, records=records, text="\n".join(blocks)
-    )
+    with _OBS.stage("report", kind=spec.kind):
+        payload = {
+            "experiment": _spec_echo(spec),
+            "platform": platform.name,
+            "figures": figures_payload,
+            "cells": records,
+        }
+        return SpecRunResult(
+            spec=spec, payload=payload, records=records, text="\n".join(blocks)
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -834,7 +892,8 @@ def run_spec(
     # One executor for the whole spec run: every harness below shares the
     # same lazily-spawned pool (never spawned at all for serial specs), so
     # a multi-study spec pays process start-up at most once.
-    with ExperimentExecutor(spec.workers) as executor:
+    with _OBS.span("spec", category="spec", spec=spec.name, kind=spec.kind), \
+            ExperimentExecutor(spec.workers) as executor:
         if isinstance(body, GridSpec):
             result = _run_grid_spec(spec, body, progress, executor, store)
         elif isinstance(body, Figure6Spec):

@@ -9,7 +9,9 @@ run); this module tracks the *experiment* hot path — what a whole
   ``examples/specs/periodic.toml``) is executed end to end twice: serially
   (``workers=1``) and pooled (``workers=0`` — one persistent
   :class:`~repro.experiments.runner.ExperimentExecutor` per run, one worker
-  per CPU).  The payload records wall-clock seconds and cells/sec for both,
+  per CPU).  The payload records wall-clock seconds, cells/sec and the
+  per-stage (``build``/``run``/``report``) wall-time breakdown — read from
+  the telemetry spans of :mod:`repro.obs` — for both modes,
   the speedup, and an ``identical`` flag asserting the pooled payload is
   byte-for-byte the serial one (same contract as
   ``tests/test_experiment_executor.py``; a false flag fails the benchmark).
@@ -155,10 +157,39 @@ def _count_cells(spec: ExperimentSpec, payload: Mapping) -> int:
     return max(1, len(payload.get("cells", ())))
 
 
-def _timed_run(spec: ExperimentSpec) -> tuple[float, dict]:
-    start = time.perf_counter()
-    result = run_spec(spec)
-    return time.perf_counter() - start, result.payload
+def _stage_seconds() -> dict[str, float]:
+    """Wall time per pipeline stage, read from the recorder's spans."""
+    from repro.obs.telemetry import recorder
+
+    seconds: dict[str, float] = {}
+    for record in recorder().span_snapshot():
+        if record.category == "stage":
+            seconds[record.name] = (
+                seconds.get(record.name, 0.0) + record.dur_us / 1e6
+            )
+    return seconds
+
+
+def _timed_run(spec: ExperimentSpec) -> tuple[float, dict, dict[str, float]]:
+    """Run a spec with the telemetry spans on; return seconds/payload/stages.
+
+    The recorder is an observer by contract (``tests/test_obs_isolation.py``),
+    so the stage breakdown rides along for free without perturbing the
+    ``identical`` byte-comparisons below.
+    """
+    from repro.obs.telemetry import recorder
+
+    rec = recorder()
+    rec.reset()
+    rec.enable()
+    try:
+        start = time.perf_counter()
+        result = run_spec(spec)
+        elapsed = time.perf_counter() - start
+        stages = _stage_seconds()
+    finally:
+        rec.reset()
+    return elapsed, result.payload, stages
 
 
 def measure_spec_run(
@@ -176,8 +207,8 @@ def measure_spec_run(
     serial_spec = spec.with_overrides(workers=1)
     pooled_spec = spec.with_overrides(workers=workers)
 
-    serial_seconds, serial_payload = _timed_run(serial_spec)
-    pooled_seconds, pooled_payload = _timed_run(pooled_spec)
+    serial_seconds, serial_payload, serial_stages = _timed_run(serial_spec)
+    pooled_seconds, pooled_payload, pooled_stages = _timed_run(pooled_spec)
     n_cells = _count_cells(spec, serial_payload)
     identical = json.dumps(serial_payload, sort_keys=True) == json.dumps(
         pooled_payload, sort_keys=True
@@ -190,11 +221,13 @@ def measure_spec_run(
         "serial": {
             "seconds": serial_seconds,
             "cells_per_sec": n_cells / serial_seconds if serial_seconds > 0 else float("inf"),
+            "stage_seconds": serial_stages,
         },
         "pooled": {
             "workers": resolve_workers(pooled_spec.workers),
             "seconds": pooled_seconds,
             "cells_per_sec": n_cells / pooled_seconds if pooled_seconds > 0 else float("inf"),
+            "stage_seconds": pooled_stages,
         },
         "speedup": serial_seconds / pooled_seconds if pooled_seconds > 0 else float("inf"),
         "identical": identical,

@@ -52,6 +52,7 @@ import numpy as np
 from repro.core.objectives import ObjectiveSummary
 from repro.core.platform import Platform
 from repro.core.scenario import Scenario
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.online.registry import make_scheduler
 from repro.simulator.batched import batched_simulate
 from repro.simulator.engine import SimulatorConfig, simulate
@@ -85,6 +86,11 @@ __all__ = [
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Process-wide telemetry funnel (no-op unless a CLI/campaign enabled it).
+#: Instrumentation here observes dispatch and recovery; it never touches
+#: results — see docs/observability.md.
+_OBS = _obs_recorder()
 
 #: Simulation engines selectable per campaign.  The concrete kernels are
 #: pinned bit-identical to the frozen reference engine
@@ -281,6 +287,7 @@ class MapCache:
             self._store.stats.misses += 1
             self._store.stats.corrupt += 1
             self._store.discard(key)
+            _OBS.count("repro_store_decode_corrupt_total")
             return None
 
     def save(self, item: object, result: object) -> None:
@@ -299,11 +306,28 @@ class ExecutorStats:
     inline in the calling process because their retry broke the pool again
     (the poisoned cell itself, typically).  Purely observational — recovery
     never changes results, only where they compute.
+
+    Like :class:`repro.store.StoreStats`, this is the per-executor *view*
+    of events the process-wide telemetry registry also aggregates: the
+    ``record_*`` methods bump the plain ints and mirror into the
+    ``repro_executor_*`` counters when the recorder is enabled.
     """
 
     worker_deaths: int = 0
     cell_retries: int = 0
     inline_recoveries: int = 0
+
+    def record_worker_death(self) -> None:
+        self.worker_deaths += 1
+        _OBS.count("repro_executor_worker_deaths_total")
+
+    def record_cell_retry(self) -> None:
+        self.cell_retries += 1
+        _OBS.count("repro_executor_cell_retries_total")
+
+    def record_inline_recovery(self) -> None:
+        self.inline_recoveries += 1
+        _OBS.count("repro_executor_inline_recoveries_total")
 
     def as_dict(self) -> dict:
         """Plain-dict view for status reports."""
@@ -431,6 +455,12 @@ class ExperimentExecutor:
             miss_indexes = [
                 i for i, result in enumerate(results_by_index) if result is None
             ]
+            if _OBS.enabled:
+                _OBS.count(
+                    "repro_executor_cache_hits_total",
+                    len(items) - len(miss_indexes),
+                )
+                _OBS.count("repro_executor_cache_misses_total", len(miss_indexes))
             if progress is not None:
                 for i, result in enumerate(results_by_index):
                     if result is not None:
@@ -478,6 +508,8 @@ class ExperimentExecutor:
             n_chunks = min(self._n_workers * per_worker, n)
         else:
             n_chunks = min(self._n_workers * _CHUNKS_PER_WORKER, n)
+        _OBS.count("repro_executor_chunks_total", n_chunks)
+        _OBS.count("repro_executor_dispatched_items_total", n)
         base, extra = divmod(n, n_chunks)
         pool = self._ensure_pool()
         futures = []
@@ -500,27 +532,33 @@ class ExperimentExecutor:
             start = stop
 
         results = []
-        for chunk_start, chunk, future in futures:
-            try:
-                chunk_results = future.result()
-            except BrokenProcessPool:
-                # A worker died mid-chunk (killed, crashed, os._exit): the
-                # pool is unusable and every other in-flight future will
-                # raise the same error.  Drop the pool — counting the death
-                # only when this future's pool is still the live one, so the
-                # sibling chunks poisoned by the same death don't recount it
-                # or tear down the replacement pool — then retry the chunk's
-                # cells individually on a fresh pool.
-                if self._pool is pool:
-                    self.stats.worker_deaths += 1
-                    self._pool.shutdown(wait=False)
-                    self._pool = None
-                chunk_results = self._recover_chunk(fn, chunk, has_shared, shared)
-            for offset, result in enumerate(chunk_results):
-                if progress is not None:
-                    index = chunk_start + offset
-                    progress(index, items[index], result)
-                results.append(result)
+        with _OBS.span(
+            "executor.map", category="executor", items=n, chunks=n_chunks
+        ):
+            for chunk_start, chunk, future in futures:
+                try:
+                    chunk_results = future.result()
+                except BrokenProcessPool:
+                    # A worker died mid-chunk (killed, crashed, os._exit):
+                    # the pool is unusable and every other in-flight future
+                    # will raise the same error.  Drop the pool — counting
+                    # the death only when this future's pool is still the
+                    # live one, so the sibling chunks poisoned by the same
+                    # death don't recount it or tear down the replacement
+                    # pool — then retry the chunk's cells individually on a
+                    # fresh pool.
+                    if self._pool is pool:
+                        self.stats.record_worker_death()
+                        self._pool.shutdown(wait=False)
+                        self._pool = None
+                    chunk_results = self._recover_chunk(
+                        fn, chunk, has_shared, shared
+                    )
+                for offset, result in enumerate(chunk_results):
+                    if progress is not None:
+                        index = chunk_start + offset
+                        progress(index, items[index], result)
+                    results.append(result)
         return results
 
     def _recover_chunk(
@@ -544,7 +582,7 @@ class ExperimentExecutor:
         while pending:
             if self._n_workers <= 1 or len(pending) == 1:
                 for item in pending:
-                    self.stats.inline_recoveries += 1
+                    self.stats.record_inline_recovery()
                     results.append(
                         fn(shared, item) if has_shared else fn(item)
                     )
@@ -552,7 +590,7 @@ class ExperimentExecutor:
             pool = self._ensure_pool()
             futures = []
             for item in pending:
-                self.stats.cell_retries += 1
+                self.stats.record_cell_retry()
                 if has_shared:
                     futures.append(
                         _submit_or_broken(pool, _run_shared_chunk, fn, shared, [item])
@@ -571,10 +609,10 @@ class ExperimentExecutor:
                     # (a real exception from fn propagates from here), then
                     # resubmit whatever was queued behind it.
                     if self._pool is pool:
-                        self.stats.worker_deaths += 1
+                        self.stats.record_worker_death()
                         self._pool.shutdown(wait=False)
                         self._pool = None
-                    self.stats.inline_recoveries += 1
+                    self.stats.record_inline_recovery()
                     results.append(
                         fn(shared, item) if has_shared else fn(item)
                     )
@@ -791,7 +829,23 @@ def run_case(
             )
         run_scenario = scenario.with_platform(platform)
     config = SimulatorConfig(use_burst_buffer=case.use_burst_buffer, max_time=max_time)
-    result = run_simulation(run_scenario, case.build_scheduler(), config)
+    if not _OBS.enabled:
+        result = run_simulation(run_scenario, case.build_scheduler(), config)
+    else:
+        dispatched = dispatch_engine(engine, len(run_scenario.applications))
+        with _OBS.span(
+            "cell",
+            category="cell",
+            observe="repro_cell_seconds",
+            scenario=scenario.label,
+            scheduler=case.display,
+            engine=dispatched,
+        ):
+            result = run_simulation(run_scenario, case.build_scheduler(), config)
+        _OBS.count("repro_cells_total", engine=dispatched)
+        _OBS.count(
+            "repro_cell_events_total", float(result.n_events), engine=dispatched
+        )
     case_result = CaseResult(
         scenario_label=scenario.label,
         scheduler_label=case.display,
@@ -1028,15 +1082,23 @@ def run_grid(
             )
 
     grid = ExperimentGrid()
-    for result in map_parallel(
-        _run_grid_cell_shared,
-        cells,
-        workers=workers,
-        progress=on_cell,
-        executor=executor,
-        shared=shared,
-        cache=cache,
-        cost_hint=_grid_cost_hint(scenarios),
+    with _OBS.span(
+        "run_grid",
+        category="grid",
+        scenarios=len(scenarios),
+        cases=len(cases),
+        engine=engine,
     ):
-        grid.add(result)
+        for result in map_parallel(
+            _run_grid_cell_shared,
+            cells,
+            workers=workers,
+            progress=on_cell,
+            executor=executor,
+            shared=shared,
+            cache=cache,
+            cost_hint=_grid_cost_hint(scenarios),
+        ):
+            _OBS.count("repro_grid_cells_total")
+            grid.add(result)
     return grid

@@ -11,6 +11,7 @@ D003 unordered set iteration feeding ordered output
 D004 ``json.dumps`` without ``sort_keys=True``
 D005 mutable default arguments
 C001 store-key dataclass fields must serialize canonically
+O001 telemetry must stay invisible to store-key construction
 ==== =========================================================
 
 Entry points: ``repro lint`` (CLI) and :func:`repro.lint.run_lint`.

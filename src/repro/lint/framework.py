@@ -55,7 +55,7 @@ SEVERITIES = ("warning", "error")
 #: be fixed or explicitly waived in the source, never grandfathered.
 PROTECTED_PREFIXES = ("simulator/", "store/")
 
-_RULE_ID_RE = re.compile(r"^[DC][0-9]{3}$")
+_RULE_ID_RE = re.compile(r"^[DCO][0-9]{3}$")
 
 #: ``# reprolint: ignore[D001]`` or ``# reprolint: ignore[D001,D003] — why``.
 _WAIVER_RE = re.compile(r"#\s*reprolint:\s*ignore\[([A-Z0-9,\s]+)\]")
@@ -261,7 +261,8 @@ PROJECT_RULE_REGISTRY: dict[str, type[ProjectRule]] = {}
 def _check_id(rule_id: str) -> None:
     if not _RULE_ID_RE.match(rule_id):
         raise ValueError(
-            f"rule id {rule_id!r} must match D0xx/C0xx (stable, grep-able IDs)"
+            f"rule id {rule_id!r} must match D0xx/C0xx/O0xx "
+            "(stable, grep-able IDs)"
         )
 
 

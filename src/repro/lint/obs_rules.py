@@ -1,0 +1,143 @@
+"""Cross-module contract rule ``O001``: telemetry isolation.
+
+The observability layer (:mod:`repro.obs`) must be a pure *observer* of
+the pipeline: enabling ``--trace``/``--metrics`` may never change a
+payload, a store key or a cached artefact.  The dynamic half of that
+contract is ``tests/test_obs_isolation.py`` (byte-identity of payloads
+with telemetry on vs off); ``O001`` is the static half, rejecting the two
+ways telemetry could leak into experiment identity before they ship:
+
+1. **Key-construction imports** — ``store/canonical.py`` and
+   ``store/fingerprint.py`` define what a store key *is* (the canonical
+   JSON encoder and the producing-code fingerprint).  An import of
+   ``repro.obs`` there would let recorder state or the obs source tree
+   influence keys, so any such import is flagged.  (The store *handle*
+   in ``store/store.py`` may observe its own latencies — wrappers around
+   ``get``/``put`` never touch key bytes.)
+
+2. **Type reachability** — a telemetry type (anything defined under
+   ``obs/``) appearing in the field-annotation closure of the store-key
+   dataclasses (the same roots C001 walks: ``config/spec.py`` and
+   ``experiments/``) would make recorder state part of experiment
+   identity.  The walk is purely static, like C001's: annotations only,
+   no imports of the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from .contracts import StoreKeyContractRule, _index_classes
+from .framework import FileContext, Finding, ProjectRule, register_project_rule
+
+__all__ = ["TelemetryIsolationRule"]
+
+#: Package-relative modules that define store-key identity; no ``repro.obs``
+#: import may appear in them.
+_KEY_MODULES = ("store/canonical.py", "store/fingerprint.py")
+
+
+def _imports_obs(node: ast.AST) -> bool:
+    """Does this import statement pull in ``repro.obs`` (any spelling)?"""
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "repro.obs" or alias.name.startswith("repro.obs.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            return True
+        if module == "repro" and any(alias.name == "obs" for alias in node.names):
+            return True
+        # Relative spellings from inside the package (`from ..obs import x`).
+        if node.level and (module == "obs" or module.startswith("obs.")):
+            return True
+    return False
+
+
+@register_project_rule
+class TelemetryIsolationRule(ProjectRule):
+    """O001 — telemetry must stay invisible to store-key construction
+    (see module docstring)."""
+
+    id: ClassVar[str] = "O001"
+    title: ClassVar[str] = "telemetry reachable from store-key construction"
+
+    def check(self, files: list[FileContext]) -> list[Finding]:
+        findings: list[Finding] = []
+
+        # 1. No repro.obs import in the key-defining store modules.
+        for context in files:
+            if context.scope_path not in _KEY_MODULES:
+                continue
+            for node in ast.walk(context.tree):
+                if isinstance(node, (ast.Import, ast.ImportFrom)) and _imports_obs(node):
+                    findings.append(
+                        Finding(
+                            rule=self.id,
+                            path=context.rel_path,
+                            line=node.lineno,
+                            message=(
+                                f"`{context.scope_path}` defines store-key "
+                                "identity and must not import repro.obs — "
+                                "telemetry state could leak into keys"
+                            ),
+                        )
+                    )
+
+        # 2. No obs-defined type in the store-key dataclass closure.  The
+        # walk mirrors C001's: same roots, same index, following dataclass
+        # field annotations — but the only offence here is resolving to a
+        # class defined under obs/ (C001 already polices everything else).
+        index = _index_classes(files)
+        queue = StoreKeyContractRule()._roots(index)
+        seen: set[str] = set()
+        while queue:
+            info = queue.pop(0)
+            if info.name in seen:
+                continue
+            seen.add(info.name)
+            for stmt in info.node.body:
+                if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                    stmt.target, ast.Name
+                ):
+                    continue
+                for node in ast.walk(stmt.annotation):
+                    name = None
+                    if isinstance(node, ast.Name):
+                        name = node.id
+                    elif isinstance(node, ast.Attribute):
+                        name = node.attr
+                    elif isinstance(node, ast.Constant) and isinstance(
+                        node.value, str
+                    ):
+                        # Forward reference: a bare class name resolves too.
+                        name = node.value
+                    if name is None:
+                        continue
+                    referenced = index.get(name)
+                    if referenced is None:
+                        continue
+                    if referenced.context.scope_path.startswith("obs/"):
+                        findings.append(
+                            Finding(
+                                rule=self.id,
+                                path=info.context.rel_path,
+                                line=stmt.lineno,
+                                message=(
+                                    f"field `{stmt.target.id}` of store-key "
+                                    f"dataclass `{info.name}` references "
+                                    f"telemetry type `{name}` (defined in "
+                                    f"{referenced.context.scope_path}) — "
+                                    "recorder state must never be part of "
+                                    "experiment identity"
+                                ),
+                            )
+                        )
+                    elif referenced.is_dataclass:
+                        queue.append(referenced)
+
+        findings.sort(key=lambda f: (f.path, f.line, f.message))
+        return findings

@@ -18,6 +18,7 @@ from typing import Mapping, Optional, Sequence
 
 # Import the rule modules for their registration side effects.
 from . import contracts as _contracts  # noqa: F401
+from . import obs_rules as _obs_rules  # noqa: F401
 from . import rules as _rules  # noqa: F401
 from .baseline import Baseline
 from .framework import (

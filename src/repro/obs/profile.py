@@ -1,0 +1,58 @@
+"""Per-stage cProfile wrapper behind ``--profile DIR``.
+
+Each pipeline stage (``build`` / ``run`` / ``report`` — the units marked
+with :meth:`repro.obs.telemetry.Recorder.stage`) is profiled into its own
+``NN-stage.prof`` file under the output directory, loadable with
+``python -m pstats`` or snakeviz.  Stages are sequential and disjoint by
+construction, which is exactly the constraint cProfile imposes (profilers
+cannot nest), so installing the profiler on the recorder is safe.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Dumps one ``pstats``-loadable profile per pipeline stage."""
+
+    def __init__(self, out_dir: Union[str, Path]) -> None:
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._active = False
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        with self._lock:
+            nested = self._active
+            if not nested:
+                self._active = True
+                seq = self._seq
+                self._seq += 1
+        if nested:
+            # A nested stage (defensive: stages should be disjoint) —
+            # profile only the outermost one.
+            yield
+            return
+        profile = cProfile.Profile()
+        try:
+            profile.enable()
+            try:
+                yield
+            finally:
+                profile.disable()
+                safe = "".join(
+                    ch if ch.isalnum() or ch in "-_" else "-" for ch in name
+                )
+                profile.dump_stats(str(self.out_dir / f"{seq:02d}-{safe}.prof"))
+        finally:
+            with self._lock:
+                self._active = False

@@ -54,6 +54,7 @@ from repro.simulator.engine import (
     StallError,
     _stall_message,
 )
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.simulator.interface import SchedulerProtocol
 from repro.simulator.metrics import (
     ApplicationRecord,
@@ -63,6 +64,10 @@ from repro.simulator.metrics import (
     SimulationResult,
 )
 from repro.utils.validation import ValidationError
+
+#: Process-wide telemetry funnel — like the heap engine, the batched kernel
+#: only accumulates local ints in the loop and flushes once per run.
+_OBS = _obs_recorder()
 
 __all__ = ["BatchedSimulator", "batched_simulate"]
 
@@ -469,6 +474,7 @@ class BatchedSimulator:
         fault_stall = 0.0
         time = min(app.release_time for app in apps)
         n_events = 0
+        n_allocations = 0
         time_bb_full = 0.0
         max_time = config.max_time
         max_events = config.max_events
@@ -501,6 +507,7 @@ class BatchedSimulator:
 
             total_ingest = 0.0
             if k:
+                n_allocations += 1
                 rate[cand] = 0.0
                 if bb is not None and bb.can_absorb():
                     cand_rates = fair_rates(cand, bb.ingest_capacity())
@@ -668,6 +675,15 @@ class BatchedSimulator:
                 blackout_time=fault_blackout,
                 stall_time=fault_stall,
                 recovery_io=recovery_total,
+            )
+        if _OBS.enabled:
+            # One flush per run: the loop above only bumped local ints.
+            _OBS.count(
+                "repro_engine_allocations_total",
+                float(n_allocations), engine="batched",
+            )
+            _OBS.count(
+                "repro_engine_events_total", float(n_events), engine="batched"
             )
         return SimulationResult(
             scenario_label=self.scenario.label,

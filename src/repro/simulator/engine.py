@@ -75,8 +75,16 @@ from repro.simulator.metrics import (
     InstanceRecord,
     SimulationResult,
 )
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.simulator.queue import EventHeap
 from repro.utils.validation import ValidationError
+
+#: Process-wide telemetry funnel.  The engine only *accumulates plain int
+#: counters* during a run and flushes them once at the end when the
+#: recorder is enabled — no clocks, no per-event telemetry calls, so the
+#: hot loop stays at native speed and the determinism contract is
+#: untouched (telemetry never reaches results or store keys).
+_OBS = _obs_recorder()
 
 __all__ = ["SimulationError", "StallError", "SimulatorConfig", "Simulator", "simulate"]
 
@@ -298,6 +306,9 @@ class Simulator:
 
         time = min(app.release_time for app in self.scenario)
         n_events = 0
+        self._n_allocations = 0
+        self._view_hits = 0
+        self._view_rebuilds = 0
         time_bb_full = 0.0
         n_total = len(runtimes)
         io_active: list[_Runtime] = []
@@ -339,6 +350,7 @@ class Simulator:
                 allocation = alloc
             elif candidates:
                 view = self._system_view(runtimes, time, available)
+                self._n_allocations += 1
                 allocation = scheduler.allocate(view)
                 if not isinstance(allocation, BandwidthAllocation):
                     raise SimulationError(
@@ -486,6 +498,23 @@ class Simulator:
                 blackout_time=fault_blackout,
                 stall_time=fault_stall,
                 recovery_io=sum(rt.recovery_io for rt in runtimes.values()),
+            )
+        if _OBS.enabled:
+            # One flush per run: the loop above only bumped local ints.
+            _OBS.count(
+                "repro_engine_allocations_total",
+                float(self._n_allocations), engine="heap",
+            )
+            _OBS.count(
+                "repro_engine_view_cache_hits_total",
+                float(self._view_hits), engine="heap",
+            )
+            _OBS.count(
+                "repro_engine_view_cache_rebuilds_total",
+                float(self._view_rebuilds), engine="heap",
+            )
+            _OBS.count(
+                "repro_engine_events_total", float(n_events), engine="heap"
             )
         return SimulationResult(
             scenario_label=self.scenario.label,
@@ -782,6 +811,7 @@ class Simulator:
         # fields.
         cached = rt.cached_view
         if cached is not None and rt.cached_view_epoch == rt.view_epoch:
+            self._view_hits += 1
             if cached.achieved_efficiency == achieved:
                 return cached
             fields = dict(cached.__dict__)
@@ -789,6 +819,7 @@ class Simulator:
             view = ApplicationView._build_fast(fields)
             rt.cached_view = view
             return view
+        self._view_rebuilds += 1
         phase = rt.phase
         wants = (
             phase is ApplicationPhase.IO_PENDING

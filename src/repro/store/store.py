@@ -45,8 +45,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, Union
 
+from repro.obs.telemetry import recorder as _obs_recorder
 from repro.utils.io import atomic_write_text
 from repro.utils.validation import ValidationError
+
+#: Process-wide telemetry funnel.  Imported here (the store *entry* layer)
+#: only — key derivation (canonical.py / fingerprint.py) must stay
+#: telemetry-free, which reprolint rule O001 enforces statically.
+_OBS = _obs_recorder()
 
 __all__ = [
     "StoreStats",
@@ -98,7 +104,16 @@ class StoreCollisionError(ValidationError):
 
 @dataclass
 class StoreStats:
-    """Per-process counters of one store handle (not persisted)."""
+    """Per-handle counters of one store handle (not persisted).
+
+    This is the *per-handle view* of the same event stream the process-wide
+    telemetry registry (:mod:`repro.obs`) aggregates across every handle:
+    ``get``/``put`` bump these plain ints unconditionally and additionally
+    emit ``repro_store_get_total`` / ``repro_store_put_total`` counters and
+    latency histograms when the recorder is enabled.  Keep using these
+    attributes for handle-scoped reporting (``repro run``'s store line);
+    use the registry for whole-process dashboards.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -188,6 +203,24 @@ class ResultStore:
         recomputes.  A hit refreshes the entry's mtime (LRU input for
         :meth:`gc`).
         """
+        if not _OBS.enabled:
+            return self._get_impl(key)
+        corrupt_before = self.stats.corrupt
+        with _OBS.span(
+            "store.get", category="store",
+            observe="repro_store_get_seconds", key=key[:12],
+        ):
+            payload = self._get_impl(key)
+        if payload is not None:
+            outcome = "hit"
+        elif self.stats.corrupt > corrupt_before:
+            outcome = "corrupt"
+        else:
+            outcome = "miss"
+        _OBS.count("repro_store_get_total", outcome=outcome)
+        return payload
+
+    def _get_impl(self, key: str) -> Optional[dict[str, Any]]:
         path = self._entry_path(key)
         try:
             raw = path.read_text(encoding="utf-8")
@@ -264,6 +297,25 @@ class ResultStore:
         the run simply continues uncached.  A payload that is not JSON-able
         is a programming error and still raises.
         """
+        if not _OBS.enabled:
+            return self._put_impl(key, payload)
+        collisions = self.stats.collisions
+        write_errors = self.stats.write_errors
+        with _OBS.span(
+            "store.put", category="store",
+            observe="repro_store_put_seconds", key=key[:12],
+        ):
+            result = self._put_impl(key, payload)
+        if self.stats.collisions > collisions:
+            outcome = "collision"
+        elif self.stats.write_errors > write_errors:
+            outcome = "write_error"
+        else:
+            outcome = "write"
+        _OBS.count("repro_store_put_total", outcome=outcome)
+        return result
+
+    def _put_impl(self, key: str, payload: Mapping[str, Any]) -> Optional[Path]:
         path = self._entry_path(key)
         new_text = json.dumps(
             payload, allow_nan=True, sort_keys=True, default=_json_default

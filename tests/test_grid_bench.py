@@ -76,6 +76,12 @@ class TestGridBenchPayload:
             assert entry["pooled"]["seconds"] > 0
             assert entry["serial"]["cells_per_sec"] > 0
             assert entry["pooled"]["cells_per_sec"] > 0
+            # The telemetry spans supply a per-stage wall-time breakdown.
+            for mode in ("serial", "pooled"):
+                stages = entry[mode]["stage_seconds"]
+                assert {"build", "run", "report"} <= set(stages)
+                assert all(v >= 0 for v in stages.values())
+                assert stages["run"] <= entry[mode]["seconds"]
         sweeps = payload["period_sweep"]["sweeps"]
         assert {s["heuristic"] for s in sweeps} == {"throughput", "congestion"}
         for s in sweeps:

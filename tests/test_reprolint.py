@@ -46,8 +46,16 @@ def rules_hit(result) -> set[str]:
 # --------------------------------------------------------------------------- #
 
 
-def test_all_six_rules_registered():
-    assert sorted(all_rule_ids()) == ["C001", "D001", "D002", "D003", "D004", "D005"]
+def test_all_seven_rules_registered():
+    assert sorted(all_rule_ids()) == [
+        "C001",
+        "D001",
+        "D002",
+        "D003",
+        "D004",
+        "D005",
+        "O001",
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -309,6 +317,91 @@ class TestC001:
 
 
 # --------------------------------------------------------------------------- #
+# O001 — telemetry isolation
+# --------------------------------------------------------------------------- #
+
+
+class TestO001:
+    def test_obs_import_in_key_module_flagged(self, tmp_path):
+        source = (
+            "import json\n"
+            "from repro.obs.telemetry import recorder\n"
+            "\n"
+            "\n"
+            "def canonical_json(payload):\n"
+            '    return json.dumps(payload, sort_keys=True, separators=(",", ":"))\n'
+        )
+        result = scan(tmp_path, {"store/canonical.py": source})
+        assert any(
+            f.rule == "O001" and f.path == "store/canonical.py" and f.line == 2
+            for f in result.findings
+        )
+
+    def test_obs_import_in_store_handle_allowed(self, tmp_path):
+        # The store *handle* may observe its own latencies; only the
+        # key-defining modules are off limits.
+        source = "from repro.obs.telemetry import recorder\n\nOBS = recorder()\n"
+        result = scan(tmp_path, {"store/store.py": source})
+        assert "O001" not in rules_hit(result)
+
+    def test_obs_type_in_key_dataclass_closure_flagged(self, tmp_path):
+        obs_source = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "\n"
+            "@dataclass\n"
+            "class Recorder:\n"
+            "    enabled: bool\n"
+        )
+        spec_source = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "from repro.obs.telemetry import Recorder\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class KeySpec:\n"
+            "    name: str\n"
+            "    recorder: Recorder\n"
+        )
+        result = scan(
+            tmp_path,
+            {"obs/telemetry.py": obs_source, "config/spec.py": spec_source},
+        )
+        assert any(
+            f.rule == "O001"
+            and f.path == "config/spec.py"
+            and f.line == 9
+            and "Recorder" in f.message
+            for f in result.findings
+        )
+
+    def test_obs_free_key_dataclass_clean(self, tmp_path):
+        obs_source = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "\n"
+            "@dataclass\n"
+            "class Recorder:\n"
+            "    enabled: bool\n"
+        )
+        spec_source = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class KeySpec:\n"
+            "    name: str\n"
+            "    seed: int\n"
+        )
+        result = scan(
+            tmp_path,
+            {"obs/telemetry.py": obs_source, "config/spec.py": spec_source},
+        )
+        assert "O001" not in rules_hit(result)
+
+
+# --------------------------------------------------------------------------- #
 # Waivers
 # --------------------------------------------------------------------------- #
 
@@ -475,7 +568,7 @@ class TestCli:
         monkeypatch.chdir(tmp_path)
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D001", "D002", "D003", "D004", "D005", "C001"):
+        for rule_id in ("D001", "D002", "D003", "D004", "D005", "C001", "O001"):
             assert rule_id in out
 
 
